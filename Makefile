@@ -1,0 +1,38 @@
+# Development entry points. Everything is stdlib-only Go; no external
+# tools are required beyond the toolchain.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments quick clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Full-scale reproduction of every table and figure (several minutes).
+experiments:
+	$(GO) run ./cmd/drtpsim -exp all -degree 3
+	$(GO) run ./cmd/drtpsim -exp all -degree 4
+
+# Scaled-down smoke run of the whole evaluation (~1 minute).
+quick:
+	$(GO) run ./cmd/drtpsim -exp all -quick
+
+clean:
+	$(GO) clean ./...

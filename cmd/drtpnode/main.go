@@ -1,0 +1,219 @@
+// Command drtpnode runs one DRTP router as a standalone process over TCP,
+// driven by a line-oriented console on stdin. Start one process per node
+// of a shared topology file and they form a live DRTP network: link-state
+// flooding, hop-by-hop channel setup, hello-based failure detection and
+// channel switching.
+//
+// Usage:
+//
+//	topogen -kind ring -nodes 3 -json > topo.json
+//	drtpnode -node 0 -topology topo.json -peers 0=:7100,1=:7101,2=:7102 &
+//	drtpnode -node 1 -topology topo.json -peers 0=:7100,1=:7101,2=:7102 &
+//	drtpnode -node 2 -topology topo.json -peers 0=:7100,1=:7101,2=:7102
+//
+// Console commands:
+//
+//	establish <conn-id> <dst-node>   set up a DR-connection from this node
+//	release <conn-id>                terminate a connection
+//	info <conn-id>                   show a connection's channels
+//	links                            show local link reservations
+//	fail <neighbor-node>             declare the adjacency failed
+//	quit                             exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/router"
+	"github.com/rtcl/drtp/internal/topology"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "drtpnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("drtpnode", flag.ContinueOnError)
+	var (
+		node     = fs.Int("node", 0, "this router's node ID in the topology")
+		topoPath = fs.String("topology", "", "topology JSON file (see topogen -json)")
+		peers    = fs.String("peers", "", "comma-separated node=host:port directory for every node")
+		capacity = fs.Int("capacity", 40, "per-direction link bandwidth units")
+		unitBW   = fs.Int("unitbw", 1, "bandwidth units per DR-connection")
+		scheme   = fs.String("scheme", "dlsr", "backup routing scheme: dlsr|plsr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *topoPath == "" {
+		return fmt.Errorf("missing -topology")
+	}
+	g, err := topology.LoadJSON(*topoPath)
+	if err != nil {
+		return err
+	}
+	addrs, err := parsePeers(*peers, g.NumNodes())
+	if err != nil {
+		return err
+	}
+	backup := router.DLSR
+	if *scheme == "plsr" {
+		backup = router.PLSR
+	} else if *scheme != "dlsr" {
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	mesh := transport.NewTCPMesh(addrs)
+	ep, err := mesh.Attach(graph.NodeID(*node))
+	if err != nil {
+		return err
+	}
+	r, err := router.New(router.Config{
+		Node:     graph.NodeID(*node),
+		Graph:    g,
+		Capacity: *capacity,
+		UnitBW:   *unitBW,
+		Scheme:   backup,
+	}, ep)
+	if err != nil {
+		_ = ep.Close()
+		return err
+	}
+	defer r.Close()
+
+	addr, _ := mesh.Addr(graph.NodeID(*node))
+	fmt.Fprintf(out, "drtpnode: node %d listening on %s (%d nodes, %d links)\n",
+		*node, addr, g.NumNodes(), g.NumLinks())
+	return console(r, g, in, out)
+}
+
+// parsePeers parses "0=host:port,1=host:port,..." into the directory.
+func parsePeers(spec string, nodes int) (map[graph.NodeID]string, error) {
+	addrs := make(map[graph.NodeID]string, nodes)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer entry %q (want node=host:port)", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil || n < 0 || n >= nodes {
+			return nil, fmt.Errorf("bad peer node %q", id)
+		}
+		addrs[graph.NodeID(n)] = addr
+	}
+	if len(addrs) != nodes {
+		return nil, fmt.Errorf("peer directory has %d of %d nodes", len(addrs), nodes)
+	}
+	return addrs, nil
+}
+
+// console reads commands until EOF or quit.
+func console(r *router.Router, g *graph.Graph, in io.Reader, out io.Writer) error {
+	scanner := bufio.NewScanner(in)
+	fmt.Fprint(out, "> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if line != "" {
+			execute(r, g, line, out)
+		}
+		fmt.Fprint(out, "> ")
+	}
+	return scanner.Err()
+}
+
+// execute runs one console command against the router.
+func execute(r *router.Router, g *graph.Graph, line string, out io.Writer) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "establish":
+		if len(fields) != 3 {
+			fmt.Fprintln(out, "usage: establish <conn-id> <dst-node>")
+			return
+		}
+		id, err1 := strconv.ParseInt(fields[1], 10, 64)
+		dst, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || dst < 0 || dst >= g.NumNodes() {
+			fmt.Fprintln(out, "error: bad arguments")
+			return
+		}
+		info, err := r.Establish(lsdb.ConnID(id), graph.NodeID(dst))
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "established %d: primary %v backup %v\n", id, info.Primary, info.Backup)
+	case "release":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: release <conn-id>")
+			return
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(out, "error: bad connection id")
+			return
+		}
+		if err := r.Release(lsdb.ConnID(id)); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "released %d\n", id)
+	case "info":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: info <conn-id>")
+			return
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(out, "error: bad connection id")
+			return
+		}
+		info, ok := r.Conn(lsdb.ConnID(id))
+		if !ok {
+			fmt.Fprintf(out, "connection %d not found\n", id)
+			return
+		}
+		fmt.Fprintf(out, "conn %d: %d -> %d primary %v backup %v switched=%v dead=%v\n",
+			info.ID, info.Src, info.Dst, info.Primary, info.Backup, info.Switched, info.Dead)
+	case "links":
+		db := r.DB()
+		for _, l := range g.Out(r.Node()) {
+			link := g.Link(l)
+			fmt.Fprintf(out, "L%d %d->%d: prime=%d spare=%d backups=%d norm=%d\n",
+				l, link.From, link.To, db.PrimeBW(l), db.SpareBW(l),
+				db.NumBackupsOn(l), db.APLVNorm(l))
+		}
+	case "fail":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: fail <neighbor-node>")
+			return
+		}
+		nbr, err := strconv.Atoi(fields[1])
+		if err != nil || nbr < 0 || nbr >= g.NumNodes() {
+			fmt.Fprintln(out, "error: bad neighbor")
+			return
+		}
+		r.FailLink(graph.NodeID(nbr))
+		fmt.Fprintf(out, "declared link to %d failed\n", nbr)
+	default:
+		fmt.Fprintf(out, "unknown command %q (establish|release|info|links|fail|quit)\n", fields[0])
+	}
+}

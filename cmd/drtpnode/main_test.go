@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/router"
+	"github.com/rtcl/drtp/internal/topology"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+func TestParsePeers(t *testing.T) {
+	addrs, err := parsePeers("0=127.0.0.1:7000, 1=127.0.0.1:7001,2=host:99", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs[0] != "127.0.0.1:7000" || addrs[2] != "host:99" {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		spec string
+	}{
+		{"missing entry", "0=a:1,1=b:2"},
+		{"bad format", "0:a"},
+		{"bad node", "x=a:1,1=b:2,2=c:3"},
+		{"out of range", "0=a:1,1=b:2,9=c:3"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := parsePeers(tt.spec, 3); err == nil {
+				t.Fatalf("spec %q accepted", tt.spec)
+			}
+		})
+	}
+}
+
+// testRouter builds a single-node cluster over the in-memory transport so
+// console commands can be exercised without sockets.
+func testCluster(t *testing.T) (*router.Cluster, *graph.Graph) {
+	t.Helper()
+	g, err := topology.FromEdgeList(4, [][2]int{{0, 1}, {1, 2}, {0, 3}, {3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := transport.NewMem()
+	c, err := router.NewCluster(router.Config{
+		Graph:         g,
+		Capacity:      10,
+		UnitBW:        1,
+		HelloInterval: 10 * time.Millisecond,
+		LSInterval:    20 * time.Millisecond,
+	}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		_ = mem.Close()
+	})
+	return c, g
+}
+
+func TestExecuteEstablishInfoRelease(t *testing.T) {
+	c, g := testCluster(t)
+	r := c.Router(0)
+	var buf bytes.Buffer
+
+	execute(r, g, "establish 7 2", &buf)
+	if !strings.Contains(buf.String(), "established 7") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	buf.Reset()
+	execute(r, g, "info 7", &buf)
+	if !strings.Contains(buf.String(), "conn 7: 0 -> 2") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	buf.Reset()
+	execute(r, g, "links", &buf)
+	if !strings.Contains(buf.String(), "prime=1") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	buf.Reset()
+	execute(r, g, "release 7", &buf)
+	if !strings.Contains(buf.String(), "released 7") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	buf.Reset()
+	execute(r, g, "info 7", &buf)
+	if !strings.Contains(buf.String(), "not found") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	c, g := testCluster(t)
+	r := c.Router(0)
+	tests := []struct {
+		cmd  string
+		want string
+	}{
+		{"establish", "usage"},
+		{"establish x 2", "bad arguments"},
+		{"establish 1 99", "bad arguments"},
+		{"release", "usage"},
+		{"release z", "bad connection id"},
+		{"release 42", "error"},
+		{"info", "usage"},
+		{"fail 77", "bad neighbor"},
+		{"wibble", "unknown command"},
+	}
+	for _, tt := range tests {
+		var buf bytes.Buffer
+		execute(r, g, tt.cmd, &buf)
+		if !strings.Contains(buf.String(), tt.want) {
+			t.Errorf("%q -> %q, want %q", tt.cmd, buf.String(), tt.want)
+		}
+	}
+}
+
+func TestExecuteFail(t *testing.T) {
+	c, g := testCluster(t)
+	r := c.Router(0)
+	var buf bytes.Buffer
+	execute(r, g, "establish 1 2", &buf)
+	buf.Reset()
+	execute(r, g, "fail 1", &buf)
+	if !strings.Contains(buf.String(), "declared link to 1 failed") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestConsoleQuit(t *testing.T) {
+	c, g := testCluster(t)
+	in := strings.NewReader("links\nquit\n")
+	var out bytes.Buffer
+	if err := console(c.Router(0), g, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "> ") {
+		t.Fatal("no prompt printed")
+	}
+}
+
+func TestRunEndToEndTCP(t *testing.T) {
+	// Full process path: topology file + TCP peers + console over pipes.
+	g, err := topology.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoPath := filepath.Join(t.TempDir(), "topo.json")
+	if err := topology.SaveJSON(topoPath, g); err != nil {
+		t.Fatal(err)
+	}
+	peers := "0=127.0.0.1:0,1=127.0.0.1:0,2=127.0.0.1:0"
+	// Ephemeral ports cannot cross processes, so only node 0 is started
+	// here; establish fails (peers unreachable) but the whole flag,
+	// topology and console path is exercised.
+	in := strings.NewReader("links\nquit\n")
+	var out bytes.Buffer
+	err = run([]string{
+		"-node", "0", "-topology", topoPath, "-peers", peers,
+	}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "drtpnode: node 0 listening") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing topology accepted")
+	}
+	g, _ := topology.Ring(3)
+	topoPath := filepath.Join(t.TempDir(), "topo.json")
+	if err := topology.SaveJSON(topoPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topology", topoPath, "-peers", "0=:1"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("incomplete peers accepted")
+	}
+	if err := run([]string{"-topology", topoPath, "-peers", "0=127.0.0.1:0,1=127.0.0.1:0,2=127.0.0.1:0", "-scheme", "zz"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}

@@ -1,0 +1,277 @@
+// Command drtpsim reproduces the paper's evaluation. It runs one of the
+// experiments from the index in DESIGN.md and prints the corresponding
+// table(s).
+//
+// Usage:
+//
+//	drtpsim -exp table1|fig4|fig5|overhead|ablation|multibackup|availability|qos|all [flags]
+//
+// Examples:
+//
+//	drtpsim -exp fig4 -degree 3
+//	drtpsim -exp fig5 -degree 4 -csv
+//	drtpsim -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	drtpcore "github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/experiments"
+	"github.com/rtcl/drtp/internal/metrics"
+	"github.com/rtcl/drtp/internal/scenario"
+	"github.com/rtcl/drtp/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "drtpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("drtpsim", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: table1|fig4|fig5|acceptance|overhead|ablation|multibackup|availability|qos|topologies|replay|all")
+		degree   = fs.Float64("degree", 3, "average node degree E (3 or 4)")
+		seed     = fs.Int64("seed", 1, "master seed for topology and scenarios")
+		lambda   = fs.Float64("lambda", 0.5, "arrival rate for single-point experiments (overhead)")
+		quick    = fs.Bool("quick", false, "scaled-down parameters for a fast run")
+		csvOut   = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		duration = fs.Float64("duration", 0, "override run length in minutes")
+		reps     = fs.Int("reps", 1, "replications per cell (mean±sd over seeds)")
+		plot     = fs.Bool("plot", false, "render fig4/fig5 as ASCII charts too")
+		scenFile = fs.String("scenario", "", "scenario file for -exp replay (see scenariogen)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := experiments.DefaultParams(*degree)
+	p.Seed = *seed
+	p.Replications = *reps
+	if *quick {
+		p.Nodes = 30
+		p.Duration = 160
+		p.Warmup = 80
+		p.EvalInterval = 20
+		p.Lambdas = quickLambdas(p.Lambdas)
+	}
+	if *duration > 0 {
+		p.Duration = *duration
+		p.Warmup = *duration * 0.4
+	}
+
+	render := func(t *metrics.Table) error {
+		if *csvOut {
+			return t.RenderCSV(w)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+
+	runSweep := func() (*experiments.Sweep, error) {
+		return experiments.RunSweep(p, experiments.PaperSchemes())
+	}
+
+	switch *exp {
+	case "table1":
+		return render(experiments.Table1(p))
+	case "fig4":
+		s, err := runSweep()
+		if err != nil {
+			return err
+		}
+		if err := render(s.Fig4Table()); err != nil {
+			return err
+		}
+		if *plot {
+			return renderCharts(w, p, s, (*experiments.Sweep).Fig4Chart)
+		}
+		return nil
+	case "fig5":
+		s, err := runSweep()
+		if err != nil {
+			return err
+		}
+		if err := render(s.Fig5Table()); err != nil {
+			return err
+		}
+		if *plot {
+			return renderCharts(w, p, s, (*experiments.Sweep).Fig5Chart)
+		}
+		return nil
+	case "acceptance":
+		s, err := runSweep()
+		if err != nil {
+			return err
+		}
+		return render(s.AcceptanceTable())
+	case "overhead":
+		o, err := experiments.RunOverhead(p, scenario.UT, *lambda)
+		if err != nil {
+			return err
+		}
+		return render(o.Table())
+	case "ablation":
+		a, err := experiments.RunAblation(p)
+		if err != nil {
+			return err
+		}
+		return render(a.Table())
+	case "multibackup":
+		mb, err := experiments.RunMultiBackup(p)
+		if err != nil {
+			return err
+		}
+		return render(mb.Table())
+	case "topologies":
+		ts, err := experiments.RunTopologySensitivity(p, *lambda)
+		if err != nil {
+			return err
+		}
+		return render(ts.Table())
+	case "replay":
+		return replayScenario(p, *scenFile, *seed, w, *csvOut)
+	case "qos":
+		q, err := experiments.RunQoS(p, *lambda)
+		if err != nil {
+			return err
+		}
+		return render(q.Table())
+	case "availability":
+		ap := experiments.DefaultAvailabilityParams(*degree)
+		ap.Params = p
+		ap.Lambda = *lambda
+		av, err := experiments.RunAvailability(ap)
+		if err != nil {
+			return err
+		}
+		return render(av.Table())
+	case "all":
+		if err := render(experiments.Table1(p)); err != nil {
+			return err
+		}
+		s, err := runSweep()
+		if err != nil {
+			return err
+		}
+		if err := render(s.Fig4Table()); err != nil {
+			return err
+		}
+		if err := render(s.Fig5Table()); err != nil {
+			return err
+		}
+		if err := render(s.AcceptanceTable()); err != nil {
+			return err
+		}
+		o, err := experiments.RunOverhead(p, scenario.UT, *lambda)
+		if err != nil {
+			return err
+		}
+		if err := render(o.Table()); err != nil {
+			return err
+		}
+		a, err := experiments.RunAblation(p)
+		if err != nil {
+			return err
+		}
+		if err := render(a.Table()); err != nil {
+			return err
+		}
+		mb, err := experiments.RunMultiBackup(p)
+		if err != nil {
+			return err
+		}
+		if err := render(mb.Table()); err != nil {
+			return err
+		}
+		ap := experiments.DefaultAvailabilityParams(*degree)
+		ap.Params = p
+		ap.Lambda = *lambda
+		av, err := experiments.RunAvailability(ap)
+		if err != nil {
+			return err
+		}
+		if err := render(av.Table()); err != nil {
+			return err
+		}
+		q, err := experiments.RunQoS(p, *lambda)
+		if err != nil {
+			return err
+		}
+		return render(q.Table())
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+// renderCharts draws one ASCII chart per traffic pattern.
+func renderCharts(w io.Writer, p experiments.Params, s *experiments.Sweep,
+	chart func(*experiments.Sweep, scenario.Pattern) *metrics.Chart) error {
+	for _, pattern := range p.Patterns {
+		if err := chart(s, pattern).Render(w, 60, 16); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quickLambdas thins a sweep to its ends and midpoint.
+func quickLambdas(ls []float64) []float64 {
+	if len(ls) <= 3 {
+		return ls
+	}
+	return []float64{ls[0], ls[len(ls)/2], ls[len(ls)-1]}
+}
+
+// replayScenario replays one scenario file across the paper's schemes on
+// a fresh Waxman topology, the paper's exact comparison workflow.
+func replayScenario(p experiments.Params, path string, seed int64, w io.Writer, csvOut bool) error {
+	if path == "" {
+		return fmt.Errorf("replay requires -scenario <file>")
+	}
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	p.Nodes = sc.Config.Nodes
+	g, err := p.Topology()
+	if err != nil {
+		return err
+	}
+	warmup := sc.Config.Duration * 0.4
+	t := metrics.NewTable(
+		fmt.Sprintf("Replay of %s (%d arrivals, %s)", path, sc.NumArrivals(), sc.Config.Pattern),
+		"scheme", "P_act-bk", "accepted", "requests", "avgLoad", "spareLoad")
+	for _, spec := range append(experiments.PaperSchemes(), experiments.NoBackupSpec()) {
+		net, err := drtpcore.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(net, spec.New(seed), sc, sim.Config{
+			Warmup:       warmup,
+			EvalInterval: p.EvalInterval,
+			ManagerOpts:  spec.ManagerOpts,
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(spec.Name, res.FaultTolerance, res.AcceptedInWindow, res.RequestsInWindow,
+			metrics.Percent(res.AvgLoad), metrics.Percent(res.AvgSpareLoad))
+	}
+	if csvOut {
+		return t.RenderCSV(w)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/scenario"
+)
+
+// quickArgs shrinks every experiment run to seconds.
+func quickArgs(extra ...string) []string {
+	return append([]string{"-quick", "-duration", "80"}, extra...)
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "table1"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "fig4"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "D-LSR", "P-LSR", "BF"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig5CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "fig5", "-csv"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "pattern,scheme,lambda") {
+		t.Fatalf("csv output:\n%s", buf.String())
+	}
+}
+
+func TestRunOverheadExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "overhead", "-lambda", "0.3"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CDP forwards") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunAblationExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "ablation"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dedicated", "conflict-blind", "reactive"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMultiBackupExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "multibackup"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Multiple backups") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunAvailabilityExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "availability", "-lambda", "0.3"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Availability") || !strings.Contains(out, "NoRecovery") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestQuickLambdas(t *testing.T) {
+	got := quickLambdas([]float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7})
+	if len(got) != 3 || got[0] != 0.2 || got[2] != 0.7 {
+		t.Fatalf("quickLambdas = %v", got)
+	}
+	short := quickLambdas([]float64{0.2, 0.3})
+	if len(short) != 2 {
+		t.Fatalf("short quickLambdas = %v", short)
+	}
+}
+
+func TestRunReplay(t *testing.T) {
+	// Generate a small scenario file, then replay it.
+	sc, err := scenario.Generate(scenario.Config{
+		Nodes: 20, Lambda: 0.2, Duration: 80, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trace.jsonl"
+	if err := sc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "replay", "-scenario", path, "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Replay of", "D-LSR", "NoBackup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReplayMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "replay"}, &buf); err == nil {
+		t.Fatal("replay without -scenario accepted")
+	}
+	if err := run([]string{"-exp", "replay", "-scenario", "/nonexistent"}, &buf); err == nil {
+		t.Fatal("missing scenario file accepted")
+	}
+}
+
+func TestRunAcceptanceExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "acceptance"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "acceptance probability") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunFig4Plot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "fig4", "-plot"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "* D-LSR") {
+		t.Fatalf("chart legend missing:\n%s", buf.String())
+	}
+}
+
+func TestRunReplications(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "fig4", "-reps", "2"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") || !strings.Contains(buf.String(), "2 replications") {
+		t.Fatalf("replication output missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/scenario"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-nodes", "10", "-lambda", "0.2", "-duration", "30", "-seed", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Config.Nodes != 10 || sc.NumArrivals() == 0 {
+		t.Fatalf("scenario = %+v", sc.Config)
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{"-nodes", "10", "-lambda", "0.2", "-duration", "30", "-pattern", "NT", "-hot", "3", "-out", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.HotDestinations) != 3 {
+		t.Fatalf("hot destinations = %d", len(sc.HotDestinations))
+	}
+	if buf.Len() != 0 {
+		t.Fatal("wrote to stdout despite -out")
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-pattern", "ZZ"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "pattern") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "1"}, &buf); err == nil {
+		t.Fatal("invalid node count accepted")
+	}
+}

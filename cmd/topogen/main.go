@@ -1,0 +1,117 @@
+// Command topogen generates and inspects evaluation topologies: Waxman
+// random graphs (the paper's model) plus regular fixtures. It prints
+// summary statistics and can emit Graphviz DOT.
+//
+// Usage:
+//
+//	topogen -kind waxman -nodes 60 -degree 3 -seed 1 [-mindegree 2] [-dot|-json]
+//	topogen -kind grid -width 3 -height 3 -dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		kind      = fs.String("kind", "waxman", "topology kind: waxman|grid|ring|line")
+		nodes     = fs.Int("nodes", 60, "number of nodes (waxman/ring/line)")
+		degree    = fs.Float64("degree", 3, "target average degree (waxman)")
+		minDegree = fs.Int("mindegree", 2, "minimum node degree (waxman)")
+		seed      = fs.Int64("seed", 1, "generator seed (waxman)")
+		width     = fs.Int("width", 3, "grid width")
+		height    = fs.Int("height", 3, "grid height")
+		dot       = fs.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		jsonOut   = fs.Bool("json", false, "emit the topology as JSON (for drtpnode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := build(*kind, *nodes, *degree, *minDegree, *seed, *width, *height)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return topology.WriteJSON(w, g)
+	}
+	if *dot {
+		return writeDOT(w, g)
+	}
+	return writeStats(w, g)
+}
+
+func build(kind string, nodes int, degree float64, minDegree int, seed int64, width, height int) (*graph.Graph, error) {
+	switch kind {
+	case "waxman":
+		return topology.Waxman(topology.WaxmanConfig{
+			Nodes:     nodes,
+			AvgDegree: degree,
+			MinDegree: minDegree,
+			Seed:      seed,
+		})
+	case "grid":
+		return topology.Grid(width, height)
+	case "ring":
+		return topology.Ring(nodes)
+	case "line":
+		return topology.Line(nodes)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func writeStats(w io.Writer, g *graph.Graph) error {
+	dt := graph.NewDistanceTable(g)
+	minDeg, maxDeg := g.NumNodes(), 0
+	for n := 0; n < g.NumNodes(); n++ {
+		d := g.Degree(graph.NodeID(n))
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	_, err := fmt.Fprintf(w, `nodes:        %d
+edges:        %d
+links:        %d
+avg degree:   %.2f
+degree range: [%d, %d]
+connected:    %v
+diameter:     %d
+mean hops:    %.2f
+`,
+		g.NumNodes(), g.NumEdges(), g.NumLinks(), g.AvgDegree(),
+		minDeg, maxDeg, g.Connected(), dt.Diameter(), dt.MeanHops())
+	return err
+}
+
+func writeDOT(w io.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintln(w, "graph drtp {"); err != nil {
+		return err
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		fwd, _ := g.EdgeLinks(graph.EdgeID(e))
+		link := g.Link(fwd)
+		if _, err := fmt.Fprintf(w, "  %d -- %d;\n", link.From, link.To); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "waxman", "-nodes", "30", "-degree", "3", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nodes:", "30", "edges:", "45", "connected:", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "grid", "-width", "2", "-height", "2", "-dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph drtp {") || !strings.Contains(out, "0 -- 1;") {
+		t.Fatalf("dot output:\n%s", out)
+	}
+	if got := strings.Count(out, "--"); got != 4 {
+		t.Fatalf("edges in dot = %d, want 4", got)
+	}
+}
+
+func TestRunAllKinds(t *testing.T) {
+	for _, kind := range []string{"waxman", "grid", "ring", "line"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-kind", kind, "-nodes", "12"}, &buf); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "torus"}, &buf); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nodes", "x"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

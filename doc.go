@@ -1,0 +1,33 @@
+// Package drtp is a Go implementation of the Dependable Real-Time
+// Protocol's routing layer, reproducing "Design and Evaluation of Routing
+// Schemes for Dependable Real-Time Connections" (Kim, Qiao, Kodase, Shin;
+// DSN 2001).
+//
+// Each dependable real-time (DR-) connection consists of a primary channel
+// and a backup channel that is activated when the primary fails. Backups
+// reserve spare bandwidth that is multiplexed (overbooked) across backups
+// whose primaries are disjoint, so fault tolerance costs far less than the
+// naive 50% of network capacity.
+//
+// The package provides three backup-routing schemes:
+//
+//   - D-LSR: deterministic link-state routing over Conflict Vectors,
+//   - P-LSR: probabilistic link-state routing over the scalar ‖APLV‖₁,
+//   - BF: on-demand discovery by bounded flooding,
+//
+// plus baselines (no backup, conflict-blind shortest disjoint, random), a
+// Waxman topology generator, a traffic-scenario generator, a
+// discrete-event evaluation harness, and failure injection that measures
+// the paper's P_act-bk fault-tolerance metric.
+//
+// # Quick start
+//
+//	g, _ := drtp.Waxman(drtp.WaxmanConfig{Nodes: 60, AvgDegree: 3, MinDegree: 2, Seed: 1})
+//	net, _ := drtp.NewNetwork(g, 40, 1)
+//	mgr := drtp.NewManager(net, drtp.NewDLSR())
+//	conn, _ := mgr.Establish(drtp.Request{ID: 1, Src: 0, Dst: 42})
+//	fmt.Println(conn.Primary.Format(g), conn.Backup.Format(g))
+//
+// See the examples directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package drtp

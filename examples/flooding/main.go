@@ -1,0 +1,79 @@
+// Flooding traces the bounded-flooding scheme's route discovery: how the
+// hop-count limit, loop-freedom and valid-detour tests bound the number of
+// channel-discovery packets (CDPs), and what the destination's candidate
+// route table yields for primary and backup selection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rtcl/drtp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 4x4 grid gives plenty of alternative routes.
+	g, err := drtp.Grid(4, 4)
+	if err != nil {
+		return err
+	}
+	net, err := drtp.NewNetwork(g, 40, 1)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Bounded flooding on a 4x4 grid, corner to corner (0 -> 15):")
+	fmt.Println()
+	fmt.Println("params                    fwd   cand  primary            backup")
+	for _, p := range []drtp.FloodParams{
+		{Rho: 1, P: 0, Alpha: 1, Beta: 0}, // shortest paths only
+		{Rho: 1, P: 2, Alpha: 1, Beta: 0}, // the strict reading of the paper
+		{Rho: 1, P: 2, Alpha: 1, Beta: 2}, // the evaluation default
+		{Rho: 2, P: 2, Alpha: 2, Beta: 2}, // generous bounds
+	} {
+		bf := drtp.NewBoundedFlooding(p)
+		route, err := bf.Route(net, drtp.Request{ID: 1, Src: 0, Dst: 15})
+		if err != nil {
+			return err
+		}
+		s := bf.Stats()
+		fmt.Printf("rho=%.0f P=%d alpha=%.0f beta=%d   %5d  %4d  %-18s %s\n",
+			p.Rho, p.P, p.Alpha, p.Beta, s.CDPForwards, s.Candidates,
+			route.Primary.Format(g), formatBackup(g, route))
+	}
+
+	// Under load the primary flag steers the primary around full links
+	// while CDPs still cross them for backup purposes.
+	fmt.Println("\nSaturating the straight corridor with primaries...")
+	db := net.DB()
+	for _, hop := range [][2]drtp.NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		l, _ := g.LinkBetween(hop[0], hop[1])
+		for id := drtp.ConnID(100); ; id++ {
+			if err := db.ReservePrimary(id, l); err != nil {
+				break
+			}
+		}
+	}
+	bf := drtp.NewBoundedFloodingDefault()
+	route, err := bf.Route(net, drtp.Request{ID: 2, Src: 0, Dst: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("request 0 -> 3: primary %s (detoured), backup %s\n",
+		route.Primary.Format(g), formatBackup(g, route))
+	return nil
+}
+
+// formatBackup renders a route's first backup, or "<none>".
+func formatBackup(g *drtp.Graph, route drtp.Route) string {
+	if len(route.Backups) == 0 {
+		return "<none>"
+	}
+	return route.Backups[0].Format(g)
+}

@@ -1,0 +1,77 @@
+// Hotspot replays the paper's non-uniform traffic pattern (NT): ten hot
+// nodes receive half of all DR-connection requests. Under hotspots the
+// position information in D-LSR's Conflict Vectors matters more than
+// P-LSR's scalar ‖APLV‖₁ — the paper's "performance gap more pronounced"
+// observation — while the identical scenario file keeps the comparison
+// fair.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/rtcl/drtp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, err := drtp.Waxman(drtp.WaxmanConfig{Nodes: 60, AvgDegree: 3, MinDegree: 2, Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	// One scenario file per pattern; every scheme replays the same file.
+	schemes := []struct {
+		name string
+		make func() drtp.Scheme
+	}{
+		{"D-LSR", func() drtp.Scheme { return drtp.NewDLSR() }},
+		{"P-LSR", func() drtp.Scheme { return drtp.NewPLSR() }},
+		{"BF", func() drtp.Scheme { return drtp.NewBoundedFloodingDefault() }},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "pattern\tscheme\tP_act-bk\taccepted\tavg load\tspare")
+	for _, pattern := range []drtp.Pattern{drtp.UT, drtp.NT} {
+		sc, err := drtp.GenerateScenario(drtp.ScenarioConfig{
+			Nodes:    60,
+			Lambda:   0.4,
+			Duration: 240,
+			Pattern:  pattern,
+			Seed:     11,
+		})
+		if err != nil {
+			return err
+		}
+		for _, s := range schemes {
+			net, err := drtp.NewNetwork(g, 40, 1)
+			if err != nil {
+				return err
+			}
+			res, err := drtp.RunSim(net, s.make(), sc, drtp.SimConfig{
+				Warmup:       100,
+				EvalInterval: 10,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.4f\t%d/%d\t%.1f%%\t%.1f%%\n",
+				pattern, s.name, res.FaultTolerance,
+				res.AcceptedInWindow, res.RequestsInWindow,
+				100*res.AvgLoad, 100*res.AvgSpareLoad)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nNT concentrates backups near the hot nodes; D-LSR's Conflict")
+	fmt.Println("Vectors let it tell congested links apart where P-LSR's scalar cannot.")
+	return nil
+}

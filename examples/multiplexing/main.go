@@ -1,0 +1,95 @@
+// Multiplexing reproduces the situation of the paper's Figures 1 and 3:
+// two DR-connections whose primaries overlap must not multiplex their
+// backups onto the same spare resources, or one of them will fail to
+// activate when the shared link goes down. Conflict-aware routing (D-LSR)
+// detours the second backup onto a longer but conflict-free route — the
+// paper's "B3+ offers better fault-tolerance than B3, although it has a
+// longer distance".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rtcl/drtp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// The network has three routes from 0 to 1:
+//
+//	direct:    0 -> 1            (1 hop)
+//	via 2:     0 -> 2 -> 1       (2 hops)
+//	via 3, 4:  0 -> 3 -> 4 -> 1  (3 hops)
+//
+// Link capacity is 2 units. Background traffic pins one unit on the via-2
+// route, so only ONE backup activation fits there.
+func run() error {
+	fmt.Println("Connections A and B both run 0 -> 1; their primaries share the")
+	fmt.Println("direct link, so when it fails BOTH backups must activate.")
+	fmt.Println()
+
+	for _, tc := range []struct {
+		label  string
+		scheme drtp.Scheme
+	}{
+		{"conflict-blind (MinHop)", drtp.NewMinHopDisjoint()},
+		{"conflict-aware (D-LSR)", drtp.NewDLSR()},
+	} {
+		g, err := drtp.FromEdgeList(5, [][2]int{{0, 1}, {0, 2}, {2, 1}, {0, 3}, {3, 4}, {4, 1}})
+		if err != nil {
+			return err
+		}
+		net, err := drtp.NewNetwork(g, 2, 1)
+		if err != nil {
+			return err
+		}
+		// Background traffic: one unit of primary bandwidth on the via-2
+		// route, leaving room for a single backup activation there.
+		db := net.DB()
+		for _, hop := range [][2]drtp.NodeID{{0, 2}, {2, 1}} {
+			l, _ := g.LinkBetween(hop[0], hop[1])
+			if err := db.ReservePrimary(999, l); err != nil {
+				return err
+			}
+		}
+
+		mgr := drtp.NewManager(net, tc.scheme)
+		fmt.Printf("--- %s ---\n", tc.label)
+		for _, req := range []drtp.Request{
+			{ID: 1, Src: 0, Dst: 1}, // A
+			{ID: 2, Src: 0, Dst: 1}, // B
+		} {
+			conn, err := mgr.Establish(req)
+			if err != nil {
+				return fmt.Errorf("establish %d: %w", req.ID, err)
+			}
+			fmt.Printf("  conn %d: primary %-8s backup %s\n",
+				conn.ID, conn.Primary.Format(g), conn.Backup().Format(g))
+		}
+
+		deficits := 0
+		for l := 0; l < g.NumLinks(); l++ {
+			if db.HasDeficit(drtp.LinkID(l)) {
+				deficits++
+			}
+		}
+		l01, _ := g.LinkBetween(0, 1)
+		out := mgr.EvaluateLinkFailure(l01)
+		ft, _ := drtp.FaultTolerance(mgr.SweepFailures(drtp.LinkFailures))
+		fmt.Printf("  spare=%d units, deficit links=%d\n", db.TotalSpareBW(), deficits)
+		fmt.Printf("  fail 0->1: affected=%d recovered=%d contention=%d\n",
+			out.Affected, out.Recovered, out.Contention)
+		fmt.Printf("  P_act-bk over all failures: %.3f\n\n", ft)
+	}
+
+	fmt.Println("The blind router multiplexed both backups onto the via-2 route,")
+	fmt.Println("where background traffic leaves spare for only one activation.")
+	fmt.Println("D-LSR saw the conflict in its Conflict Vectors and detoured the")
+	fmt.Println("second backup via 3-4: longer, but both connections recover.")
+	return nil
+}

@@ -1,0 +1,143 @@
+package drtp_test
+
+// Thin-wrapper coverage: every façade function delegates to an internal
+// implementation that has its own deep tests; these checks pin the
+// wiring (right target, right defaults) without duplicating semantics.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtcl/drtp"
+)
+
+func TestFacadeConstructors(t *testing.T) {
+	g := drtp.NewGraph(4)
+	if g.NumNodes() != 4 {
+		t.Fatalf("NewGraph nodes = %d", g.NumNodes())
+	}
+	grid, err := drtp.Grid(3, 3)
+	if err != nil || grid.NumEdges() != 12 {
+		t.Fatalf("Grid: %v / %d edges", err, grid.NumEdges())
+	}
+	if drtp.NewNoBackup().Name() != "NoBackup" {
+		t.Fatal("NewNoBackup name")
+	}
+	if p := drtp.DefaultFloodParams(); p.Rho != 1 || p.P != 2 {
+		t.Fatalf("DefaultFloodParams = %+v", p)
+	}
+	net, err := drtp.NewNetworkWithMode(grid, 10, 1, drtp.Dedicated)
+	if err != nil || net.DB().Mode() != drtp.Dedicated {
+		t.Fatalf("NewNetworkWithMode: %v", err)
+	}
+}
+
+func TestFacadeGraphAlgorithms(t *testing.T) {
+	g, err := drtp.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := func(drtp.LinkID) float64 { return 1 }
+	p, cost := drtp.ShortestPath(g, 0, 8, unit)
+	if cost != 4 || p.Hops() != 4 {
+		t.Fatalf("ShortestPath cost=%v hops=%d", cost, p.Hops())
+	}
+	pb, costB := drtp.ShortestPathBounded(g, 0, 8, unit, 4)
+	if costB != 4 || pb.Hops() != 4 {
+		t.Fatalf("ShortestPathBounded cost=%v", costB)
+	}
+	p1, p2, ok := drtp.DisjointPair(g, 0, 8, unit)
+	if !ok || p1.SharedLinks(p2) != 0 {
+		t.Fatalf("DisjointPair ok=%v", ok)
+	}
+}
+
+func TestFacadeRouteHelper(t *testing.T) {
+	g, err := drtp.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := drtp.ShortestPath(g, 0, 8, func(drtp.LinkID) float64 { return 1 })
+	r := drtp.NewRouteWithBackup(p, drtp.Path{})
+	if len(r.Backups) != 0 {
+		t.Fatal("empty backup should yield no backups")
+	}
+	r = drtp.NewRouteWithBackup(p, p)
+	if len(r.Backups) != 1 {
+		t.Fatal("backup missing")
+	}
+}
+
+// tinyFacadeParams shrinks experiment runs for wiring checks.
+func tinyFacadeParams() drtp.ExperimentParams {
+	p := drtp.DefaultExperimentParams(3)
+	p.Nodes = 16
+	p.Capacity = 12
+	p.Duration = 80
+	p.Warmup = 40
+	p.EvalInterval = 40
+	p.Lambdas = []float64{0.3}
+	p.Patterns = []drtp.Pattern{drtp.UT}
+	return p
+}
+
+func TestFacadeExperimentRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment wiring in -short mode")
+	}
+	p := tinyFacadeParams()
+	if o, err := drtp.RunOverhead(p, drtp.UT, 0.3); err != nil || o.CDPForwardsPerRequest <= 0 {
+		t.Fatalf("RunOverhead: %v", err)
+	}
+	if a, err := drtp.RunAblation(p); err != nil || len(a.Rows) == 0 {
+		t.Fatalf("RunAblation: %v", err)
+	}
+	if mb, err := drtp.RunMultiBackup(p); err != nil || len(mb.Rows) != 2 {
+		t.Fatalf("RunMultiBackup: %v", err)
+	}
+	ap := drtp.DefaultAvailabilityParams(3)
+	if ap.MeanTimeBetweenFailures <= 0 {
+		t.Fatal("DefaultAvailabilityParams")
+	}
+	ap.Params = p
+	ap.Lambda = 0.3
+	if av, err := drtp.RunAvailability(ap); err != nil || len(av.Rows) == 0 {
+		t.Fatalf("RunAvailability: %v", err)
+	}
+	if q, err := drtp.RunQoS(p, 0.3); err != nil || len(q.Rows) == 0 {
+		t.Fatalf("RunQoS: %v", err)
+	}
+	if ts, err := drtp.RunTopologySensitivity(p, 0.3); err != nil || len(ts.Rows) == 0 {
+		t.Fatalf("RunTopologySensitivity: %v", err)
+	}
+}
+
+func TestFacadeSingleRouterOverTCP(t *testing.T) {
+	g, err := drtp.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := drtp.NewTCPMesh(map[drtp.NodeID]string{
+		0: "127.0.0.1:0", 1: "127.0.0.1:0", 2: "127.0.0.1:0",
+	})
+	defer mesh.Close()
+	ep, err := mesh.Attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := drtp.NewRouter(drtp.RouterConfig{
+		Graph:         g,
+		Node:          0,
+		Capacity:      10,
+		UnitBW:        1,
+		Scheme:        drtp.RouterPLSR,
+		HelloInterval: 10 * time.Millisecond,
+	}, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Node() != 0 {
+		t.Fatal("node id wrong")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/rtcl/drtp
+
+go 1.22

@@ -1,0 +1,274 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Count() != 0 || v.Any() {
+		t.Fatal("new vector not zeroed")
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	v := New(-3)
+	if v.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", v.Len())
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(100)
+	for _, i := range []int{0, 1, 63, 64, 65, 99} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("Get(%d) after Set = false", i)
+		}
+	}
+	if v.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", v.Count())
+	}
+	v.Clear(64)
+	if v.Get(64) {
+		t.Fatal("Get(64) after Clear = true")
+	}
+	if v.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", v.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, fn := range []func(){
+		func() { v.Set(10) },
+		func() { v.Get(-1) },
+		func() { v.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	a.Or(b)
+}
+
+func TestFromBits(t *testing.T) {
+	// The paper's CV6 example: (1,0,1,0,0,0,0,1,0,0,0,1,1).
+	v := FromBits([]int{1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 1})
+	if v.Len() != 13 || v.Count() != 5 {
+		t.Fatalf("len=%d count=%d", v.Len(), v.Count())
+	}
+	if v.String() != "(1,0,1,0,0,0,0,1,0,0,0,1,1)" {
+		t.Fatalf("String = %s", v.String())
+	}
+	want := []int{0, 2, 7, 11, 12}
+	ones := v.Ones()
+	if len(ones) != len(want) {
+		t.Fatalf("Ones = %v", ones)
+	}
+	for i := range want {
+		if ones[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", ones, want)
+		}
+	}
+}
+
+func TestAndCountIntersects(t *testing.T) {
+	a := FromBits([]int{1, 1, 0, 0, 1})
+	b := FromBits([]int{0, 1, 0, 1, 1})
+	if got := a.AndCount(b); got != 2 {
+		t.Fatalf("AndCount = %d, want 2", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false")
+	}
+	c := FromBits([]int{0, 0, 1, 1, 0})
+	if a.Intersects(c) {
+		t.Fatal("disjoint vectors intersect")
+	}
+	if got := a.AndCount(c); got != 0 {
+		t.Fatalf("AndCount disjoint = %d", got)
+	}
+}
+
+func TestOr(t *testing.T) {
+	a := FromBits([]int{1, 0, 0})
+	b := FromBits([]int{0, 0, 1})
+	a.Or(b)
+	if a.String() != "(1,0,1)" {
+		t.Fatalf("Or = %s", a.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromBits([]int{1, 0, 1})
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(1)
+	if a.Get(1) {
+		t.Fatal("clone shares storage")
+	}
+	if a.Equal(c) {
+		t.Fatal("Equal after divergence")
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if New(5).Equal(New(6)) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := FromBits([]int{1, 1, 1})
+	v.Reset()
+	if v.Any() {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{8, 1},
+		{9, 2},
+		{64, 8},
+		{180, 23},
+	}
+	for _, tt := range tests {
+		if got := New(tt.n).SizeBytes(); got != tt.want {
+			t.Errorf("SizeBytes(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+// randomVector builds a vector with random bits for property tests.
+func randomVector(r *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestCountMatchesOnesProperty(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomVector(r, 1+r.Intn(200))
+		ones := v.Ones()
+		if len(ones) != v.Count() {
+			return false
+		}
+		for _, i := range ones {
+			if !v.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndCountCommutativeProperty(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomVector(r, n), randomVector(r, n)
+		return a.AndCount(b) == b.AndCount(a) &&
+			a.Intersects(b) == (a.AndCount(b) > 0)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrSupersetProperty(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomVector(r, n), randomVector(r, n)
+		u := a.Clone()
+		u.Or(b)
+		// Union contains both operands and counts match inclusion-
+		// exclusion.
+		if u.AndCount(a) != a.Count() || u.AndCount(b) != b.Count() {
+			return false
+		}
+		return u.Count() == a.Count()+b.Count()-a.AndCount(b)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	v := FromBits([]int{1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 1})
+	data := v.Bytes()
+	if len(data) != v.SizeBytes() {
+		t.Fatalf("len = %d, want %d", len(data), v.SizeBytes())
+	}
+	got := FromBytes(v.Len(), data)
+	if !v.Equal(got) {
+		t.Fatalf("round trip: %s vs %s", v, got)
+	}
+}
+
+func TestFromBytesToleratesSizeMismatch(t *testing.T) {
+	v := FromBits([]int{1, 1, 1})
+	// Extra bytes ignored.
+	got := FromBytes(3, append(v.Bytes(), 0xff, 0xff))
+	if !v.Equal(got) {
+		t.Fatalf("extra bytes changed value: %s", got)
+	}
+	// Missing bytes read as zero.
+	got = FromBytes(100, v.Bytes())
+	if got.Count() != 3 || got.Len() != 100 {
+		t.Fatalf("short data: count=%d len=%d", got.Count(), got.Len())
+	}
+	// Tail bits beyond n are masked.
+	got = FromBytes(3, []byte{0xff})
+	if got.Count() != 3 {
+		t.Fatalf("tail not masked: %d", got.Count())
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		v := randomVector(r, n)
+		return v.Equal(FromBytes(n, v.Bytes()))
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package drtp
+
+import (
+	"sort"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/rng"
+)
+
+// FailureModel selects the granularity of simulated failures.
+type FailureModel int
+
+const (
+	// LinkFailures fails one unidirectional link at a time, the paper's
+	// model ("only a single link can fail between two successive
+	// recovery actions", with links counted unidirectionally).
+	LinkFailures FailureModel = iota + 1
+	// EdgeFailures fails a physical edge, taking down both directions at
+	// once (e.g. a fiber cut). A stricter model than the paper's.
+	EdgeFailures
+)
+
+// String returns a short identifier for the model.
+func (m FailureModel) String() string {
+	switch m {
+	case LinkFailures:
+		return "link"
+	case EdgeFailures:
+		return "edge"
+	default:
+		return "unknown"
+	}
+}
+
+// FailureOutcome summarizes recovery from one simulated failure.
+type FailureOutcome struct {
+	// Link is the failed link under LinkFailures (InvalidLink otherwise).
+	Link graph.LinkID
+	// Edge is the failed edge under EdgeFailures (InvalidEdge otherwise).
+	Edge graph.EdgeID
+	// Affected is the number of active connections whose primary channel
+	// traverses the failed component.
+	Affected int
+	// Recovered is the number of affected connections whose backup was
+	// activated successfully.
+	Recovered int
+	// NoBackup counts affected connections without a backup channel.
+	NoBackup int
+	// BackupHit counts affected connections whose backup also traverses
+	// the failed component and therefore cannot be activated.
+	BackupHit int
+	// Contention counts affected connections whose backup activation
+	// failed because a link along the backup ran out of spare capacity
+	// (conflicting backups multiplexed on the same spare resources).
+	Contention int
+}
+
+// EvaluateLinkFailure simulates the failure of unidirectional link l and
+// computes which affected connections could activate their backups,
+// modelling contention on spare resources: each link grants at most
+// SC = spare/unitBW simultaneous activations, in connection-establishment
+// order. The evaluation is non-destructive.
+func (m *Manager) EvaluateLinkFailure(l graph.LinkID) FailureOutcome {
+	out := FailureOutcome{Link: l, Edge: graph.InvalidEdge}
+	hits := func(p graph.Path) bool { return p.Contains(l) }
+	m.evaluateFailure(&out, hits)
+	return out
+}
+
+// EvaluateEdgeFailure simulates the failure of physical edge e (both
+// directions at once). See EvaluateLinkFailure for the contention model.
+func (m *Manager) EvaluateEdgeFailure(e graph.EdgeID) FailureOutcome {
+	out := FailureOutcome{Link: graph.InvalidLink, Edge: e}
+	g := m.net.Graph()
+	hits := func(p graph.Path) bool { return p.ContainsEdge(g, e) }
+	m.evaluateFailure(&out, hits)
+	return out
+}
+
+// evaluateFailure fills out for a failure whose reach is defined by hits.
+func (m *Manager) evaluateFailure(out *FailureOutcome, hits func(graph.Path) bool) {
+	db := m.net.DB()
+
+	var affected []*Connection
+	for _, c := range m.conns {
+		if hits(c.Primary) {
+			affected = append(affected, c)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].seq < affected[j].seq })
+	out.Affected = len(affected)
+
+	// slots[l] is the remaining activation capacity of link l, initialized
+	// lazily from the spare resources reserved there.
+	slots := make(map[graph.LinkID]int)
+	for _, c := range affected {
+		if !c.HasBackup() {
+			out.NoBackup++
+			continue
+		}
+		// Try the connection's backups in preference order; a backup
+		// crossing the failed component cannot be activated, and one
+		// without spare slots on every link loses to contention.
+		recovered, allHit := false, true
+		for _, backup := range c.Backups {
+			if hits(backup) {
+				continue
+			}
+			allHit = false
+			if activate(db, slots, backup) {
+				recovered = true
+				break
+			}
+		}
+		switch {
+		case recovered:
+			out.Recovered++
+		case allHit:
+			out.BackupHit++
+		default:
+			out.Contention++
+		}
+	}
+}
+
+// activate checks that every link of the backup still has an activation
+// slot and, if so, consumes one slot per link.
+func activate(db *lsdb.DB, slots map[graph.LinkID]int, backup graph.Path) bool {
+	links := backup.Links()
+	for _, l := range links {
+		s, ok := slots[l]
+		if !ok {
+			s = db.SC(l)
+		}
+		if s <= 0 {
+			return false
+		}
+	}
+	for _, l := range links {
+		s, ok := slots[l]
+		if !ok {
+			s = db.SC(l)
+		}
+		slots[l] = s - 1
+	}
+	return true
+}
+
+// EvaluateMultiLinkFailure simulates the simultaneous failure of several
+// unidirectional links — beyond the paper's single-failure model; this is
+// where connections with more than one backup channel earn their keep.
+func (m *Manager) EvaluateMultiLinkFailure(links []graph.LinkID) FailureOutcome {
+	out := FailureOutcome{Link: graph.InvalidLink, Edge: graph.InvalidEdge}
+	if len(links) == 1 {
+		out.Link = links[0]
+	}
+	failed := make(map[graph.LinkID]struct{}, len(links))
+	for _, l := range links {
+		failed[l] = struct{}{}
+	}
+	hits := func(p graph.Path) bool {
+		for _, l := range p.Links() {
+			if _, ok := failed[l]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	m.evaluateFailure(&out, hits)
+	return out
+}
+
+// EvaluateLinkFailureReactive evaluates recovery from a link failure
+// under a *reactive* policy (the paper's §1 alternative: no resources
+// reserved a priori): each affected connection attempts to establish a
+// fresh route that avoids the failed link using only currently free
+// bandwidth, in establishment order. Recovered counts successful
+// re-routes; Contention counts connections for which no feasible
+// alternative route remained. The evaluation is non-destructive and
+// optimistic for the reactive scheme (no signalling latency, no retry
+// collisions — the effects the paper cites as its real-world drawbacks).
+func (m *Manager) EvaluateLinkFailureReactive(l graph.LinkID) FailureOutcome {
+	out := FailureOutcome{Link: l, Edge: graph.InvalidEdge}
+	g := m.net.Graph()
+	db := m.net.DB()
+	unit := db.UnitBW()
+
+	var affected []*Connection
+	for _, c := range m.conns {
+		if c.Primary.Contains(l) {
+			affected = append(affected, c)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].seq < affected[j].seq })
+	out.Affected = len(affected)
+
+	// avail[x] is the remaining free bandwidth of link x during this
+	// recovery storm, initialized lazily.
+	avail := make(map[graph.LinkID]int)
+	remaining := func(x graph.LinkID) int {
+		if v, ok := avail[x]; ok {
+			return v
+		}
+		v := db.AvailableForPrimary(x)
+		avail[x] = v
+		return v
+	}
+	for _, c := range affected {
+		cost := func(x graph.LinkID) float64 {
+			if x == l || remaining(x) < unit {
+				return graph.Unreachable
+			}
+			return 1
+		}
+		path, total := graph.ShortestPath(g, c.Src, c.Dst, cost)
+		if total == graph.Unreachable {
+			out.Contention++
+			continue
+		}
+		for _, x := range path.Links() {
+			avail[x] = remaining(x) - unit
+		}
+		out.Recovered++
+	}
+	return out
+}
+
+// SweepFailuresReactive evaluates every single-link failure under the
+// reactive recovery policy.
+func (m *Manager) SweepFailuresReactive() []FailureOutcome {
+	g := m.net.Graph()
+	out := make([]FailureOutcome, 0, g.NumLinks())
+	for l := 0; l < g.NumLinks(); l++ {
+		out = append(out, m.EvaluateLinkFailureReactive(graph.LinkID(l)))
+	}
+	return out
+}
+
+// SweepFailures evaluates every possible single failure under the given
+// model and returns the per-failure outcomes. Summing outcomes weighted
+// by Affected yields the paper's P_act-bk, the probability of activating
+// a backup when the primary is disabled by a single link failure.
+func (m *Manager) SweepFailures(model FailureModel) []FailureOutcome {
+	g := m.net.Graph()
+	switch model {
+	case EdgeFailures:
+		out := make([]FailureOutcome, 0, g.NumEdges())
+		for e := 0; e < g.NumEdges(); e++ {
+			out = append(out, m.EvaluateEdgeFailure(graph.EdgeID(e)))
+		}
+		return out
+	default:
+		out := make([]FailureOutcome, 0, g.NumLinks())
+		for l := 0; l < g.NumLinks(); l++ {
+			out = append(out, m.EvaluateLinkFailure(graph.LinkID(l)))
+		}
+		return out
+	}
+}
+
+// SweepLinkPairFailures evaluates `samples` random simultaneous two-link
+// failures drawn deterministically from seed (distinct links, uniform).
+// It extends the paper's single-failure model to probe the value of
+// multiple backup channels.
+func (m *Manager) SweepLinkPairFailures(samples int, seed int64) []FailureOutcome {
+	n := m.net.Graph().NumLinks()
+	if n < 2 || samples <= 0 {
+		return nil
+	}
+	src := rng.New(seed)
+	out := make([]FailureOutcome, 0, samples)
+	for i := 0; i < samples; i++ {
+		a := graph.LinkID(src.Intn(n))
+		b := graph.LinkID(src.Intn(n - 1))
+		if b >= a {
+			b++
+		}
+		out = append(out, m.EvaluateMultiLinkFailure([]graph.LinkID{a, b}))
+	}
+	return out
+}
+
+// FaultTolerance aggregates outcomes into P_act-bk = Σ recovered / Σ
+// affected. The second return value is false when no connection was
+// affected by any evaluated failure (P_act-bk is then undefined).
+func FaultTolerance(outcomes []FailureOutcome) (float64, bool) {
+	affected, recovered := 0, 0
+	for _, o := range outcomes {
+		affected += o.Affected
+		recovered += o.Recovered
+	}
+	if affected == 0 {
+		return 0, false
+	}
+	return float64(recovered) / float64(affected), true
+}

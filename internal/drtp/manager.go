@@ -1,0 +1,291 @@
+package drtp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rtcl/drtp/internal/graph"
+)
+
+// Connection is an established DR-connection.
+type Connection struct {
+	ID  ConnID
+	Src graph.NodeID
+	Dst graph.NodeID
+	// Primary is the primary channel route.
+	Primary graph.Path
+	// Backups are the established backup channel routes in activation-
+	// preference order. Empty when the connection has no backup (counts
+	// against fault tolerance; only possible under the backup-optional
+	// admission policy).
+	Backups []graph.Path
+	// seq orders connections by establishment for deterministic
+	// activation priority under contention.
+	seq int64
+}
+
+// HasBackup reports whether the connection has at least one backup.
+func (c *Connection) HasBackup() bool { return len(c.Backups) > 0 }
+
+// Backup returns the first (preferred) backup route, or an empty path.
+func (c *Connection) Backup() graph.Path {
+	if len(c.Backups) == 0 {
+		return graph.Path{}
+	}
+	return c.Backups[0]
+}
+
+// Stats aggregates the Manager's admission-control outcomes.
+type Stats struct {
+	// Requests is the number of Establish calls.
+	Requests int64
+	// Accepted is the number of established connections.
+	Accepted int64
+	// Rejected is the number of requests with no feasible primary route.
+	Rejected int64
+	// RejectedNoBackup is the number of requests rejected because no
+	// backup channel could be established (backup-required policy only).
+	RejectedNoBackup int64
+	// BackupLess is the number of accepted connections that ended up
+	// without any backup channel (backup-optional policy only).
+	BackupLess int64
+	// BackupsEstablished is the total number of backup channels
+	// successfully registered.
+	BackupsEstablished int64
+	// BackupRegisterFailures counts backups whose register packet was
+	// rejected mid-path.
+	BackupRegisterFailures int64
+}
+
+// AcceptRatio returns Accepted/Requests, or 0 when no requests were made.
+func (s Stats) AcceptRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Requests)
+}
+
+// Manager is the DR-connection manager: it owns admission, resource
+// reservation, backup registration and teardown for one network under one
+// routing scheme.
+type Manager struct {
+	net              *Network
+	scheme           Scheme
+	conns            map[ConnID]*Connection
+	nexSeq           int64
+	stats            Stats
+	optionalBackup   bool
+	reactiveRecovery bool
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption interface {
+	apply(*Manager)
+}
+
+type optionalBackupOption struct{}
+
+func (optionalBackupOption) apply(m *Manager) { m.optionalBackup = true }
+
+// WithOptionalBackup makes the manager admit connections even when no
+// backup channel can be established. The default (paper) policy rejects a
+// DR-connection request whose backup cannot be set up: a dependable
+// connection is a primary plus at least one backup.
+func WithOptionalBackup() ManagerOption { return optionalBackupOption{} }
+
+type reactiveRecoveryOption struct{}
+
+func (reactiveRecoveryOption) apply(m *Manager) { m.reactiveRecovery = true }
+
+// WithReactiveRecovery makes destructive failure handling fall back to
+// re-routing a fresh primary from free capacity when a connection has no
+// activatable backup — the reactive recovery of the paper's §1 (modelled
+// without its signalling latency and retry contention). Combine with
+// WithOptionalBackup and the no-backup scheme for a purely reactive
+// baseline.
+func WithReactiveRecovery() ManagerOption { return reactiveRecoveryOption{} }
+
+// NewManager creates a manager for the network using the given scheme.
+func NewManager(net *Network, scheme Scheme, opts ...ManagerOption) *Manager {
+	m := &Manager{
+		net:    net,
+		scheme: scheme,
+		conns:  make(map[ConnID]*Connection),
+	}
+	for _, o := range opts {
+		o.apply(m)
+	}
+	return m
+}
+
+// Network returns the managed network.
+func (m *Manager) Network() *Network { return m.net }
+
+// Scheme returns the routing scheme in use.
+func (m *Manager) Scheme() Scheme { return m.scheme }
+
+// Stats returns a copy of the admission statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// NumActive returns the number of active connections.
+func (m *Manager) NumActive() int { return len(m.conns) }
+
+// NumActiveWithBackup returns the number of active connections that have
+// at least one backup channel.
+func (m *Manager) NumActiveWithBackup() int {
+	n := 0
+	for _, c := range m.conns {
+		if c.HasBackup() {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the active connection with the given ID.
+func (m *Manager) Get(id ConnID) (*Connection, bool) {
+	c, ok := m.conns[id]
+	return c, ok
+}
+
+// Connections returns the active connections ordered by establishment.
+func (m *Manager) Connections() []*Connection {
+	out := make([]*Connection, 0, len(m.conns))
+	for _, c := range m.conns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Establish admits a DR-connection: it routes via the scheme, reserves the
+// primary, and registers each backup along its path (step 3 of §2.2, with
+// the primary's LSET piggybacked). A backup whose register packet is
+// rejected mid-path is released (the backup-release packet of the paper)
+// and dropped; the connection keeps its remaining backups. Under the
+// default policy a connection that ends up with zero backups is rejected
+// entirely and its primary reservation rolled back.
+//
+// It returns ErrNoRoute when no feasible primary exists; the request is
+// then rejected and no resources are held.
+func (m *Manager) Establish(req Request) (*Connection, error) {
+	m.stats.Requests++
+	if _, dup := m.conns[req.ID]; dup {
+		return nil, fmt.Errorf("drtp: connection %d already active", req.ID)
+	}
+	route, err := m.scheme.Route(m.net, req)
+	if err != nil {
+		m.stats.Rejected++
+		return nil, err
+	}
+	if route.Primary.Empty() {
+		m.stats.Rejected++
+		return nil, ErrNoRoute
+	}
+	if !m.optionalBackup && len(route.Backups) == 0 {
+		m.stats.RejectedNoBackup++
+		return nil, ErrNoBackup
+	}
+
+	db := m.net.DB()
+	reserved := make([]graph.LinkID, 0, route.Primary.Hops())
+	for _, l := range route.Primary.Links() {
+		if err := db.ReservePrimary(req.ID, l); err != nil {
+			for _, rl := range reserved {
+				mustRelease(db.ReleasePrimary(req.ID, rl))
+			}
+			m.stats.Rejected++
+			return nil, fmt.Errorf("drtp: reserve primary: %w", err)
+		}
+		reserved = append(reserved, l)
+	}
+
+	conn := &Connection{
+		ID:      req.ID,
+		Src:     req.Src,
+		Dst:     req.Dst,
+		Primary: route.Primary,
+		seq:     m.nexSeq,
+	}
+	m.nexSeq++
+
+	for _, backup := range route.Backups {
+		if backup.Empty() {
+			continue
+		}
+		if m.registerBackup(req.ID, backup, route.Primary, conn.Backups) {
+			conn.Backups = append(conn.Backups, backup)
+			m.stats.BackupsEstablished++
+		} else {
+			m.stats.BackupRegisterFailures++
+		}
+	}
+	if !conn.HasBackup() {
+		if !m.optionalBackup {
+			for _, rl := range reserved {
+				mustRelease(db.ReleasePrimary(req.ID, rl))
+			}
+			m.stats.RejectedNoBackup++
+			return nil, ErrNoBackup
+		}
+		m.stats.BackupLess++
+	}
+
+	m.conns[req.ID] = conn
+	m.stats.Accepted++
+	return conn, nil
+}
+
+// registerBackup walks the backup path sending register packets; on a
+// rejection it rolls back and reports failure. Links already carrying one
+// of the connection's earlier backups reject the registration (each link
+// holds at most one backup per connection), which fails this backup.
+func (m *Manager) registerBackup(id ConnID, backup, primary graph.Path, existing []graph.Path) bool {
+	for _, prev := range existing {
+		if backup.SharedLinks(prev) > 0 {
+			return false
+		}
+	}
+	db := m.net.DB()
+	lset := primary.Links()
+	registered := make([]graph.LinkID, 0, backup.Hops())
+	for _, l := range backup.Links() {
+		if err := db.RegisterBackup(id, l, lset); err != nil {
+			for _, rl := range registered {
+				mustRelease(db.ReleaseBackup(id, rl))
+			}
+			return false
+		}
+		registered = append(registered, l)
+	}
+	return true
+}
+
+// Release terminates an active connection, returning its primary resources
+// to the free pool and releasing its backup registrations (which lets the
+// per-link managers shrink spare resources).
+func (m *Manager) Release(id ConnID) error {
+	conn, ok := m.conns[id]
+	if !ok {
+		return fmt.Errorf("drtp: connection %d not active", id)
+	}
+	db := m.net.DB()
+	for _, l := range conn.Primary.Links() {
+		mustRelease(db.ReleasePrimary(id, l))
+	}
+	for _, backup := range conn.Backups {
+		for _, l := range backup.Links() {
+			mustRelease(db.ReleaseBackup(id, l))
+		}
+	}
+	delete(m.conns, id)
+	return nil
+}
+
+// mustRelease panics on release/rollback errors: they can only arise from
+// bookkeeping corruption, which must not be silently ignored.
+func mustRelease(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("drtp: inconsistent reservation state: %v", err))
+	}
+}

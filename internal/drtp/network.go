@@ -1,0 +1,190 @@
+// Package drtp implements the core of the Dependable Real-Time Protocol:
+// DR-connection management over a network whose links carry the paper's
+// link-state records (APLV, Conflict Vector, spare resources).
+//
+// Each dependable real-time (DR-) connection consists of one primary
+// channel and at most one backup channel. The Manager performs the four
+// DR-connection management steps of §2.2:
+//
+//  1. select a primary route and reserve resources,
+//  2. find a backup route (via a pluggable routing Scheme),
+//  3. register the backup along the selected path, carrying the primary's
+//     LSET so each link can update its APLV and size spare resources,
+//  4. release both routes when the connection terminates.
+//
+// Failure recovery (backup activation with contention on spare resources)
+// is implemented by Manager.EvaluateEdgeFailure.
+package drtp
+
+import (
+	"fmt"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+)
+
+// ConnID identifies a DR-connection. It aliases the lsdb type so IDs flow
+// through the link-state layer unchanged.
+type ConnID = lsdb.ConnID
+
+// Request asks for a DR-connection between two nodes. All connections
+// reserve the network's unit bandwidth (the paper's constant bw-req).
+type Request struct {
+	ID  ConnID
+	Src graph.NodeID
+	Dst graph.NodeID
+	// MaxHops is the QoS end-to-end delay bound expressed in hops (with
+	// identical link delays, delay is proportional to hop count). Both
+	// the primary and every backup must respect it; zero means
+	// unbounded. A tight bound can make longer conflict-free backups
+	// unusable — the paper's D3 example in §2.
+	MaxHops int
+}
+
+// Route is a primary path plus the backup paths produced by a routing
+// scheme. Backups may be empty when the scheme found no backup route;
+// the paper's DR-connections carry "one or more" backups (most of the
+// evaluation uses exactly one).
+type Route struct {
+	Primary graph.Path
+	Backups []graph.Path
+}
+
+// WithBackup is a convenience constructor for the common single-backup
+// case; an empty backup yields no backups.
+func WithBackup(primary, backup graph.Path) Route {
+	r := Route{Primary: primary}
+	if !backup.Empty() {
+		r.Backups = []graph.Path{backup}
+	}
+	return r
+}
+
+// Scheme selects primary and backup routes for DR-connection requests.
+// Implementations include the paper's P-LSR, D-LSR and bounded flooding,
+// plus baselines.
+type Scheme interface {
+	// Name returns a short identifier, e.g. "D-LSR".
+	Name() string
+	// Route selects routes for req against the network's current state.
+	// It returns ErrNoRoute if no feasible primary route exists. A
+	// feasible primary with an empty backup is a valid result; the
+	// Manager then establishes a backup-less connection.
+	Route(net *Network, req Request) (Route, error)
+}
+
+// ErrNoRoute indicates no feasible primary route exists for a request.
+var ErrNoRoute = fmt.Errorf("drtp: no feasible primary route")
+
+// ErrNoBackup indicates a request was rejected because no backup channel
+// could be established (the default backup-required admission policy).
+var ErrNoBackup = fmt.Errorf("drtp: no backup channel could be established")
+
+// Network bundles the topology, the link-state database, and the all-pairs
+// hop-distance table (used by bounded flooding and diagnostics). It also
+// tracks persistently failed links (for destructive failure runs; the
+// non-destructive failure sweeps never mark links failed).
+type Network struct {
+	g      *graph.Graph
+	db     *lsdb.DB
+	dist   *graph.DistanceTable
+	failed map[graph.LinkID]bool
+}
+
+// NewNetwork creates a network where every link has the given capacity and
+// every DR-connection reserves unitBW, with backup multiplexing enabled.
+func NewNetwork(g *graph.Graph, capacity, unitBW int) (*Network, error) {
+	return NewNetworkWithMode(g, capacity, unitBW, lsdb.Multiplexed)
+}
+
+// NewNetworkWithMode is NewNetwork with an explicit spare-sizing mode
+// (lsdb.Dedicated disables backup multiplexing, for ablation runs).
+func NewNetworkWithMode(g *graph.Graph, capacity, unitBW int, mode lsdb.Mode) (*Network, error) {
+	db, err := lsdb.NewWithMode(g, capacity, unitBW, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		g:      g,
+		db:     db,
+		dist:   graph.NewDistanceTable(g),
+		failed: make(map[graph.LinkID]bool),
+	}, nil
+}
+
+// Graph returns the topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// DB returns the link-state database.
+func (n *Network) DB() *lsdb.DB { return n.db }
+
+// Distances returns the all-pairs hop-distance table.
+func (n *Network) Distances() *graph.DistanceTable { return n.dist }
+
+// UnitBW returns the per-connection bandwidth.
+func (n *Network) UnitBW() int { return n.db.UnitBW() }
+
+// LinkFailed reports whether link l is marked persistently failed.
+func (n *Network) LinkFailed(l graph.LinkID) bool { return n.failed[l] }
+
+// FailLink marks a unidirectional link persistently failed: routing and
+// flooding exclude it until RestoreLink.
+func (n *Network) FailLink(l graph.LinkID) { n.failed[l] = true }
+
+// FailEdge fails both directions of a physical edge.
+func (n *Network) FailEdge(e graph.EdgeID) {
+	fwd, bwd := n.g.EdgeLinks(e)
+	n.failed[fwd] = true
+	n.failed[bwd] = true
+}
+
+// RestoreLink repairs a failed link.
+func (n *Network) RestoreLink(l graph.LinkID) { delete(n.failed, l) }
+
+// RestoreEdge repairs both directions of a physical edge.
+func (n *Network) RestoreEdge(e graph.EdgeID) {
+	fwd, bwd := n.g.EdgeLinks(e)
+	delete(n.failed, fwd)
+	delete(n.failed, bwd)
+}
+
+// NumFailedLinks returns the number of links currently marked failed.
+func (n *Network) NumFailedLinks() int { return len(n.failed) }
+
+// PrimaryCost is the link-cost function shared by the link-state schemes'
+// primary routing: minimum hops over live links that can admit a new
+// primary reservation.
+func (n *Network) PrimaryCost() graph.CostFunc {
+	db := n.db
+	unit := db.UnitBW()
+	return func(l graph.LinkID) float64 {
+		if n.failed[l] || db.AvailableForPrimary(l) < unit {
+			return graph.Unreachable
+		}
+		return 1
+	}
+}
+
+// RoutePrimary selects a minimum-hop feasible primary route, the primary
+// selection used by the link-state schemes.
+func (n *Network) RoutePrimary(src, dst graph.NodeID) (graph.Path, error) {
+	p, cost := graph.ShortestPath(n.g, src, dst, n.PrimaryCost())
+	if cost == graph.Unreachable {
+		return graph.Path{}, ErrNoRoute
+	}
+	return p, nil
+}
+
+// RoutePrimaryBounded is RoutePrimary under a QoS hop bound (maxHops <= 0
+// means unbounded). Minimum-hop routing already minimizes delay, so the
+// bound is a feasibility check.
+func (n *Network) RoutePrimaryBounded(src, dst graph.NodeID, maxHops int) (graph.Path, error) {
+	p, err := n.RoutePrimary(src, dst)
+	if err != nil {
+		return graph.Path{}, err
+	}
+	if maxHops > 0 && p.Hops() > maxHops {
+		return graph.Path{}, ErrNoRoute
+	}
+	return p, nil
+}

@@ -1,0 +1,232 @@
+package drtp
+
+import (
+	"sort"
+
+	"github.com/rtcl/drtp/internal/graph"
+)
+
+// RecoveryOutcome summarizes one destructive failure application: unlike
+// the non-destructive Evaluate* sweeps, ApplyLinkFailure/ApplyEdgeFailure
+// mutate the network — affected connections really switch to their
+// backups (or are dropped), and the failed link stays down until
+// restored.
+type RecoveryOutcome struct {
+	// Affected is the number of connections whose active primary crossed
+	// the failed component.
+	Affected int
+	// Switched counts connections promoted onto a backup channel.
+	Switched int
+	// Dropped counts connections that could not be recovered and were
+	// torn down.
+	Dropped int
+	// BackupsReestablished counts fresh backup channels registered after
+	// switching (DRTP step 4, resource reconfiguration), including
+	// re-registrations of surviving backups under the new primary.
+	BackupsReestablished int
+}
+
+// BackupRouter is an optional Scheme capability: computing fresh backup
+// routes for an already-established primary. Schemes implementing it let
+// the manager restore full protection after a channel switch.
+type BackupRouter interface {
+	// RouteBackupsFor returns new backup routes for the request's
+	// connection given its current primary and surviving backups.
+	RouteBackupsFor(net *Network, req Request, primary graph.Path, existing []graph.Path) []graph.Path
+}
+
+// ApplyLinkFailure destructively fails one unidirectional link: the link
+// is marked down, every affected connection switches to its first
+// activatable backup (promoting spare bandwidth to primary, contending
+// in establishment order), unrecoverable connections are dropped, and —
+// when the scheme supports BackupRouter — switched connections get fresh
+// backups registered for their new primaries.
+func (m *Manager) ApplyLinkFailure(l graph.LinkID) RecoveryOutcome {
+	m.net.FailLink(l)
+	hits := func(p graph.Path) bool { return p.Contains(l) }
+	return m.applyFailure(hits)
+}
+
+// ApplyEdgeFailure destructively fails both directions of an edge.
+func (m *Manager) ApplyEdgeFailure(e graph.EdgeID) RecoveryOutcome {
+	m.net.FailEdge(e)
+	g := m.net.Graph()
+	hits := func(p graph.Path) bool { return p.ContainsEdge(g, e) }
+	return m.applyFailure(hits)
+}
+
+func (m *Manager) applyFailure(hits func(graph.Path) bool) RecoveryOutcome {
+	var out RecoveryOutcome
+	var affected []*Connection
+	for _, c := range m.conns {
+		if hits(c.Primary) {
+			affected = append(affected, c)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].seq < affected[j].seq })
+	out.Affected = len(affected)
+
+	for _, c := range affected {
+		switch {
+		case m.switchConnection(c, &out):
+			out.Switched++
+		case m.reactiveRecovery && m.rerouteConnection(c):
+			out.Switched++
+		default:
+			mustRelease(m.Release(c.ID))
+			out.Dropped++
+		}
+	}
+	return out
+}
+
+// rerouteConnection performs reactive recovery: a fresh primary route is
+// reserved from free capacity and the old one released.
+func (m *Manager) rerouteConnection(c *Connection) bool {
+	fresh, err := m.net.RoutePrimary(c.Src, c.Dst)
+	if err != nil {
+		return false
+	}
+	db := m.net.DB()
+	old := c.Primary.LinkSet()
+	var reserved []graph.LinkID
+	rollback := func() {
+		for _, l := range reserved {
+			mustRelease(db.ReleasePrimary(c.ID, l))
+		}
+	}
+	for _, l := range fresh.Links() {
+		if _, shared := old[l]; shared {
+			continue // reuse the existing reservation
+		}
+		if err := db.ReservePrimary(c.ID, l); err != nil {
+			rollback()
+			return false
+		}
+		reserved = append(reserved, l)
+	}
+	newLinks := fresh.LinkSet()
+	for _, l := range c.Primary.Links() {
+		if _, shared := newLinks[l]; shared {
+			continue
+		}
+		mustRelease(db.ReleasePrimary(c.ID, l))
+	}
+	c.Primary = fresh
+	return true
+}
+
+// pathAlive reports whether no link of p is marked failed.
+func (m *Manager) pathAlive(p graph.Path) bool {
+	for _, l := range p.Links() {
+		if m.net.LinkFailed(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// switchConnection promotes the first activatable backup of c to be the
+// new primary and re-registers/re-routes the remaining protection.
+func (m *Manager) switchConnection(c *Connection, out *RecoveryOutcome) bool {
+	db := m.net.DB()
+	oldPrimary := c.Primary
+	for i, backup := range c.Backups {
+		if !m.pathAlive(backup) {
+			continue
+		}
+		if !m.promoteBackup(c, backup) {
+			continue
+		}
+		// Release the old primary's reservations except links shared
+		// with (and reused by) the new primary.
+		newLinks := backup.LinkSet()
+		for _, l := range oldPrimary.Links() {
+			if _, shared := newLinks[l]; shared {
+				continue
+			}
+			mustRelease(db.ReleasePrimary(c.ID, l))
+		}
+		// Surviving backups were registered with the old primary's LSET;
+		// release and re-register them against the new primary.
+		survivors := make([]graph.Path, 0, len(c.Backups)-1)
+		for j, b := range c.Backups {
+			if j == i {
+				continue
+			}
+			for _, l := range b.Links() {
+				mustRelease(db.ReleaseBackup(c.ID, l))
+			}
+			survivors = append(survivors, b)
+		}
+		c.Primary = backup
+		c.Backups = nil
+		for _, b := range survivors {
+			if !m.pathAlive(b) || b.SharedLinks(c.Primary) > 0 {
+				continue
+			}
+			if m.registerBackup(c.ID, b, c.Primary, c.Backups) {
+				c.Backups = append(c.Backups, b)
+				out.BackupsReestablished++
+			}
+		}
+		m.restoreProtection(c, out)
+		return true
+	}
+	return false
+}
+
+// promoteBackup converts the backup's registrations into primary
+// bandwidth link by link, reusing links the old primary already holds;
+// on any contention it rolls the conversion back.
+func (m *Manager) promoteBackup(c *Connection, backup graph.Path) bool {
+	db := m.net.DB()
+	oldLSET := c.Primary.Links()
+	type step struct {
+		link     graph.LinkID
+		promoted bool // false: reused the old primary's reservation
+	}
+	var done []step
+	rollback := func() {
+		for _, d := range done {
+			if d.promoted {
+				mustRelease(db.ReleasePrimary(c.ID, d.link))
+			}
+			mustRelease(db.RegisterBackup(c.ID, d.link, oldLSET))
+		}
+	}
+	for _, l := range backup.Links() {
+		if db.HasPrimary(c.ID, l) {
+			// Shared with the old primary: keep the reservation, drop
+			// the backup registration.
+			mustRelease(db.ReleaseBackup(c.ID, l))
+			done = append(done, step{link: l})
+			continue
+		}
+		if err := db.PromoteBackup(c.ID, l); err != nil {
+			rollback()
+			return false
+		}
+		done = append(done, step{link: l, promoted: true})
+	}
+	return true
+}
+
+// restoreProtection routes and registers fresh backups for c's current
+// primary when the scheme can (DRTP step 4).
+func (m *Manager) restoreProtection(c *Connection, out *RecoveryOutcome) {
+	br, ok := m.scheme.(BackupRouter)
+	if !ok {
+		return
+	}
+	req := Request{ID: c.ID, Src: c.Src, Dst: c.Dst}
+	for _, b := range br.RouteBackupsFor(m.net, req, c.Primary, c.Backups) {
+		if b.Empty() || !m.pathAlive(b) {
+			continue
+		}
+		if m.registerBackup(c.ID, b, c.Primary, c.Backups) {
+			c.Backups = append(c.Backups, b)
+			out.BackupsReestablished++
+		}
+	}
+}

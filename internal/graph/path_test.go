@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPath(t *testing.T, g *Graph, nodes ...NodeID) Path {
+	t.Helper()
+	p, err := PathFromNodes(g, nodes)
+	if err != nil {
+		t.Fatalf("PathFromNodes(%v): %v", nodes, err)
+	}
+	return p
+}
+
+func TestPathFromNodes(t *testing.T) {
+	g := buildDiamond(t)
+	p := mustPath(t, g, 0, 1, 3)
+	if p.Hops() != 2 {
+		t.Fatalf("Hops = %d, want 2", p.Hops())
+	}
+	if p.Source(g) != 0 || p.Dest(g) != 3 {
+		t.Fatalf("endpoints = %d,%d want 0,3", p.Source(g), p.Dest(g))
+	}
+	nodes := p.Nodes(g)
+	if len(nodes) != 3 || nodes[0] != 0 || nodes[1] != 1 || nodes[2] != 3 {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestPathFromNodesNoLink(t *testing.T) {
+	g := buildDiamond(t)
+	if _, err := PathFromNodes(g, []NodeID{0, 3}); err == nil {
+		t.Fatal("path across non-edge accepted")
+	}
+}
+
+func TestPathFromNodesShort(t *testing.T) {
+	g := buildDiamond(t)
+	p, err := PathFromNodes(g, []NodeID{0})
+	if err != nil || !p.Empty() {
+		t.Fatalf("single-node path: %v, empty=%v", err, p.Empty())
+	}
+}
+
+func TestNewPathValidatesContiguity(t *testing.T) {
+	g := buildDiamond(t)
+	l01, _ := g.LinkBetween(0, 1)
+	l23, _ := g.LinkBetween(2, 3)
+	if _, err := NewPath(g, []LinkID{l01, l23}); err == nil {
+		t.Fatal("non-contiguous links accepted")
+	}
+	l13, _ := g.LinkBetween(1, 3)
+	p, err := NewPath(g, []LinkID{l01, l13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 2 {
+		t.Fatalf("Hops = %d", p.Hops())
+	}
+}
+
+func TestNewPathCopiesInput(t *testing.T) {
+	g := buildDiamond(t)
+	l01, _ := g.LinkBetween(0, 1)
+	links := []LinkID{l01}
+	p, err := NewPath(g, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links[0] = 99
+	if p.Links()[0] != l01 {
+		t.Fatal("NewPath aliased caller slice")
+	}
+}
+
+func TestEmptyPath(t *testing.T) {
+	g := buildDiamond(t)
+	var p Path
+	if !p.Empty() || p.Hops() != 0 {
+		t.Fatal("zero path not empty")
+	}
+	if p.Source(g) != InvalidNode || p.Dest(g) != InvalidNode {
+		t.Fatal("empty path endpoints should be invalid")
+	}
+	if p.Nodes(g) != nil {
+		t.Fatal("empty path Nodes should be nil")
+	}
+	if p.String() != "<empty>" || p.Format(g) != "<empty>" {
+		t.Fatalf("empty renders = %q / %q", p.String(), p.Format(g))
+	}
+}
+
+func TestPathContains(t *testing.T) {
+	g := buildDiamond(t)
+	p := mustPath(t, g, 0, 1, 3)
+	l01, _ := g.LinkBetween(0, 1)
+	l10, _ := g.LinkBetween(1, 0)
+	if !p.Contains(l01) {
+		t.Fatal("Contains(0->1) = false")
+	}
+	if p.Contains(l10) {
+		t.Fatal("Contains reverse direction should be false")
+	}
+	if !p.ContainsEdge(g, g.Link(l10).Edge) {
+		t.Fatal("ContainsEdge should be direction-agnostic")
+	}
+}
+
+func TestLinkSet(t *testing.T) {
+	g := buildDiamond(t)
+	p := mustPath(t, g, 0, 1, 3)
+	set := p.LinkSet()
+	if len(set) != 2 {
+		t.Fatalf("LinkSet size = %d", len(set))
+	}
+	for _, l := range p.Links() {
+		if _, ok := set[l]; !ok {
+			t.Fatalf("LinkSet missing %d", l)
+		}
+	}
+}
+
+func TestSharedLinksAndEdges(t *testing.T) {
+	g := buildDiamond(t)
+	p1 := mustPath(t, g, 0, 1, 3)
+	p2 := mustPath(t, g, 0, 2, 3)
+	if got := p1.SharedLinks(p2); got != 0 {
+		t.Fatalf("disjoint SharedLinks = %d", got)
+	}
+	if got := p1.SharedEdges(g, p2); got != 0 {
+		t.Fatalf("disjoint SharedEdges = %d", got)
+	}
+	if got := p1.SharedLinks(p1); got != 2 {
+		t.Fatalf("self SharedLinks = %d", got)
+	}
+	// Reverse direction shares edges but not links.
+	rev := mustPath(t, g, 3, 1, 0)
+	if got := p1.SharedLinks(rev); got != 0 {
+		t.Fatalf("reverse SharedLinks = %d", got)
+	}
+	if got := p1.SharedEdges(g, rev); got != 2 {
+		t.Fatalf("reverse SharedEdges = %d, want 2", got)
+	}
+}
+
+func TestSharedEdgesCountsEachEdgeOnce(t *testing.T) {
+	// Path that uses both directions of the same edge (a detour out and
+	// back) must count that edge once.
+	g := New(3)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// PathFromNodes permits node revisits (loop freedom is the router's
+	// concern); both edges appear in both directions here.
+	outAndBack := mustPath(t, g, 0, 1, 2, 1, 0)
+	straight := mustPath(t, g, 0, 1, 2)
+	if got := outAndBack.SharedEdges(g, straight); got != 2 {
+		t.Fatalf("SharedEdges = %d, want 2 (each edge once)", got)
+	}
+}
+
+func TestPathStringAndFormat(t *testing.T) {
+	g := buildDiamond(t)
+	p := mustPath(t, g, 0, 1, 3)
+	if got := p.Format(g); got != "0->1->3" {
+		t.Fatalf("Format = %q", got)
+	}
+	if s := p.String(); !strings.HasPrefix(s, "L") || !strings.Contains(s, ",L") {
+		t.Fatalf("String = %q", s)
+	}
+}

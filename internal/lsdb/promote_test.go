@@ -1,0 +1,197 @@
+package lsdb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/rtcl/drtp/internal/graph"
+)
+
+func TestPromoteBackupMovesSpareToPrime(t *testing.T) {
+	db := newTestDB(t, 10)
+	l := graph.LinkID(5)
+	if err := db.RegisterBackup(1, l, lset(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if db.SpareBW(l) != 1 {
+		t.Fatalf("spare = %d", db.SpareBW(l))
+	}
+	if err := db.PromoteBackup(1, l); err != nil {
+		t.Fatal(err)
+	}
+	if db.PrimeBW(l) != 1 || db.SpareBW(l) != 0 {
+		t.Fatalf("prime=%d spare=%d after promote", db.PrimeBW(l), db.SpareBW(l))
+	}
+	if !db.HasPrimary(1, l) || db.HasBackup(1, l) {
+		t.Fatal("registries not updated")
+	}
+	if db.APLVNorm(l) != 0 {
+		t.Fatalf("APLV norm = %d, registration should be gone", db.APLVNorm(l))
+	}
+}
+
+func TestPromoteBackupContention(t *testing.T) {
+	// Capacity 2, one unit of primaries: room for one spare unit shared
+	// by two conflicting backups. The first promotion takes the slot;
+	// the second must fail.
+	db := newTestDB(t, 2)
+	l := graph.LinkID(5)
+	if err := db.ReservePrimary(100, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterBackup(1, l, lset(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterBackup(2, l, lset(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !db.HasDeficit(l) {
+		t.Fatal("expected deficit before promotion")
+	}
+	if err := db.PromoteBackup(1, l); err != nil {
+		t.Fatal(err)
+	}
+	var bwErr *ErrInsufficientBandwidth
+	if err := db.PromoteBackup(2, l); !errors.As(err, &bwErr) {
+		t.Fatalf("second promotion: %v", err)
+	}
+	// The losing backup is still registered (it may activate elsewhere
+	// after the conflicting primary terminates).
+	if !db.HasBackup(2, l) {
+		t.Fatal("losing backup lost its registration")
+	}
+}
+
+func TestPromoteBackupErrors(t *testing.T) {
+	db := newTestDB(t, 10)
+	l := graph.LinkID(5)
+	if err := db.PromoteBackup(1, l); err == nil {
+		t.Fatal("promotion without registration accepted")
+	}
+	if err := db.RegisterBackup(1, l, lset(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReservePrimary(1, l); err != nil {
+		t.Fatal(err)
+	}
+	// The connection already holds a primary here: promotion must refuse
+	// rather than double-book.
+	if err := db.PromoteBackup(1, l); err == nil {
+		t.Fatal("promotion over own primary accepted")
+	}
+}
+
+// TestPromoteInvariantsProperty: under random register/promote/release
+// interleavings, capacity accounting never goes negative or above the
+// link capacity, and promoted connections end up with exactly one
+// primary reservation.
+func TestPromoteInvariantsProperty(t *testing.T) {
+	g, err := gridGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, err := New(g, 4, 1)
+		if err != nil {
+			return false
+		}
+		l := graph.LinkID(r.Intn(g.NumLinks()))
+		type state int
+		const (
+			registered state = iota + 1
+			promoted
+		)
+		conns := make(map[ConnID]state)
+		next := ConnID(1)
+		for op := 0; op < 150; op++ {
+			switch r.Intn(4) {
+			case 0: // register
+				set := []graph.LinkID{graph.LinkID(r.Intn(g.NumLinks()))}
+				if err := db.RegisterBackup(next, l, set); err == nil {
+					conns[next] = registered
+					next++
+				}
+			case 1: // promote a registered backup
+				for id, st := range conns {
+					if st == registered {
+						if err := db.PromoteBackup(id, l); err == nil {
+							conns[id] = promoted
+						}
+						break
+					}
+				}
+			case 2: // release a backup
+				for id, st := range conns {
+					if st == registered {
+						if err := db.ReleaseBackup(id, l); err != nil {
+							return false
+						}
+						delete(conns, id)
+						break
+					}
+				}
+			case 3: // release a promoted primary
+				for id, st := range conns {
+					if st == promoted {
+						if err := db.ReleasePrimary(id, l); err != nil {
+							return false
+						}
+						delete(conns, id)
+						break
+					}
+				}
+			}
+			prime, spare, cap := db.PrimeBW(l), db.SpareBW(l), db.Capacity(l)
+			if prime < 0 || spare < 0 || prime+spare > cap {
+				t.Logf("seed %d op %d: prime=%d spare=%d cap=%d", seed, op, prime, spare, cap)
+				return false
+			}
+			promotedCount := 0
+			for id, st := range conns {
+				switch st {
+				case promoted:
+					promotedCount++
+					if !db.HasPrimary(id, l) || db.HasBackup(id, l) {
+						return false
+					}
+				case registered:
+					if !db.HasBackup(id, l) {
+						return false
+					}
+				}
+			}
+			if db.PrimariesOn(l) != promotedCount {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gridGraph builds the shared 3x3 fixture without a testing.T (for
+// property closures).
+func gridGraph() (*graph.Graph, error) {
+	g := graph.New(9)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			id := graph.NodeID(r*3 + c)
+			if c+1 < 3 {
+				if _, err := g.AddEdge(id, id+1); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < 3 {
+				if _, err := g.AddEdge(id, graph.NodeID((r+1)*3+c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

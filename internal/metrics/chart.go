@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) observation of a chart series.
+type Point struct {
+	X, Y float64
+}
+
+// Chart renders XY series as an ASCII line chart — a terminal rendition
+// of the paper's figures.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	points []Point
+}
+
+// seriesMarks are assigned to series in order.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// NewChart creates an empty chart.
+func NewChart(title, xLabel, yLabel string) *Chart {
+	return &Chart{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// AddSeries appends a named series; points are sorted by X.
+func (c *Chart) AddSeries(name string, points []Point) {
+	copied := make([]Point, len(points))
+	copy(copied, points)
+	sort.Slice(copied, func(i, j int) bool { return copied[i].X < copied[j].X })
+	c.series = append(c.series, chartSeries{name: name, points: copied})
+}
+
+// NumSeries returns the number of series added.
+func (c *Chart) NumSeries() int { return len(c.series) }
+
+// Render draws the chart into w using the given plot-area size in
+// characters. Sizes below 8x4 are raised to the minimum.
+func (c *Chart) Render(w io.Writer, width, height int) error {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX, minY, maxY, any := c.bounds()
+	if !any {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, p := range s.points {
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row
+			if grid[r][col] == ' ' || grid[r][col] == mark {
+				grid[r][col] = mark
+			} else {
+				grid[r][col] = '?' // collision between series
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	yHi := fmt.Sprintf("%.3g", maxY)
+	yLo := fmt.Sprintf("%.3g", minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", margin)
+		switch i {
+		case 0:
+			label = pad(yHi, margin)
+		case height - 1:
+			label = pad(yLo, margin)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", margin))
+	b.WriteString(" +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	xLo := fmt.Sprintf("%.3g", minX)
+	xHi := fmt.Sprintf("%.3g", maxX)
+	gap := width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	b.WriteString(strings.Repeat(" ", margin+2))
+	b.WriteString(xLo)
+	b.WriteString(strings.Repeat(" ", gap))
+	b.WriteString(xHi)
+	if c.XLabel != "" {
+		b.WriteString("  (")
+		b.WriteString(c.XLabel)
+		b.WriteByte(')')
+	}
+	b.WriteByte('\n')
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "  y: %s\n", c.YLabel)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Chart) bounds() (minX, maxX, minY, maxY float64, any bool) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s.points {
+			any = true
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	return minX, maxX, minY, maxY, any
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	c := NewChart("Test chart", "x", "y")
+	c.AddSeries("up", []Point{{0, 0}, {1, 1}, {2, 2}})
+	c.AddSeries("down", []Point{{0, 2}, {1, 1}, {2, 0}})
+	return c
+}
+
+func TestChartRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Test chart", "* up", "+ down", "y: y", "(x)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Crossing point (1,1) collides: rendered as '?'.
+	if !strings.Contains(out, "?") {
+		t.Fatalf("collision marker missing:\n%s", out)
+	}
+	// Axis labels carry the bounds.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "2") {
+		t.Fatalf("bounds missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChart("Empty", "x", "y")
+	if err := c.Render(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point: both ranges are zero; must not divide by zero.
+	c := NewChart("Point", "", "")
+	c.AddSeries("p", []Point{{5, 7}})
+	var buf bytes.Buffer
+	if err := c.Render(&buf, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("point not drawn:\n%s", buf.String())
+	}
+}
+
+func TestChartMinimumSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(buf.String(), "\n")) < 5 {
+		t.Fatalf("undersized render:\n%s", buf.String())
+	}
+}
+
+func TestChartSeriesSortedByX(t *testing.T) {
+	c := NewChart("", "", "")
+	c.AddSeries("s", []Point{{3, 1}, {1, 2}, {2, 3}})
+	if c.NumSeries() != 1 {
+		t.Fatalf("series = %d", c.NumSeries())
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Bounds reflect the sorted range 1..3.
+	if !strings.Contains(buf.String(), "1") || !strings.Contains(buf.String(), "3") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestChartManySeriesMarks(t *testing.T) {
+	c := NewChart("", "", "")
+	for i := 0; i < 10; i++ {
+		c.AddSeries(strings.Repeat("s", i+1), []Point{{float64(i), float64(i)}})
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Marks wrap around after the palette is exhausted.
+	if !strings.Contains(buf.String(), "* s\n") {
+		t.Fatalf("legend missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates scalar observations and reports summary statistics
+// (used to aggregate experiment cells across replications).
+type Sample struct {
+	n    int
+	sum  float64
+	sumq float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumq += v * v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator; 0 for
+// fewer than two observations).
+func (s *Sample) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	variance := (s.sumq - float64(s.n)*m*m) / float64(s.n-1)
+	if variance < 0 {
+		variance = 0 // numeric noise
+	}
+	return math.Sqrt(variance)
+}
+
+// Min returns the smallest observation (0 with no observations).
+func (s *Sample) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 with no observations).
+func (s *Sample) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders "mean±sd" with four decimals, or just the mean for a
+// single observation.
+func (s *Sample) String() string {
+	if s.n < 2 {
+		return fmt.Sprintf("%.4f", s.Mean())
+	}
+	return fmt.Sprintf("%.4f±%.4f", s.Mean(), s.StdDev())
+}

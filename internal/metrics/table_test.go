@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Sample", "name", "value", "ratio")
+	t.AddRow("alpha", 42, 0.5)
+	t.AddRow("beta-long-name", int64(7), 0.25)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Sample" {
+		t.Fatalf("title = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[3], "42") {
+		t.Fatalf("row = %q", lines[3])
+	}
+	// Columns align: "value" header starts where "42" and "7" start.
+	col := strings.Index(lines[1], "value")
+	if lines[3][col:col+2] != "42" {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow(1)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Fatal("empty title produced leading newline")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "name,value,ratio" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "alpha,42,0.5000" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestFormatCellVariants(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(float32(0.5))
+	tbl.AddRow(struct{ X int }{1})
+	rows := tbl.Rows()
+	if rows[0][0] != "0.5000" {
+		t.Fatalf("float32 cell = %q", rows[0][0])
+	}
+	if !strings.Contains(rows[1][0], "1") {
+		t.Fatalf("fallback cell = %q", rows[1][0])
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestPercent(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.0%"},
+		{0.125, "12.5%"},
+		{1, "100.0%"},
+	}
+	for _, tt := range tests {
+		if got := Percent(tt.in); got != tt.want {
+			t.Errorf("Percent(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStringRendersTable(t *testing.T) {
+	s := sampleTable().String()
+	if !strings.Contains(s, "Sample") || !strings.Contains(s, "alpha") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample accessors wrong")
+	}
+	s.Add(2)
+	if s.String() != "2.0000" {
+		t.Fatalf("single String = %q", s.String())
+	}
+	s.Add(4)
+	s.Add(6)
+	if s.N() != 3 || s.Mean() != 4 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if got := s.StdDev(); got != 2 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Fatalf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,69 @@
+// Package rng provides deterministic random-number utilities for the
+// simulator. Every component derives its own independent stream from a
+// master seed so that adding randomness to one component never perturbs
+// another (a requirement for replaying identical scenario files across
+// routing schemes, as the paper does).
+package rng
+
+import (
+	"math/rand"
+)
+
+// Source is a deterministic random stream. It wraps math/rand with the
+// distributions the simulator needs.
+type Source struct {
+	r *rand.Rand
+}
+
+// New creates a source from a seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream identified by a label. The
+// derivation is a mix of the parent's next value and the label hash, so
+// distinct labels give uncorrelated streams.
+func (s *Source) Split(label string) *Source {
+	seed := s.r.Int63() ^ hash64(label)
+	return New(seed)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Uniform returns a uniform value in [lo,hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (s *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: non-positive rate")
+	}
+	return s.r.ExpFloat64() / rate
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// hash64 is the FNV-1a hash of the label.
+func hash64(label string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return int64(h & 0x7fffffffffffffff)
+}

@@ -1,0 +1,136 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("draw %d diverged for identical seeds", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d identical draws from different seeds", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split("child")
+	b := New(7).Split("child")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("identical splits diverged")
+		}
+	}
+}
+
+func TestSplitLabelsIndependent(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("alpha")
+	b := parent.Split("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d identical draws from different labels", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(20, 60)
+		if v < 20 || v >= 60 {
+			t.Fatalf("Uniform(20,60) = %v", v)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	s := New(3)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Uniform(20, 60)
+	}
+	if mean := sum / n; math.Abs(mean-40) > 1 {
+		t.Fatalf("Uniform(20,60) mean = %v, want ~40", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(3)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpNonPositiveRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("only %d of 7 values seen", len(seen))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(9).Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	New(11).Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, 10)
+	for _, v := range vals {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost in shuffle", i)
+		}
+	}
+}

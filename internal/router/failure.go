@@ -1,0 +1,269 @@
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/proto"
+)
+
+// sendHellos emits keep-alives to all live neighbors.
+func (r *Router) sendHellos() {
+	r.mu.Lock()
+	r.helloSeq++
+	seq := r.helloSeq
+	var nbrs []graph.NodeID
+	for _, n := range r.g.Neighbors(r.cfg.Node) {
+		if !r.downNbr[n] {
+			nbrs = append(nbrs, n)
+		}
+	}
+	r.mu.Unlock()
+	for _, n := range nbrs {
+		r.send(n, proto.Hello{From: r.cfg.Node, Seq: seq})
+	}
+}
+
+// handleHello refreshes the neighbor liveness timestamp.
+func (r *Router) handleHello(from graph.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.downNbr[from] {
+		r.lastHello[from] = time.Now()
+	}
+}
+
+// failureReport pairs a report with its destination.
+type failureReport struct {
+	src graph.NodeID
+	msg proto.FailureReport
+}
+
+// declareDownLocked marks the adjacency to nbr failed and collects the
+// failure reports to send (DRTP steps 2 and 3). Callers must hold r.mu.
+func (r *Router) declareDownLocked(nbr graph.NodeID) []failureReport {
+	if r.downNbr[nbr] {
+		return nil
+	}
+	r.downNbr[nbr] = true
+	r.markDirty()
+	r.log.Warn("link failure detected", "neighbor", int(nbr))
+	l, ok := r.g.LinkBetween(r.cfg.Node, nbr)
+	if !ok {
+		return nil
+	}
+	// Group the affected primaries by source and notify each.
+	bySrc := make(map[graph.NodeID][]lsdb.ConnID)
+	for id, src := range r.transitPrim[l] {
+		bySrc[src] = append(bySrc[src], id)
+	}
+	reports := make([]failureReport, 0, len(bySrc))
+	for src, ids := range bySrc {
+		reports = append(reports, failureReport{
+			src: src,
+			msg: proto.FailureReport{Link: l, Conns: ids},
+		})
+	}
+	return reports
+}
+
+// checkNeighbors declares links failed after HelloMiss missed hellos.
+func (r *Router) checkNeighbors() {
+	deadline := time.Duration(r.cfg.HelloMiss) * r.cfg.HelloInterval
+	now := time.Now()
+
+	r.mu.Lock()
+	var reports []failureReport
+	for nbr, last := range r.lastHello {
+		if r.downNbr[nbr] || now.Sub(last) <= deadline {
+			continue
+		}
+		reports = append(reports, r.declareDownLocked(nbr)...)
+	}
+	r.mu.Unlock()
+
+	for _, rep := range reports {
+		r.send(rep.src, rep.msg)
+	}
+}
+
+// FailLink simulates an administrative link failure towards a neighbor.
+// The adjacency is declared down immediately and affected sources are
+// notified, exactly as hello-based detection would do. Intended for tests
+// and demos.
+func (r *Router) FailLink(nbr graph.NodeID) {
+	r.mu.Lock()
+	reports := r.declareDownLocked(nbr)
+	r.mu.Unlock()
+	for _, rep := range reports {
+		r.send(rep.src, rep.msg)
+	}
+}
+
+// handleFailureReport switches affected connections to their backups.
+func (r *Router) handleFailureReport(m proto.FailureReport) {
+	for _, id := range m.Conns {
+		r.switchToBackup(id)
+	}
+}
+
+// switchToBackup initiates channel switching for one connection: its
+// backup routes are tried in preference order, each activated hop-by-hop
+// (spare reservations converted to primary bandwidth).
+func (r *Router) switchToBackup(id lsdb.ConnID) {
+	r.mu.Lock()
+	c, ok := r.conns[id]
+	if !ok || c.info.Switched || c.info.Dead || c.switching {
+		r.mu.Unlock()
+		return
+	}
+	c.switching = true
+	oldPrimary := c.primaryPath
+	backups := make([]graph.Path, len(c.backupPaths))
+	copy(backups, c.backupPaths)
+	r.mu.Unlock()
+
+	// The activation round trips complete asynchronously in the router
+	// loop; a helper goroutine walks the backup list.
+	r.wg.Add(1)
+	go r.runSwitch(id, oldPrimary, backups)
+}
+
+// runSwitch tries each backup in order; the first successful activation
+// becomes the new primary, surviving backups stay registered, and the old
+// primary's remaining reservations are reconfigured away.
+func (r *Router) runSwitch(id lsdb.ConnID, oldPrimary graph.Path, backups []graph.Path) {
+	defer r.wg.Done()
+	for i, backup := range backups {
+		if !r.activateBackup(id, backup) {
+			// Release the failed attempt's registrations and any hops
+			// already converted to primary bandwidth.
+			r.teardownChannel(id, proto.Backup, backup, -1)
+			r.teardownChannel(id, proto.Primary, backup, -1)
+			continue
+		}
+		r.mu.Lock()
+		if c, ok := r.conns[id]; ok {
+			c.switching = false
+			c.info.Switched = true
+			c.primaryPath = backup
+			c.info.Primary = backup.Nodes(r.g)
+			c.backupPaths = append(backups[:i:i], backups[i+1:]...)
+			c.info.Backup = nil
+			c.info.Backups = nil
+			for _, b := range c.backupPaths {
+				c.info.Backups = append(c.info.Backups, b.Nodes(r.g))
+			}
+			if len(c.backupPaths) > 0 {
+				c.info.Backup = c.backupPaths[0].Nodes(r.g)
+			}
+		}
+		r.mu.Unlock()
+		r.log.Warn("channel switched to backup", "conn", int64(id), "attempt", i+1)
+		// Resource reconfiguration: release what the failed primary still
+		// holds on surviving links.
+		r.teardownChannel(id, proto.Primary, oldPrimary, -1)
+		return
+	}
+
+	r.mu.Lock()
+	if c, ok := r.conns[id]; ok {
+		c.switching = false
+		c.info.Dead = true
+		c.backupPaths = nil
+		c.info.Backup = nil
+		c.info.Backups = nil
+	}
+	r.mu.Unlock()
+	r.log.Error("connection lost", "conn", int64(id), "backupsTried", len(backups))
+	r.teardownChannel(id, proto.Primary, oldPrimary, -1)
+}
+
+// activateBackup runs one activation round trip.
+func (r *Router) activateBackup(id lsdb.ConnID, backup graph.Path) bool {
+	ch := make(chan proto.ActivateResult, 1)
+	r.mu.Lock()
+	r.pendingAct[id] = ch
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pendingAct, id)
+		r.mu.Unlock()
+	}()
+
+	r.send(r.cfg.Node, proto.Activate{
+		Conn:  id,
+		Route: backup.Nodes(r.g),
+		Hop:   0,
+	})
+	select {
+	case res := <-ch:
+		return res.OK
+	case <-time.After(r.cfg.SetupTimeout):
+		return false
+	case <-r.stop:
+		return false
+	}
+}
+
+// handleActivate converts one hop of a backup into primary bandwidth.
+func (r *Router) handleActivate(m proto.Activate) {
+	i := m.Hop
+	if i < 0 || i >= len(m.Route) || m.Route[i] != r.cfg.Node {
+		return
+	}
+	origin := m.Route[0]
+	if i == len(m.Route)-1 {
+		r.send(origin, proto.ActivateResult{Conn: m.Conn, OK: true})
+		return
+	}
+	next := m.Route[i+1]
+	l, ok := r.g.LinkBetween(r.cfg.Node, next)
+	if !ok {
+		r.send(origin, proto.ActivateResult{Conn: m.Conn, Reason: "no link"})
+		return
+	}
+
+	r.mu.Lock()
+	var err error
+	switch {
+	case r.downNbr[next]:
+		err = fmt.Errorf("backup link %d->%d is down", r.cfg.Node, next)
+	default:
+		// Atomically convert one spare activation slot into primary
+		// bandwidth; failure here is spare-resource contention among
+		// conflicting backups multiplexed on the same spare pool.
+		if err = r.db.PromoteBackup(m.Conn, l); err == nil {
+			if r.transitPrim[l] == nil {
+				r.transitPrim[l] = make(map[lsdb.ConnID]graph.NodeID)
+			}
+			r.transitPrim[l][m.Conn] = origin
+		}
+	}
+	if err == nil {
+		r.markDirty()
+	}
+	r.mu.Unlock()
+
+	if err != nil {
+		r.send(origin, proto.ActivateResult{Conn: m.Conn, Reason: err.Error()})
+		return
+	}
+	m.Hop++
+	r.send(next, m)
+}
+
+// handleActivateResult completes a pending activation.
+func (r *Router) handleActivateResult(m proto.ActivateResult) {
+	r.mu.Lock()
+	ch := r.pendingAct[m.Conn]
+	r.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+}

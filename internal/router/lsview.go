@@ -1,0 +1,160 @@
+package router
+
+import (
+	"math"
+
+	"github.com/rtcl/drtp/internal/bitvec"
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/proto"
+)
+
+// localLinks returns the IDs of this node's outgoing links.
+func (r *Router) localLinks() []graph.LinkID { return r.g.Out(r.cfg.Node) }
+
+// markDirty schedules a triggered link-state advertisement.
+func (r *Router) markDirty() { r.dirty = true }
+
+// flushAdverts sends a triggered advertisement if local state changed.
+func (r *Router) flushAdverts() {
+	r.mu.Lock()
+	dirty := r.dirty
+	r.dirty = false
+	r.mu.Unlock()
+	if dirty {
+		r.advertise()
+	}
+}
+
+// advertise floods this node's local link summaries.
+func (r *Router) advertise() {
+	r.mu.Lock()
+	r.mySeq++
+	update := proto.LSUpdate{Origin: r.cfg.Node, Seq: r.mySeq}
+	for _, l := range r.localLinks() {
+		update.Links = append(update.Links, r.advertFor(l))
+		// Local view mirrors local truth immediately.
+		r.applyAdvert(update.Links[len(update.Links)-1])
+	}
+	nbrs := r.g.Neighbors(r.cfg.Node)
+	r.mu.Unlock()
+	for _, n := range nbrs {
+		r.send(n, update)
+	}
+}
+
+// advertFor summarizes one local link. Links to failed neighbors
+// advertise zero bandwidth so remote routing excludes them.
+// Callers must hold r.mu.
+func (r *Router) advertFor(l graph.LinkID) proto.LinkAdvert {
+	if r.downNbr[r.g.Link(l).To] {
+		return proto.LinkAdvert{
+			Link: l,
+			CV:   bitvec.New(r.g.NumLinks()).Bytes(),
+		}
+	}
+	return proto.LinkAdvert{
+		Link:        l,
+		AvailPrim:   r.db.AvailableForPrimary(l),
+		AvailBackup: r.db.AvailableForBackup(l),
+		Norm:        r.db.APLVNorm(l),
+		CV:          r.db.CV(l).Bytes(),
+	}
+}
+
+// applyAdvert installs a link summary into the view. Callers must hold
+// r.mu.
+func (r *Router) applyAdvert(a proto.LinkAdvert) {
+	if int(a.Link) >= len(r.view) {
+		return
+	}
+	r.view[a.Link] = linkView{
+		availPrim:   a.AvailPrim,
+		availBackup: a.AvailBackup,
+		norm:        a.Norm,
+		cv:          bitvec.FromBytes(r.g.NumLinks(), a.CV),
+	}
+}
+
+// handleLSUpdate installs fresh updates and re-floods them.
+func (r *Router) handleLSUpdate(from graph.NodeID, m proto.LSUpdate) {
+	if m.Origin == r.cfg.Node {
+		return
+	}
+	r.mu.Lock()
+	if m.Seq <= r.seqSeen[m.Origin] {
+		r.mu.Unlock()
+		return
+	}
+	r.seqSeen[m.Origin] = m.Seq
+	for _, a := range m.Links {
+		// Never let remote adverts overwrite local truth.
+		if r.g.Link(a.Link).From == r.cfg.Node {
+			continue
+		}
+		r.applyAdvert(a)
+	}
+	nbrs := r.g.Neighbors(r.cfg.Node)
+	r.mu.Unlock()
+	for _, n := range nbrs {
+		if n != from {
+			r.send(n, m)
+		}
+	}
+}
+
+// routePrimary computes a minimum-hop feasible primary route from the
+// view. Callers must hold r.mu.
+func (r *Router) routePrimary(dst graph.NodeID) graph.Path {
+	unit := r.cfg.UnitBW
+	cost := func(l graph.LinkID) float64 {
+		if r.view[l].availPrim < unit {
+			return graph.Unreachable
+		}
+		if r.downNbr[r.g.Link(l).To] && r.g.Link(l).From == r.cfg.Node {
+			return graph.Unreachable
+		}
+		return 1
+	}
+	p, total := graph.ShortestPath(r.g, r.cfg.Node, dst, cost)
+	if math.IsInf(total, 1) {
+		return graph.Path{}
+	}
+	return p
+}
+
+// routeBackup computes the scheme's backup route given the established
+// primary, penalizing the avoid set (primary plus earlier backups).
+// Callers must hold r.mu.
+func (r *Router) routeBackup(dst graph.NodeID, primary graph.Path, avoid map[graph.LinkID]struct{}) graph.Path {
+	const (
+		q   = 1e6
+		eps = 1e-3
+	)
+	unit := r.cfg.UnitBW
+	lset := primary.Links()
+	cost := func(l graph.LinkID) float64 {
+		v := &r.view[l]
+		c := eps
+		switch r.cfg.Scheme {
+		case PLSR:
+			c += float64(v.norm)
+		default:
+			for _, pl := range lset {
+				if v.cv.Get(int(pl)) {
+					c++
+				}
+			}
+		}
+		if _, ok := avoid[l]; ok {
+			c += q
+		} else if v.availBackup < unit {
+			c += q
+		}
+		return c
+	}
+	p, total := graph.ShortestPath(r.g, r.cfg.Node, dst, cost)
+	if math.IsInf(total, 1) {
+		return graph.Path{}
+	}
+	return p
+}

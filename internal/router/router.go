@@ -1,0 +1,317 @@
+// Package router is a distributed, message-passing implementation of the
+// DRTP connection-management protocol from §2.2 of the paper. Each Router
+// owns one network node: it reserves bandwidth on its outgoing links,
+// maintains their APLV/Conflict-Vector state, floods link-state
+// advertisements, exchanges hop-by-hop setup/teardown signalling (backup
+// registrations carry the primary's LSET), detects neighbor failures via
+// hello keep-alives, reports failures to connection sources, and switches
+// affected connections to their backup channels.
+//
+// Control messages travel over a transport.Endpoint (in-memory switchboard
+// or TCP); the transport models the signalling network and is assumed to
+// deliver control traffic even when data-plane links fail, as link-state
+// routers re-route control traffic around failures.
+//
+// Known simplification: after a channel switch, surviving backup channels
+// keep their original registrations, whose piggybacked LSETs describe the
+// old (failed) primary; the affected links' APLVs are therefore slightly
+// conservative until the connection is released. Re-registering under the
+// new primary (as the centralized drtp.Manager does) would cost another
+// signalling round trip per surviving backup.
+package router
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"github.com/rtcl/drtp/internal/bitvec"
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/proto"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+// BackupScheme selects how a router computes backup routes from its
+// link-state view.
+type BackupScheme int
+
+const (
+	// DLSR routes backups with Conflict Vectors (deterministic).
+	DLSR BackupScheme = iota + 1
+	// PLSR routes backups with the scalar ‖APLV‖₁ (probabilistic).
+	PLSR
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Node is the router's node ID in Graph.
+	Node graph.NodeID
+	// Graph is the static topology shared by all routers.
+	Graph *graph.Graph
+	// Capacity and UnitBW mirror the simulator's bandwidth model.
+	Capacity int
+	UnitBW   int
+	// Scheme selects D-LSR (default) or P-LSR backup routing.
+	Scheme BackupScheme
+	// Backups is the number of backup channels per connection (default
+	// 1; the paper's "one or more"). Additional backups must be fully
+	// disjoint from the primary and from each other; connections keep
+	// whatever subset could be established (at least one).
+	Backups int
+	// HelloInterval is the keep-alive period (default 25ms).
+	HelloInterval time.Duration
+	// HelloMiss is the number of missed hellos before a neighbor's link
+	// is declared failed (default 4).
+	HelloMiss int
+	// LSInterval is the periodic link-state advertisement period
+	// (default 100ms); adverts are also triggered by local changes.
+	LSInterval time.Duration
+	// SetupTimeout bounds how long Establish and Release wait for
+	// signalling round trips (default 5s).
+	SetupTimeout time.Duration
+	// Logger receives protocol events (establishments, failures, channel
+	// switches) with the node ID attached. Nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *Config) setDefaults() {
+	if c.Scheme == 0 {
+		c.Scheme = DLSR
+	}
+	if c.HelloInterval == 0 {
+		c.HelloInterval = 25 * time.Millisecond
+	}
+	if c.HelloMiss == 0 {
+		c.HelloMiss = 4
+	}
+	if c.LSInterval == 0 {
+		c.LSInterval = 100 * time.Millisecond
+	}
+	if c.SetupTimeout == 0 {
+		c.SetupTimeout = 5 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Backups <= 0 {
+		c.Backups = 1
+	}
+}
+
+// ConnInfo is a snapshot of a connection originated at this router.
+type ConnInfo struct {
+	ID      lsdb.ConnID
+	Src     graph.NodeID
+	Dst     graph.NodeID
+	Primary []graph.NodeID
+	// Backup is the first (preferred) backup route; Backups lists all of
+	// them in activation-preference order.
+	Backup  []graph.NodeID
+	Backups [][]graph.NodeID
+	// Switched is true once the backup has been activated as the new
+	// primary after a failure.
+	Switched bool
+	// Dead is true when the connection could not be recovered.
+	Dead bool
+}
+
+// conn is the router-internal connection record.
+type conn struct {
+	info        ConnInfo
+	primaryPath graph.Path
+	backupPaths []graph.Path
+	// switching guards against duplicate switch attempts from repeated
+	// failure reports.
+	switching bool
+}
+
+// linkView is the router's view of one (possibly remote) link.
+type linkView struct {
+	availPrim   int
+	availBackup int
+	norm        int
+	cv          *bitvec.Vector
+}
+
+type pendingKey struct {
+	conn    lsdb.ConnID
+	channel proto.ChannelKind
+}
+
+// Router is one DRTP node.
+type Router struct {
+	cfg Config
+	ep  transport.Endpoint
+	g   *graph.Graph
+
+	mu          sync.Mutex
+	db          *lsdb.DB // reservations for this node's outgoing links
+	view        []linkView
+	seqSeen     map[graph.NodeID]uint64
+	mySeq       uint64
+	dirty       bool
+	pending     map[pendingKey]chan proto.SetupResult
+	pendingAct  map[lsdb.ConnID]chan proto.ActivateResult
+	conns       map[lsdb.ConnID]*conn
+	transitPrim map[graph.LinkID]map[lsdb.ConnID]graph.NodeID
+	lastHello   map[graph.NodeID]time.Time
+	helloSeq    uint64
+	downNbr     map[graph.NodeID]bool
+	closed      bool
+
+	log *slog.Logger
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup // helper goroutines (activation waits)
+}
+
+// New creates and starts a router attached to the given endpoint.
+func New(cfg Config, ep transport.Endpoint) (*Router, error) {
+	cfg.setDefaults()
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("router: nil graph")
+	}
+	if cfg.Node < 0 || int(cfg.Node) >= cfg.Graph.NumNodes() {
+		return nil, fmt.Errorf("router: node %d out of range", cfg.Node)
+	}
+	db, err := lsdb.New(cfg.Graph, cfg.Capacity, cfg.UnitBW)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:         cfg,
+		ep:          ep,
+		g:           cfg.Graph,
+		db:          db,
+		view:        make([]linkView, cfg.Graph.NumLinks()),
+		seqSeen:     make(map[graph.NodeID]uint64),
+		pending:     make(map[pendingKey]chan proto.SetupResult),
+		pendingAct:  make(map[lsdb.ConnID]chan proto.ActivateResult),
+		conns:       make(map[lsdb.ConnID]*conn),
+		transitPrim: make(map[graph.LinkID]map[lsdb.ConnID]graph.NodeID),
+		lastHello:   make(map[graph.NodeID]time.Time),
+		downNbr:     make(map[graph.NodeID]bool),
+		log:         cfg.Logger.With("node", int(cfg.Node)),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	// Optimistic initial view: every link empty until adverts arrive.
+	for i := range r.view {
+		r.view[i] = linkView{
+			availPrim:   cfg.Capacity,
+			availBackup: cfg.Capacity,
+			cv:          bitvec.New(cfg.Graph.NumLinks()),
+		}
+	}
+	now := time.Now()
+	for _, nbr := range r.g.Neighbors(cfg.Node) {
+		r.lastHello[nbr] = now
+	}
+	go r.loop()
+	return r, nil
+}
+
+// Node returns the router's node ID.
+func (r *Router) Node() graph.NodeID { return r.cfg.Node }
+
+// Close stops the router and its endpoint.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	err := r.ep.Close()
+	<-r.done
+	r.wg.Wait()
+	return err
+}
+
+// Conn returns a snapshot of an originated connection.
+func (r *Router) Conn(id lsdb.ConnID) (ConnInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.conns[id]
+	if !ok {
+		return ConnInfo{}, false
+	}
+	return c.info, true
+}
+
+// DB exposes the router's local reservation state (outgoing links only);
+// intended for inspection in tests and tools.
+func (r *Router) DB() *lsdb.DB { return r.db }
+
+// View reports this router's link-state view of one link: the bandwidth
+// available to primaries, the bandwidth available to backups, and the
+// advertised ‖APLV‖₁. Intended for inspection in tests and tools.
+func (r *Router) View(l graph.LinkID) (availPrim, availBackup, norm int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := &r.view[l]
+	return v.availPrim, v.availBackup, v.norm
+}
+
+// loop is the router's single processing goroutine: inbound messages,
+// hello keep-alives and link-state flushes.
+func (r *Router) loop() {
+	defer close(r.done)
+	hello := time.NewTicker(r.cfg.HelloInterval)
+	defer hello.Stop()
+	ls := time.NewTicker(r.cfg.LSInterval)
+	defer ls.Stop()
+
+	r.sendHellos()
+	r.advertise()
+	for {
+		select {
+		case env, ok := <-r.ep.Recv():
+			if !ok {
+				return
+			}
+			r.dispatch(env)
+			r.flushAdverts()
+		case <-hello.C:
+			r.sendHellos()
+			r.checkNeighbors()
+			r.flushAdverts()
+		case <-ls.C:
+			r.advertise()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+func (r *Router) dispatch(env proto.Envelope) {
+	switch m := env.Msg.(type) {
+	case proto.Hello:
+		r.handleHello(env.From)
+	case proto.LSUpdate:
+		r.handleLSUpdate(env.From, m)
+	case proto.Setup:
+		r.handleSetup(m)
+	case proto.SetupResult:
+		r.handleSetupResult(m)
+	case proto.Teardown:
+		r.handleTeardown(m)
+	case proto.FailureReport:
+		r.handleFailureReport(m)
+	case proto.Activate:
+		r.handleActivate(m)
+	case proto.ActivateResult:
+		r.handleActivateResult(m)
+	}
+}
+
+// send transmits best-effort; signalling losses surface as timeouts.
+func (r *Router) send(to graph.NodeID, msg proto.Message) {
+	_ = r.ep.Send(to, msg)
+}

@@ -1,0 +1,301 @@
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/proto"
+)
+
+// Exported signalling errors.
+var (
+	// ErrNoRoute indicates no feasible primary route in the current view.
+	ErrNoRoute = fmt.Errorf("router: no feasible primary route")
+	// ErrNoBackup indicates no backup channel could be established.
+	ErrNoBackup = fmt.Errorf("router: no backup channel could be established")
+	// ErrTimeout indicates a signalling round trip timed out.
+	ErrTimeout = fmt.Errorf("router: signalling timeout")
+	// ErrClosed indicates the router was closed.
+	ErrClosed = fmt.Errorf("router: closed")
+)
+
+// Establish sets up a DR-connection from this router to dst: it reserves
+// the primary channel hop-by-hop, then registers the backup channel
+// carrying the primary's LSET. If the backup cannot be established the
+// primary is torn down and the request fails (the backup-required
+// admission policy).
+func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ConnInfo{}, ErrClosed
+	}
+	if _, dup := r.conns[id]; dup {
+		r.mu.Unlock()
+		return ConnInfo{}, fmt.Errorf("router: connection %d already exists", id)
+	}
+	primary := r.routePrimary(dst)
+	r.mu.Unlock()
+	if primary.Empty() {
+		return ConnInfo{}, ErrNoRoute
+	}
+
+	if err := r.setupChannel(id, proto.Primary, primary, nil); err != nil {
+		return ConnInfo{}, err
+	}
+
+	// Route and register up to cfg.Backups backup channels: the first may
+	// overlap the primary as a last resort, later ones must be disjoint
+	// from everything established so far.
+	var (
+		backups  []graph.Path
+		firstErr error
+	)
+	avoid := primary.LinkSet()
+	for k := 0; k < r.cfg.Backups; k++ {
+		r.mu.Lock()
+		backup := r.routeBackup(dst, primary, avoid)
+		r.mu.Unlock()
+		if backup.Empty() {
+			break
+		}
+		if k > 0 && (backup.SharedLinks(primary) > 0 || overlapsAnyPath(backup, backups)) {
+			break
+		}
+		if err := r.setupChannel(id, proto.Backup, backup, primary.Links()); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		backups = append(backups, backup)
+		for _, l := range backup.Links() {
+			avoid[l] = struct{}{}
+		}
+	}
+	if len(backups) == 0 {
+		r.teardownChannel(id, proto.Primary, primary, -1)
+		if firstErr != nil {
+			return ConnInfo{}, fmt.Errorf("%w: %v", ErrNoBackup, firstErr)
+		}
+		return ConnInfo{}, ErrNoBackup
+	}
+
+	c := &conn{
+		info: ConnInfo{
+			ID:      id,
+			Src:     r.cfg.Node,
+			Dst:     dst,
+			Primary: primary.Nodes(r.g),
+			Backup:  backups[0].Nodes(r.g),
+		},
+		primaryPath: primary,
+		backupPaths: backups,
+	}
+	for _, b := range backups {
+		c.info.Backups = append(c.info.Backups, b.Nodes(r.g))
+	}
+	r.mu.Lock()
+	r.conns[id] = c
+	info := c.info
+	r.mu.Unlock()
+	r.log.Info("connection established", "conn", int64(id), "dst", int(dst),
+		"primaryHops", primary.Hops(), "backups", len(backups))
+	return info, nil
+}
+
+// overlapsAnyPath reports whether p shares a link with any of the paths.
+func overlapsAnyPath(p graph.Path, paths []graph.Path) bool {
+	for _, other := range paths {
+		if p.SharedLinks(other) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Release terminates a connection originated at this router.
+func (r *Router) Release(id lsdb.ConnID) error {
+	r.mu.Lock()
+	c, ok := r.conns[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("router: connection %d not found", id)
+	}
+	delete(r.conns, id)
+	info := c.info
+	primary, backups := c.primaryPath, c.backupPaths
+	r.mu.Unlock()
+
+	r.log.Info("connection released", "conn", int64(id))
+	// primaryPath always names the route currently carrying primary
+	// bandwidth (the activated backup after a switch); backupPaths only
+	// the still-registered backup channels.
+	_ = info
+	r.teardownChannel(id, proto.Primary, primary, -1)
+	for _, b := range backups {
+		r.teardownChannel(id, proto.Backup, b, -1)
+	}
+	return nil
+}
+
+// setupChannel runs one hop-by-hop setup and waits for the result.
+func (r *Router) setupChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, lset []graph.LinkID) error {
+	key := pendingKey{conn: id, channel: kind}
+	ch := make(chan proto.SetupResult, 1)
+	r.mu.Lock()
+	r.pending[key] = ch
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.pending, key)
+		r.mu.Unlock()
+	}()
+
+	r.send(r.cfg.Node, proto.Setup{
+		Conn:        id,
+		Channel:     kind,
+		Route:       path.Nodes(r.g),
+		Hop:         0,
+		PrimaryLSET: lset,
+	})
+	select {
+	case res := <-ch:
+		if !res.OK {
+			// Roll back the hops reserved before the failure.
+			r.teardownChannel(id, kind, path, res.FailedHop)
+			return fmt.Errorf("router: %s setup rejected at hop %d: %s", kind, res.FailedHop, res.Reason)
+		}
+		return nil
+	case <-time.After(r.cfg.SetupTimeout):
+		r.teardownChannel(id, kind, path, -1)
+		return ErrTimeout
+	case <-r.stop:
+		return ErrClosed
+	}
+}
+
+// teardownChannel releases a channel's reservations along a route. upTo
+// bounds the number of out-links released (-1 = all).
+func (r *Router) teardownChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, upTo int) {
+	nodes := path.Nodes(r.g)
+	if len(nodes) < 2 {
+		return
+	}
+	if upTo < 0 || upTo > len(nodes)-1 {
+		upTo = len(nodes) - 1
+	}
+	if upTo == 0 {
+		return
+	}
+	r.send(r.cfg.Node, proto.Teardown{
+		Conn:    id,
+		Channel: kind,
+		Route:   nodes,
+		Hop:     0,
+		UpTo:    upTo,
+	})
+}
+
+// handleSetup processes one hop of a channel setup.
+func (r *Router) handleSetup(m proto.Setup) {
+	i := m.Hop
+	if i < 0 || i >= len(m.Route) || m.Route[i] != r.cfg.Node {
+		return
+	}
+	origin := m.Route[0]
+	if i == len(m.Route)-1 {
+		r.send(origin, proto.SetupResult{Conn: m.Conn, Channel: m.Channel, OK: true})
+		return
+	}
+	next := m.Route[i+1]
+	l, ok := r.g.LinkBetween(r.cfg.Node, next)
+	if !ok {
+		r.send(origin, proto.SetupResult{
+			Conn: m.Conn, Channel: m.Channel, FailedHop: i,
+			Reason: fmt.Sprintf("no link %d->%d", r.cfg.Node, next),
+		})
+		return
+	}
+
+	r.mu.Lock()
+	var err error
+	switch {
+	case r.downNbr[next]:
+		err = fmt.Errorf("link %d->%d is down", r.cfg.Node, next)
+	case m.Channel == proto.Primary:
+		if err = r.db.ReservePrimary(m.Conn, l); err == nil {
+			if r.transitPrim[l] == nil {
+				r.transitPrim[l] = make(map[lsdb.ConnID]graph.NodeID)
+			}
+			r.transitPrim[l][m.Conn] = origin
+		}
+	default:
+		err = r.db.RegisterBackup(m.Conn, l, m.PrimaryLSET)
+	}
+	if err == nil {
+		r.markDirty()
+	}
+	r.mu.Unlock()
+
+	if err != nil {
+		r.send(origin, proto.SetupResult{
+			Conn: m.Conn, Channel: m.Channel, FailedHop: i, Reason: err.Error(),
+		})
+		return
+	}
+	m.Hop++
+	r.send(next, m)
+}
+
+// handleSetupResult completes a pending setup round trip.
+func (r *Router) handleSetupResult(m proto.SetupResult) {
+	r.mu.Lock()
+	ch := r.pending[pendingKey{conn: m.Conn, channel: m.Channel}]
+	r.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+}
+
+// handleTeardown releases one hop and forwards the sweep.
+func (r *Router) handleTeardown(m proto.Teardown) {
+	i := m.Hop
+	if i < 0 || i >= len(m.Route)-1 || m.Route[i] != r.cfg.Node || i >= m.UpTo {
+		return
+	}
+	next := m.Route[i+1]
+	if l, ok := r.g.LinkBetween(r.cfg.Node, next); ok {
+		r.mu.Lock()
+		r.releaseLocal(m.Conn, m.Channel, l)
+		r.markDirty()
+		r.mu.Unlock()
+	}
+	if i+1 < m.UpTo {
+		m.Hop++
+		r.send(next, m)
+	}
+}
+
+// releaseLocal releases whatever the connection holds on link l for the
+// given channel kind; releases are idempotent (teardown sweeps may cross
+// rollbacks). Callers must hold r.mu.
+func (r *Router) releaseLocal(id lsdb.ConnID, kind proto.ChannelKind, l graph.LinkID) {
+	if kind == proto.Primary {
+		if r.db.HasPrimary(id, l) {
+			_ = r.db.ReleasePrimary(id, l)
+		}
+		if m := r.transitPrim[l]; m != nil {
+			delete(m, id)
+		}
+		return
+	}
+	if r.db.HasBackup(id, l) {
+		_ = r.db.ReleaseBackup(id, l)
+	}
+}

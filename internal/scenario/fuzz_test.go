@@ -1,0 +1,44 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the scenario-file parser: it must
+// never panic, and whatever it accepts must survive a write/read round
+// trip unchanged.
+func FuzzRead(f *testing.F) {
+	valid, err := Generate(Config{Nodes: 5, Lambda: 0.5, Duration: 10, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"config":{},"numEvents":1}` + "\n" + `{"t":1,"kind":1,"conn":0}`))
+	f.Add([]byte(`{"config":{},"numEvents":-1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := sc.Write(&out); err != nil {
+			t.Fatalf("accepted scenario failed to serialize: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again.Events) != len(sc.Events) {
+			t.Fatalf("round trip changed event count: %d vs %d",
+				len(again.Events), len(sc.Events))
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/rtcl/drtp/internal/graph"
+)
+
+// fileHeader is the first line of a scenario file: the generation config
+// and the hot-destination list.
+type fileHeader struct {
+	Config          Config `json:"config"`
+	HotDestinations []int  `json:"hotDestinations,omitempty"`
+	NumEvents       int    `json:"numEvents"`
+}
+
+// Write serializes the scenario as JSON lines: one header line followed by
+// one line per event.
+func (s *Scenario) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := fileHeader{Config: s.Config, NumEvents: len(s.Events)}
+	for _, h := range s.HotDestinations {
+		header.HotDestinations = append(header.HotDestinations, int(h))
+	}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("scenario: write header: %w", err)
+	}
+	for i := range s.Events {
+		if err := enc.Encode(&s.Events[i]); err != nil {
+			return fmt.Errorf("scenario: write event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a scenario previously produced by Write.
+func Read(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header fileHeader
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("scenario: read header: %w", err)
+	}
+	if header.NumEvents < 0 {
+		return nil, fmt.Errorf("scenario: negative event count %d", header.NumEvents)
+	}
+	s := &Scenario{Config: header.Config}
+	for _, h := range header.HotDestinations {
+		s.HotDestinations = append(s.HotDestinations, graph.NodeID(h))
+	}
+	// Cap the preallocation: the header is untrusted input.
+	capHint := header.NumEvents
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	s.Events = make([]Event, 0, capHint)
+	for i := 0; i < header.NumEvents; i++ {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("scenario: read event %d: %w", i, err)
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s, nil
+}
+
+// Save writes the scenario to a file path.
+func (s *Scenario) Save(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("scenario: close: %w", cerr)
+		}
+	}()
+	return s.Write(f)
+}
+
+// Load reads a scenario from a file path.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,219 @@
+// Package scenario generates and replays the traffic used in the paper's
+// evaluation: DR-connection requests arriving as a Poisson process with
+// per-node rate lambda, uniformly distributed lifetimes, and two
+// destination patterns — UT (uniform) and NT (half of all connections
+// target 10 pre-selected hot destinations).
+//
+// The paper records request/release events in scenario files (generated
+// with Matlab) and replays the same file under every routing scheme so
+// schemes are compared on identical inputs. This package reproduces that
+// mechanism: Generate is deterministic in Config.Seed, and scenarios
+// serialize to JSON-lines files.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/rng"
+)
+
+// Pattern selects how destinations are drawn.
+type Pattern int
+
+const (
+	// UT draws source and destination uniformly at random (paper's
+	// "uniform traffic").
+	UT Pattern = iota + 1
+	// NT pre-selects HotDests nodes; a HotFraction share of connections
+	// targets one of them (paper's non-uniform traffic: 10 nodes receive
+	// 50% of DR-connections).
+	NT
+)
+
+// String returns the paper's abbreviation for the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case UT:
+		return "UT"
+	case NT:
+		return "NT"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// EventKind distinguishes request arrivals from connection releases.
+type EventKind int
+
+const (
+	// Arrival is a DR-connection request.
+	Arrival EventKind = iota + 1
+	// Departure terminates a previously requested connection.
+	Departure
+)
+
+// Event is one entry of a scenario file. Times are in minutes.
+type Event struct {
+	Time float64      `json:"t"`
+	Kind EventKind    `json:"kind"`
+	Conn lsdb.ConnID  `json:"conn"`
+	Src  graph.NodeID `json:"src,omitempty"`
+	Dst  graph.NodeID `json:"dst,omitempty"`
+}
+
+// Config parameterizes scenario generation.
+type Config struct {
+	// Nodes is the number of network nodes (paper: 60).
+	Nodes int
+	// Lambda is the per-node request arrival rate per minute; the
+	// network-wide process is Poisson with rate Nodes*Lambda.
+	Lambda float64
+	// Duration is the arrival horizon in minutes. Departures may fall
+	// after the horizon.
+	Duration float64
+	// LifetimeMin/LifetimeMax bound the uniform connection lifetime in
+	// minutes (paper: 20 and 60).
+	LifetimeMin float64
+	LifetimeMax float64
+	// Pattern selects UT or NT.
+	Pattern Pattern
+	// HotDests is the number of pre-selected hot destinations for NT
+	// (paper: 10).
+	HotDests int
+	// HotFraction is the share of connections targeting a hot
+	// destination under NT (paper: 0.5).
+	HotFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.LifetimeMin == 0 && c.LifetimeMax == 0 {
+		c.LifetimeMin, c.LifetimeMax = 20, 60
+	}
+	if c.Pattern == 0 {
+		c.Pattern = UT
+	}
+	if c.HotDests == 0 {
+		c.HotDests = 10
+	}
+	if c.HotFraction == 0 {
+		c.HotFraction = 0.5
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("scenario: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Lambda <= 0 {
+		return fmt.Errorf("scenario: lambda must be positive, got %g", c.Lambda)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("scenario: duration must be positive, got %g", c.Duration)
+	}
+	if c.LifetimeMin <= 0 || c.LifetimeMax < c.LifetimeMin {
+		return fmt.Errorf("scenario: invalid lifetime range [%g,%g]", c.LifetimeMin, c.LifetimeMax)
+	}
+	if c.Pattern == NT && c.HotDests > c.Nodes {
+		return fmt.Errorf("scenario: %d hot destinations exceed %d nodes", c.HotDests, c.Nodes)
+	}
+	if c.HotFraction < 0 || c.HotFraction > 1 {
+		return fmt.Errorf("scenario: hot fraction %g out of [0,1]", c.HotFraction)
+	}
+	return nil
+}
+
+// Scenario is a replayable event trace.
+type Scenario struct {
+	// Config records how the scenario was generated.
+	Config Config `json:"config"`
+	// HotDestinations lists the NT hot nodes (empty under UT).
+	HotDestinations []graph.NodeID `json:"hotDestinations,omitempty"`
+	// Events is sorted by time; arrivals and departures interleave.
+	Events []Event `json:"-"`
+}
+
+// NumArrivals returns the number of request events.
+func (s *Scenario) NumArrivals() int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == Arrival {
+			n++
+		}
+	}
+	return n
+}
+
+// EndTime returns the time of the last event, or 0 for an empty scenario.
+func (s *Scenario) EndTime() float64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].Time
+}
+
+// Generate creates a scenario deterministically from cfg.
+func Generate(cfg Config) (*Scenario, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	arrivalRNG := src.Split("arrivals")
+	pairRNG := src.Split("pairs")
+	lifeRNG := src.Split("lifetimes")
+	hotRNG := src.Split("hotdests")
+
+	var hot []graph.NodeID
+	if cfg.Pattern == NT {
+		perm := hotRNG.Perm(cfg.Nodes)
+		hot = make([]graph.NodeID, cfg.HotDests)
+		for i := range hot {
+			hot[i] = graph.NodeID(perm[i])
+		}
+		sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	}
+
+	rate := float64(cfg.Nodes) * cfg.Lambda
+	var events []Event
+	var id lsdb.ConnID
+	for t := arrivalRNG.Exp(rate); t < cfg.Duration; t += arrivalRNG.Exp(rate) {
+		src, dst := drawPair(pairRNG, cfg, hot)
+		life := lifeRNG.Uniform(cfg.LifetimeMin, cfg.LifetimeMax)
+		events = append(events,
+			Event{Time: t, Kind: Arrival, Conn: id, Src: src, Dst: dst},
+			Event{Time: t + life, Kind: Departure, Conn: id},
+		)
+		id++
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return &Scenario{Config: cfg, HotDestinations: hot, Events: events}, nil
+}
+
+// drawPair picks a source and a distinct destination per the pattern.
+func drawPair(r *rng.Source, cfg Config, hot []graph.NodeID) (graph.NodeID, graph.NodeID) {
+	src := graph.NodeID(r.Intn(cfg.Nodes))
+	if cfg.Pattern == NT && r.Float64() < cfg.HotFraction {
+		for {
+			dst := hot[r.Intn(len(hot))]
+			if dst != src {
+				return src, dst
+			}
+			// src itself is hot: fall back to any other hot node, or to
+			// a uniform draw when src is the only hot node.
+			if len(hot) == 1 {
+				break
+			}
+		}
+	}
+	for {
+		dst := graph.NodeID(r.Intn(cfg.Nodes))
+		if dst != src {
+			return src, dst
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/routing"
+	"github.com/rtcl/drtp/internal/sim"
+)
+
+func TestRunWithFailureSchedule(t *testing.T) {
+	net := smallNetwork(t)
+	sc := smallScenario(t, 0.3)
+	schedule := []sim.FailureEvent{
+		{Time: 50, Edge: 0, Repair: 70},
+		{Time: 60, Edge: 5, Repair: 90},
+		{Time: 80, Edge: 11},
+	}
+	res, err := sim.Run(net, routing.NewDLSR(), sc, sim.Config{
+		Warmup:          40,
+		FailureSchedule: schedule,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailuresApplied != 3 {
+		t.Fatalf("failures applied = %d", res.FailuresApplied)
+	}
+	if res.FailureAffected == 0 {
+		t.Fatal("no connections affected by scheduled failures")
+	}
+	if res.Switched+res.Dropped != res.FailureAffected {
+		t.Fatalf("switched %d + dropped %d != affected %d",
+			res.Switched, res.Dropped, res.FailureAffected)
+	}
+	if res.Availability <= 0 || res.Availability > 1 {
+		t.Fatalf("availability = %v", res.Availability)
+	}
+	// Edge 0 and 5 are repaired, edge 11 stays down.
+	if got := net.NumFailedLinks(); got != 2 {
+		t.Fatalf("failed links at end = %d, want 2 (one unrepaired edge)", got)
+	}
+}
+
+func TestRunFailureScheduleVsNoFailures(t *testing.T) {
+	sc := smallScenario(t, 0.3)
+	clean, err := sim.Run(smallNetwork(t), routing.NewDLSR(), sc, sim.Config{Warmup: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.FailuresApplied != 0 || clean.Dropped != 0 || clean.Availability != 1 {
+		t.Fatalf("clean run shows failure effects: %+v", clean)
+	}
+}
+
+func TestRunReactiveSweeps(t *testing.T) {
+	net := smallNetwork(t)
+	sc := smallScenario(t, 0.3)
+	res, err := sim.Run(net, routing.NewNoBackup(), sc, sim.Config{
+		Warmup:       40,
+		EvalInterval: 20,
+		Reactive:     true,
+		ManagerOpts:  []drtp.ManagerOption{drtp.WithOptionalBackup()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FTValid || res.FaultTolerance <= 0 {
+		t.Fatalf("reactive FT = %v (valid %v)", res.FaultTolerance, res.FTValid)
+	}
+	// Reactive evaluation reports only recoveries and contention.
+	if res.NoBackup != 0 || res.BackupHit != 0 {
+		t.Fatalf("unexpected tallies: %+v", res)
+	}
+}
+
+func TestRunPairSamples(t *testing.T) {
+	net := smallNetwork(t)
+	sc := smallScenario(t, 0.3)
+	res, err := sim.Run(net, routing.NewDLSR(), sc, sim.Config{
+		Warmup:       40,
+		EvalInterval: 20,
+		PairSamples:  100,
+		PairSeed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PairFTValid || res.PairAffected == 0 {
+		t.Fatalf("pair sweep missing: %+v", res)
+	}
+	if res.PairFaultTolerance > res.FaultTolerance {
+		t.Fatalf("double-failure FT %v exceeds single-failure FT %v",
+			res.PairFaultTolerance, res.FaultTolerance)
+	}
+}
+
+func TestFailureScheduleDeterministic(t *testing.T) {
+	sc := smallScenario(t, 0.3)
+	schedule := []sim.FailureEvent{{Time: 50, Edge: 3, Repair: 80}}
+	run := func() *sim.Result {
+		res, err := sim.Run(smallNetwork(t), routing.NewDLSR(), sc, sim.Config{
+			Warmup:          40,
+			FailureSchedule: schedule,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Switched != b.Switched || a.Dropped != b.Dropped || a.Stats.Accepted != b.Stats.Accepted {
+		t.Fatal("destructive runs diverged for identical inputs")
+	}
+}
+
+func TestRunQoSBound(t *testing.T) {
+	sc := smallScenario(t, 0.3)
+	bounded, err := sim.Run(smallNetwork(t), routing.NewDLSR(), sc, sim.Config{
+		Warmup: 40, EvalInterval: 20, QoSBound: true, QoSSlack: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := sim.Run(smallNetwork(t), routing.NewDLSR(), sc, sim.Config{
+		Warmup: 40, EvalInterval: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.AvgBackupHops > free.AvgBackupHops {
+		t.Fatalf("bounded backups longer: %v vs %v", bounded.AvgBackupHops, free.AvgBackupHops)
+	}
+	if bounded.FaultTolerance >= free.FaultTolerance {
+		t.Fatalf("zero-slack FT %v >= unbounded %v", bounded.FaultTolerance, free.FaultTolerance)
+	}
+}

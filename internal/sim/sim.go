@@ -1,0 +1,324 @@
+// Package sim replays traffic scenarios against a DR-connection manager
+// and measures the paper's evaluation quantities: fault tolerance
+// (P_act-bk, via periodic single-link-failure sweeps), accepted-connection
+// counts (the capacity-overhead input), and network load.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/scenario"
+)
+
+// FailureEvent schedules a destructive edge failure (and optional repair)
+// during a run. Unlike the periodic non-destructive sweeps, these
+// failures really take links down: affected connections switch to their
+// backups or are dropped, and new requests route around the outage until
+// the repair time.
+type FailureEvent struct {
+	// Time is when the edge fails (minutes).
+	Time float64
+	// Edge is the physical edge that fails (both directions).
+	Edge graph.EdgeID
+	// Repair is the absolute repair time; zero means never repaired.
+	Repair float64
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// Warmup is the simulated time (minutes) before measurement starts;
+	// it lets the connection population reach steady state.
+	Warmup float64
+	// EvalInterval is the period (minutes) of failure-sweep evaluations
+	// after warmup. Zero disables fault-tolerance measurement.
+	EvalInterval float64
+	// FailureModel selects link or edge failures for the sweeps; the
+	// default is the paper's single-unidirectional-link model.
+	FailureModel drtp.FailureModel
+	// EndTime truncates the run; zero means run to the last event.
+	EndTime float64
+	// ManagerOpts configures the manager (e.g. drtp.WithOptionalBackup
+	// for the no-backup baseline).
+	ManagerOpts []drtp.ManagerOption
+	// Reactive evaluates recovery with the reactive (re-route on demand)
+	// policy instead of backup activation. Use with the no-backup scheme
+	// and optional-backup admission.
+	Reactive bool
+	// PairSamples, when positive, additionally evaluates this many random
+	// simultaneous two-link failures per epoch (seeded by PairSeed); the
+	// results land in the Pair* fields of Result.
+	PairSamples int
+	PairSeed    int64
+	// FailureSchedule lists destructive failures to apply during the run.
+	FailureSchedule []FailureEvent
+	// QoSBound, when true, gives every request the delay bound
+	// MaxHops = minimum-hop-distance(src,dst) + QoSSlack, constraining
+	// both channels (the paper's end-to-end delay QoS).
+	QoSBound bool
+	QoSSlack int
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	// Scheme is the routing scheme's name.
+	Scheme string
+	// Stats holds the manager's admission counters for the whole run.
+	Stats drtp.Stats
+	// AcceptedInWindow counts connections accepted after warmup: the
+	// quantity compared against the no-backup baseline for capacity
+	// overhead.
+	AcceptedInWindow int64
+	// RequestsInWindow counts requests arriving after warmup.
+	RequestsInWindow int64
+	// FaultTolerance is P_act-bk aggregated over all failure sweeps,
+	// weighted by affected connections. Valid only if FTValid.
+	FaultTolerance float64
+	FTValid        bool
+	// Affected, Recovered, NoBackup, BackupHit, Contention sum the sweep
+	// outcome tallies behind FaultTolerance.
+	Affected   int64
+	Recovered  int64
+	NoBackup   int64
+	BackupHit  int64
+	Contention int64
+	// Sweeps is the number of failure-sweep epochs evaluated.
+	Sweeps int
+	// PairAffected/PairRecovered/PairFaultTolerance measure the optional
+	// simultaneous two-link-failure sweeps (Config.PairSamples).
+	PairAffected       int64
+	PairRecovered      int64
+	PairFaultTolerance float64
+	PairFTValid        bool
+	// Destructive-failure tallies (Config.FailureSchedule): applied
+	// failures, connections affected/switched/dropped, and backup
+	// channels re-established after switching.
+	FailuresApplied int
+	FailureAffected int64
+	Switched        int64
+	Dropped         int64
+	Reestablished   int64
+	// Availability is 1 - Dropped/Accepted over the whole run (1 when
+	// nothing was accepted or no failures were scheduled).
+	Availability float64
+	// AvgActive is the time-averaged number of active connections after
+	// warmup.
+	AvgActive float64
+	// AvgLoad is the time-averaged fraction of total link capacity
+	// reserved by primary channels after warmup.
+	AvgLoad float64
+	// AvgSpareLoad is the time-averaged fraction of total link capacity
+	// reserved as spare (backup) resources after warmup.
+	AvgSpareLoad float64
+	// AvgBackupHops / AvgPrimaryHops are establishment-time route length
+	// averages over accepted connections with the respective channel.
+	AvgPrimaryHops float64
+	AvgBackupHops  float64
+	// EndTime is the simulated time at which the run stopped.
+	EndTime float64
+}
+
+// AcceptRatioInWindow returns accepted/requests within the measurement
+// window.
+func (r *Result) AcceptRatioInWindow() float64 {
+	if r.RequestsInWindow == 0 {
+		return 0
+	}
+	return float64(r.AcceptedInWindow) / float64(r.RequestsInWindow)
+}
+
+// Run replays the scenario on a fresh manager over net with the given
+// scheme. The network must be freshly constructed (no reservations); the
+// run mutates its link-state database.
+func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config) (*Result, error) {
+	if sc.Config.Nodes != net.Graph().NumNodes() {
+		return nil, fmt.Errorf("sim: scenario has %d nodes, network has %d",
+			sc.Config.Nodes, net.Graph().NumNodes())
+	}
+	if cfg.EvalInterval < 0 || cfg.Warmup < 0 {
+		return nil, errors.New("sim: negative warmup or eval interval")
+	}
+
+	mgr := drtp.NewManager(net, schm, cfg.ManagerOpts...)
+	res := &Result{Scheme: schm.Name()}
+
+	end := cfg.EndTime
+	if end == 0 {
+		end = sc.EndTime()
+	}
+	nextEval := cfg.Warmup
+	if cfg.EvalInterval == 0 {
+		nextEval = end + 1 // never
+	}
+
+	var (
+		now            float64
+		integActive    float64 // ∫ active dt after warmup
+		integPrime     float64 // ∫ primeBW dt after warmup
+		integSpare     float64 // ∫ spareBW dt after warmup
+		integStart     = cfg.Warmup
+		lastT          = cfg.Warmup
+		sumPrimaryHops int64
+		numPrimary     int64
+		sumBackupHops  int64
+		numBackup      int64
+	)
+	db := net.DB()
+	totalCap := float64(db.TotalCapacity())
+
+	integrate := func(t float64) {
+		if t <= lastT {
+			return
+		}
+		dt := t - lastT
+		integActive += dt * float64(mgr.NumActive())
+		integPrime += dt * float64(db.TotalPrimeBW())
+		integSpare += dt * float64(db.TotalSpareBW())
+		lastT = t
+	}
+
+	model := cfg.FailureModel
+	if model == 0 {
+		model = drtp.LinkFailures
+	}
+	pairSeed := cfg.PairSeed
+	runEvals := func(upto float64) {
+		for nextEval <= upto {
+			var outcomes []drtp.FailureOutcome
+			if cfg.Reactive {
+				outcomes = mgr.SweepFailuresReactive()
+			} else {
+				outcomes = mgr.SweepFailures(model)
+			}
+			for _, o := range outcomes {
+				res.Affected += int64(o.Affected)
+				res.Recovered += int64(o.Recovered)
+				res.NoBackup += int64(o.NoBackup)
+				res.BackupHit += int64(o.BackupHit)
+				res.Contention += int64(o.Contention)
+			}
+			if cfg.PairSamples > 0 {
+				pairSeed++
+				for _, o := range mgr.SweepLinkPairFailures(cfg.PairSamples, pairSeed) {
+					res.PairAffected += int64(o.Affected)
+					res.PairRecovered += int64(o.Recovered)
+				}
+			}
+			res.Sweeps++
+			nextEval += cfg.EvalInterval
+		}
+	}
+
+	type timelineItem struct {
+		time    float64
+		traffic *scenario.Event
+		fail    bool
+		edge    graph.EdgeID
+	}
+	timeline := make([]timelineItem, 0, len(sc.Events)+2*len(cfg.FailureSchedule))
+	for i := range sc.Events {
+		timeline = append(timeline, timelineItem{time: sc.Events[i].Time, traffic: &sc.Events[i]})
+	}
+	for _, f := range cfg.FailureSchedule {
+		timeline = append(timeline, timelineItem{time: f.Time, fail: true, edge: f.Edge})
+		if f.Repair > f.Time {
+			timeline = append(timeline, timelineItem{time: f.Repair, edge: f.Edge})
+		}
+	}
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].time < timeline[j].time })
+
+	for _, item := range timeline {
+		if item.time > end {
+			break
+		}
+		now = item.time
+		runEvals(now)
+		if now > cfg.Warmup {
+			integrate(now)
+		}
+		if item.traffic == nil {
+			if item.fail {
+				rec := mgr.ApplyEdgeFailure(item.edge)
+				res.FailuresApplied++
+				res.FailureAffected += int64(rec.Affected)
+				res.Switched += int64(rec.Switched)
+				res.Dropped += int64(rec.Dropped)
+				res.Reestablished += int64(rec.BackupsReestablished)
+			} else {
+				net.RestoreEdge(item.edge)
+			}
+			continue
+		}
+		ev := *item.traffic
+		switch ev.Kind {
+		case scenario.Arrival:
+			if now > cfg.Warmup {
+				res.RequestsInWindow++
+			}
+			req := drtp.Request{ID: ev.Conn, Src: ev.Src, Dst: ev.Dst}
+			if cfg.QoSBound {
+				if d := net.Distances().Hops(ev.Src, ev.Dst); d > 0 {
+					req.MaxHops = d + cfg.QoSSlack
+				}
+			}
+			conn, err := mgr.Establish(req)
+			if err != nil {
+				if !errors.Is(err, drtp.ErrNoRoute) && !errors.Is(err, drtp.ErrNoBackup) {
+					return nil, fmt.Errorf("sim: establish %d: %w", ev.Conn, err)
+				}
+				continue
+			}
+			if now > cfg.Warmup {
+				res.AcceptedInWindow++
+			}
+			sumPrimaryHops += int64(conn.Primary.Hops())
+			numPrimary++
+			if conn.HasBackup() {
+				sumBackupHops += int64(conn.Backup().Hops())
+				numBackup++
+			}
+		case scenario.Departure:
+			if _, active := mgr.Get(ev.Conn); active {
+				if err := mgr.Release(ev.Conn); err != nil {
+					return nil, fmt.Errorf("sim: release %d: %w", ev.Conn, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown event kind %d", ev.Kind)
+		}
+	}
+	runEvals(end)
+	integrate(end)
+
+	res.Stats = mgr.Stats()
+	res.EndTime = end
+	if window := end - integStart; window > 0 {
+		res.AvgActive = integActive / window
+		if totalCap > 0 {
+			res.AvgLoad = integPrime / window / totalCap
+			res.AvgSpareLoad = integSpare / window / totalCap
+		}
+	}
+	if res.Affected > 0 {
+		res.FaultTolerance = float64(res.Recovered) / float64(res.Affected)
+		res.FTValid = true
+	}
+	if res.PairAffected > 0 {
+		res.PairFaultTolerance = float64(res.PairRecovered) / float64(res.PairAffected)
+		res.PairFTValid = true
+	}
+	if numPrimary > 0 {
+		res.AvgPrimaryHops = float64(sumPrimaryHops) / float64(numPrimary)
+	}
+	if numBackup > 0 {
+		res.AvgBackupHops = float64(sumBackupHops) / float64(numBackup)
+	}
+	res.Availability = 1
+	if res.Stats.Accepted > 0 {
+		res.Availability = 1 - float64(res.Dropped)/float64(res.Stats.Accepted)
+	}
+	return res, nil
+}

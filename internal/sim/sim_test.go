@@ -1,0 +1,184 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/routing"
+	"github.com/rtcl/drtp/internal/scenario"
+	"github.com/rtcl/drtp/internal/sim"
+	"github.com/rtcl/drtp/internal/topology"
+)
+
+func smallNetwork(t *testing.T) *drtp.Network {
+	t.Helper()
+	g, err := topology.Waxman(topology.WaxmanConfig{Nodes: 20, AvgDegree: 3, MinDegree: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := drtp.NewNetwork(g, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func smallScenario(t *testing.T, lambda float64) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Generate(scenario.Config{
+		Nodes:    20,
+		Lambda:   lambda,
+		Duration: 120,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestRunBasics(t *testing.T) {
+	net := smallNetwork(t)
+	sc := smallScenario(t, 0.2)
+	res, err := sim.Run(net, routing.NewDLSR(), sc, sim.Config{Warmup: 40, EvalInterval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "D-LSR" {
+		t.Fatalf("scheme = %q", res.Scheme)
+	}
+	if res.Stats.Requests != int64(sc.NumArrivals()) {
+		t.Fatalf("requests = %d, arrivals = %d", res.Stats.Requests, sc.NumArrivals())
+	}
+	if res.Stats.Accepted == 0 || res.AcceptedInWindow == 0 {
+		t.Fatal("nothing accepted")
+	}
+	if res.AcceptedInWindow > res.Stats.Accepted {
+		t.Fatal("window accepted exceeds total")
+	}
+	if res.Sweeps == 0 || !res.FTValid {
+		t.Fatalf("sweeps=%d ftValid=%v", res.Sweeps, res.FTValid)
+	}
+	if res.FaultTolerance <= 0 || res.FaultTolerance > 1 {
+		t.Fatalf("fault tolerance = %v", res.FaultTolerance)
+	}
+	if res.AvgActive <= 0 || res.AvgLoad <= 0 || res.AvgLoad > 1 {
+		t.Fatalf("avgActive=%v avgLoad=%v", res.AvgActive, res.AvgLoad)
+	}
+	if res.AvgPrimaryHops <= 0 || res.AvgBackupHops <= 0 {
+		t.Fatalf("hop averages: %v %v", res.AvgPrimaryHops, res.AvgBackupHops)
+	}
+	if got := res.Affected - res.Recovered - res.NoBackup - res.BackupHit - res.Contention; got != 0 {
+		t.Fatalf("outcome tallies do not add up: %d left", got)
+	}
+	if res.EndTime <= 0 {
+		t.Fatal("end time missing")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	sc := smallScenario(t, 0.2)
+	a, err := sim.Run(smallNetwork(t), routing.NewDLSR(), sc, sim.Config{Warmup: 40, EvalInterval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(smallNetwork(t), routing.NewDLSR(), sc, sim.Config{Warmup: 40, EvalInterval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FaultTolerance != b.FaultTolerance || a.AcceptedInWindow != b.AcceptedInWindow ||
+		a.AvgActive != b.AvgActive {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestRunEvalDisabled(t *testing.T) {
+	res, err := sim.Run(smallNetwork(t), routing.NewDLSR(), smallScenario(t, 0.2), sim.Config{Warmup: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sweeps != 0 || res.FTValid {
+		t.Fatalf("sweeps=%d ftValid=%v with eval disabled", res.Sweeps, res.FTValid)
+	}
+}
+
+func TestRunEndTimeTruncates(t *testing.T) {
+	full, err := sim.Run(smallNetwork(t), routing.NewDLSR(), smallScenario(t, 0.2), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := sim.Run(smallNetwork(t), routing.NewDLSR(), smallScenario(t, 0.2), sim.Config{EndTime: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Stats.Requests >= full.Stats.Requests {
+		t.Fatalf("truncated run saw %d requests, full %d", cut.Stats.Requests, full.Stats.Requests)
+	}
+	if cut.EndTime != 60 {
+		t.Fatalf("end time = %v", cut.EndTime)
+	}
+}
+
+func TestRunNodeCountMismatch(t *testing.T) {
+	sc, err := scenario.Generate(scenario.Config{Nodes: 99, Lambda: 0.1, Duration: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(smallNetwork(t), routing.NewDLSR(), sc, sim.Config{}); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+}
+
+func TestRunNegativeConfig(t *testing.T) {
+	if _, err := sim.Run(smallNetwork(t), routing.NewDLSR(), smallScenario(t, 0.1), sim.Config{Warmup: -1}); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestRunNoBackupBaseline(t *testing.T) {
+	res, err := sim.Run(smallNetwork(t), routing.NewNoBackup(), smallScenario(t, 0.2), sim.Config{
+		Warmup:      40,
+		ManagerOpts: []drtp.ManagerOption{drtp.WithOptionalBackup()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Accepted == 0 {
+		t.Fatal("baseline accepted nothing")
+	}
+	if res.AvgSpareLoad != 0 || res.AvgBackupHops != 0 {
+		t.Fatalf("baseline reserved spare: %v %v", res.AvgSpareLoad, res.AvgBackupHops)
+	}
+}
+
+func TestAcceptRatioInWindow(t *testing.T) {
+	var r sim.Result
+	if r.AcceptRatioInWindow() != 0 {
+		t.Fatal("empty ratio != 0")
+	}
+	r.RequestsInWindow = 10
+	r.AcceptedInWindow = 4
+	if r.AcceptRatioInWindow() != 0.4 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+func TestRunEdgeFailureModel(t *testing.T) {
+	link, err := sim.Run(smallNetwork(t), routing.NewDLSR(), smallScenario(t, 0.2), sim.Config{
+		Warmup: 40, EvalInterval: 20, FailureModel: drtp.LinkFailures,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := sim.Run(smallNetwork(t), routing.NewDLSR(), smallScenario(t, 0.2), sim.Config{
+		Warmup: 40, EvalInterval: 20, FailureModel: drtp.EdgeFailures,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge failures hit both directions: strictly more affected
+	// connections per sweep on any loaded network.
+	if edge.Affected <= link.Affected/2 {
+		t.Fatalf("edge affected = %d, link affected = %d", edge.Affected, link.Affected)
+	}
+}

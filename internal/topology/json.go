@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/rtcl/drtp/internal/graph"
+)
+
+// fileFormat is the on-disk JSON topology: node count plus an undirected
+// edge list. It is the interchange format between topogen and drtpnode.
+type fileFormat struct {
+	Nodes int      `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+}
+
+// WriteJSON serializes the graph's undirected edge list as JSON.
+func WriteJSON(w io.Writer, g *graph.Graph) error {
+	ff := fileFormat{Nodes: g.NumNodes(), Edges: make([][2]int, 0, g.NumEdges())}
+	for e := 0; e < g.NumEdges(); e++ {
+		fwd, _ := g.EdgeLinks(graph.EdgeID(e))
+		link := g.Link(fwd)
+		ff.Edges = append(ff.Edges, [2]int{int(link.From), int(link.To)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ff); err != nil {
+		return fmt.Errorf("topology: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a topology written by WriteJSON. Edge insertion order
+// is preserved, so link IDs are identical on every node that loads the
+// same file — a requirement for the distributed routers.
+func ReadJSON(r io.Reader) (*graph.Graph, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	return FromEdgeList(ff.Nodes, ff.Edges)
+}
+
+// SaveJSON writes the topology to a file.
+func SaveJSON(path string, g *graph.Graph) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("topology: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("topology: close: %w", cerr)
+		}
+	}()
+	return WriteJSON(f, g)
+}
+
+// LoadJSON reads a topology from a file.
+func LoadJSON(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

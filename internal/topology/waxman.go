@@ -1,0 +1,266 @@
+// Package topology generates the network topologies used in the paper's
+// evaluation: random Waxman graphs with a target average node degree, plus
+// regular fixtures (mesh, ring, line) used by the worked examples.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/rng"
+)
+
+// WaxmanConfig parameterizes the Waxman random-graph model (Waxman 1988),
+// the generator the paper uses for its 60-node evaluation networks.
+type WaxmanConfig struct {
+	// Nodes is the number of nodes (paper: 60).
+	Nodes int
+	// AvgDegree is the target average node degree (paper: 3 and 4). The
+	// generated graph has exactly round(Nodes*AvgDegree/2) edges.
+	AvgDegree float64
+	// Alpha scales overall edge probability. It only shapes which pairs
+	// are preferred; the edge count is fixed by AvgDegree. Default 0.4.
+	Alpha float64
+	// Beta controls the reach of long edges: larger values make long
+	// edges more likely. Default 0.4.
+	Beta float64
+	// MinDegree, when positive, guarantees every node at least this many
+	// incident edges (subject to the edge budget). Degree-1 nodes make
+	// primary/backup overlap unavoidable for every routing scheme, so
+	// the evaluation uses MinDegree 2 (see DESIGN.md).
+	MinDegree int
+	// Seed drives node placement and edge sampling.
+	Seed int64
+}
+
+func (c *WaxmanConfig) setDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.4
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.4
+	}
+}
+
+// Waxman generates a connected Waxman graph. Nodes are placed uniformly in
+// the unit square; edge preference between u and v is
+//
+//	P(u,v) = Alpha * exp(-d(u,v) / (Beta * L))
+//
+// where d is Euclidean distance and L the maximum pairwise distance.
+// Connectivity is guaranteed by growing a preference-weighted spanning tree
+// first, then sampling the remaining edges without replacement with
+// probability proportional to P(u,v).
+func Waxman(cfg WaxmanConfig) (*graph.Graph, error) {
+	cfg.setDefaults()
+	n := cfg.Nodes
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
+	}
+	targetEdges := int(math.Round(float64(n) * cfg.AvgDegree / 2))
+	if targetEdges < n-1 {
+		return nil, fmt.Errorf("topology: avg degree %.2f too low to connect %d nodes", cfg.AvgDegree, n)
+	}
+	maxEdges := n * (n - 1) / 2
+	if targetEdges > maxEdges {
+		return nil, fmt.Errorf("topology: avg degree %.2f exceeds complete graph on %d nodes", cfg.AvgDegree, n)
+	}
+
+	src := rng.New(cfg.Seed)
+	posRNG := src.Split("positions")
+	edgeRNG := src.Split("edges")
+
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = posRNG.Float64()
+		ys[i] = posRNG.Float64()
+	}
+
+	maxDist := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(xs, ys, i, j); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+
+	weight := func(i, j int) float64 {
+		return cfg.Alpha * math.Exp(-dist(xs, ys, i, j)/(cfg.Beta*maxDist))
+	}
+
+	g := graph.New(n)
+	added := make(map[[2]int]bool, targetEdges)
+	addEdge := func(i, j int) error {
+		if i > j {
+			i, j = j, i
+		}
+		if _, err := g.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+			return err
+		}
+		added[[2]int{i, j}] = true
+		return nil
+	}
+
+	// Phase 1: preference-weighted spanning tree over a random node order.
+	order := edgeRNG.Perm(n)
+	inTree := []int{order[0]}
+	for _, next := range order[1:] {
+		total := 0.0
+		for _, t := range inTree {
+			total += weight(next, t)
+		}
+		pick := edgeRNG.Float64() * total
+		chosen := inTree[len(inTree)-1]
+		for _, t := range inTree {
+			pick -= weight(next, t)
+			if pick <= 0 {
+				chosen = t
+				break
+			}
+		}
+		if err := addEdge(next, chosen); err != nil {
+			return nil, err
+		}
+		inTree = append(inTree, next)
+	}
+
+	// Phase 2: satisfy the minimum degree, preferring deficient-deficient
+	// pairs so each added edge helps two nodes.
+	if cfg.MinDegree > 0 {
+		if err := raiseMinDegree(g, cfg, edgeRNG, weight, targetEdges, addEdge); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: weighted sampling without replacement for the rest.
+	type cand struct {
+		i, j int
+		w    float64
+	}
+	cands := make([]cand, 0, maxEdges-len(added))
+	totalW := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if added[[2]int{i, j}] {
+				continue
+			}
+			w := weight(i, j)
+			cands = append(cands, cand{i: i, j: j, w: w})
+			totalW += w
+		}
+	}
+	for g.NumEdges() < targetEdges && len(cands) > 0 {
+		pick := edgeRNG.Float64() * totalW
+		idx := len(cands) - 1
+		for k, c := range cands {
+			pick -= c.w
+			if pick <= 0 {
+				idx = k
+				break
+			}
+		}
+		c := cands[idx]
+		if err := addEdge(c.i, c.j); err != nil {
+			return nil, err
+		}
+		totalW -= c.w
+		cands[idx] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+
+	if g.NumEdges() != targetEdges {
+		return nil, fmt.Errorf("topology: generated %d edges, wanted %d", g.NumEdges(), targetEdges)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("topology: generated graph is not connected")
+	}
+	return g, nil
+}
+
+func dist(xs, ys []float64, i, j int) float64 {
+	dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+	return math.Hypot(dx, dy)
+}
+
+// raiseMinDegree adds Waxman-weighted edges until every node has at least
+// cfg.MinDegree incident edges, within the edge budget.
+func raiseMinDegree(g *graph.Graph, cfg WaxmanConfig, edgeRNG *rng.Source,
+	weight func(i, j int) float64, targetEdges int, addEdge func(i, j int) error) error {
+	n := cfg.Nodes
+	if cfg.MinDegree >= n {
+		return fmt.Errorf("topology: min degree %d impossible with %d nodes", cfg.MinDegree, n)
+	}
+	deficient := func() []int {
+		var out []int
+		for i := 0; i < n; i++ {
+			if g.Degree(graph.NodeID(i)) < cfg.MinDegree {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for {
+		def := deficient()
+		if len(def) == 0 {
+			return nil
+		}
+		if g.NumEdges() >= targetEdges {
+			return fmt.Errorf("topology: cannot reach min degree %d within %d edges", cfg.MinDegree, targetEdges)
+		}
+		u := def[edgeRNG.Intn(len(def))]
+		// Prefer partners that are themselves deficient.
+		pick := func(pool []int) (int, bool) {
+			total := 0.0
+			for _, v := range pool {
+				total += weight(u, v)
+			}
+			if total == 0 {
+				return 0, false
+			}
+			r := edgeRNG.Float64() * total
+			for _, v := range pool {
+				r -= weight(u, v)
+				if r <= 0 {
+					return v, true
+				}
+			}
+			return pool[len(pool)-1], true
+		}
+		eligible := func(onlyDeficient bool) []int {
+			var pool []int
+			for v := 0; v < n; v++ {
+				if v == u {
+					continue
+				}
+				if onlyDeficient && g.Degree(graph.NodeID(v)) >= cfg.MinDegree {
+					continue
+				}
+				if _, dup := g.LinkBetween(graph.NodeID(u), graph.NodeID(v)); dup {
+					continue
+				}
+				pool = append(pool, v)
+			}
+			return pool
+		}
+		pool := eligible(true)
+		if len(pool) == 0 {
+			pool = eligible(false)
+		}
+		if len(pool) == 0 {
+			return fmt.Errorf("topology: node %d cannot reach min degree %d", u, cfg.MinDegree)
+		}
+		v, ok := pick(pool)
+		if !ok {
+			v = pool[edgeRNG.Intn(len(pool))]
+		}
+		if err := addEdge(u, v); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"sync"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/proto"
+	"github.com/rtcl/drtp/internal/rng"
+)
+
+// Mem is an in-memory switchboard connecting router endpoints by node ID.
+// Delivery is asynchronous and order-preserving per sender-receiver pair;
+// senders never block on slow receivers (each endpoint has an unbounded
+// mailbox drained by its own pump goroutine). An optional drop rate
+// simulates a lossy signalling network for fault-injection tests.
+type Mem struct {
+	mu        sync.Mutex
+	endpoints map[graph.NodeID]*memEndpoint
+	closed    bool
+	dropRate  float64
+	dropRNG   *rng.Source
+	dropped   int64
+}
+
+// NewMem creates an empty switchboard.
+func NewMem() *Mem {
+	return &Mem{endpoints: make(map[graph.NodeID]*memEndpoint)}
+}
+
+// NewLossyMem creates a switchboard that silently drops each message with
+// the given probability (deterministic in seed). Hello keep-alives are
+// never dropped, so loss exercises signalling timeouts rather than false
+// failure detections.
+func NewLossyMem(dropRate float64, seed int64) *Mem {
+	m := NewMem()
+	m.dropRate = dropRate
+	m.dropRNG = rng.New(seed)
+	return m
+}
+
+// Dropped returns the number of messages dropped so far.
+func (m *Mem) Dropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// shouldDrop decides the fate of one message.
+func (m *Mem) shouldDrop(msg proto.Message) bool {
+	if m.dropRate <= 0 {
+		return false
+	}
+	if _, isHello := msg.(proto.Hello); isHello {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dropRNG.Float64() < m.dropRate {
+		m.dropped++
+		return true
+	}
+	return false
+}
+
+// Attach creates the endpoint for a node. Attaching the same node twice
+// replaces the previous endpoint only if it was closed.
+func (m *Mem) Attach(node graph.NodeID) (Endpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if old, ok := m.endpoints[node]; ok && !old.isClosed() {
+		return nil, ErrUnknownPeer
+	}
+	ep := &memEndpoint{
+		mem:  m,
+		node: node,
+		out:  make(chan proto.Envelope),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	m.endpoints[node] = ep
+	go ep.pump()
+	return ep, nil
+}
+
+// Close shuts down the switchboard and every endpoint.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	eps := make([]*memEndpoint, 0, len(m.endpoints))
+	for _, ep := range m.endpoints {
+		eps = append(eps, ep)
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+func (m *Mem) lookup(node graph.NodeID) (*memEndpoint, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep, ok := m.endpoints[node]
+	return ep, ok
+}
+
+// memEndpoint is one node's mailbox.
+type memEndpoint struct {
+	mem  *Mem
+	node graph.NodeID
+	out  chan proto.Envelope
+	wake chan struct{}
+	done chan struct{}
+
+	mu     sync.Mutex
+	queue  []proto.Envelope
+	closed bool
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+// Node implements Endpoint.
+func (e *memEndpoint) Node() graph.NodeID { return e.node }
+
+// Send implements Endpoint.
+func (e *memEndpoint) Send(to graph.NodeID, msg proto.Message) error {
+	if e.isClosed() {
+		return ErrClosed
+	}
+	dst, ok := e.mem.lookup(to)
+	if !ok {
+		return ErrUnknownPeer
+	}
+	if e.mem.shouldDrop(msg) {
+		return nil // lost in transit; the sender cannot tell
+	}
+	return dst.enqueue(proto.Envelope{From: e.node, To: to, Msg: msg})
+}
+
+// Recv implements Endpoint.
+func (e *memEndpoint) Recv() <-chan proto.Envelope { return e.out }
+
+// Close implements Endpoint.
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	return nil
+}
+
+func (e *memEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+func (e *memEndpoint) enqueue(env proto.Envelope) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.queue = append(e.queue, env)
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// pump drains the mailbox into the out channel until the endpoint closes.
+func (e *memEndpoint) pump() {
+	defer close(e.out)
+	for {
+		e.mu.Lock()
+		var env proto.Envelope
+		have := false
+		if len(e.queue) > 0 {
+			env = e.queue[0]
+			e.queue = e.queue[1:]
+			have = true
+		}
+		e.mu.Unlock()
+
+		if !have {
+			select {
+			case <-e.wake:
+				continue
+			case <-e.done:
+				return
+			}
+		}
+		select {
+		case e.out <- env:
+		case <-e.done:
+			return
+		}
+	}
+}

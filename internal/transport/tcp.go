@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/proto"
+)
+
+// TCPMesh connects routers over TCP. Each endpoint listens on its own
+// address; outbound connections are dialed lazily and cached. Messages
+// are gob-encoded Envelopes.
+type TCPMesh struct {
+	mu     sync.Mutex
+	addrs  map[graph.NodeID]string
+	closed bool
+}
+
+// NewTCPMesh creates a mesh with a static node-to-address directory.
+func NewTCPMesh(addrs map[graph.NodeID]string) *TCPMesh {
+	proto.RegisterGob()
+	copied := make(map[graph.NodeID]string, len(addrs))
+	for n, a := range addrs {
+		copied[n] = a
+	}
+	return &TCPMesh{addrs: copied}
+}
+
+// Attach starts listening on the node's directory address and returns its
+// endpoint.
+func (m *TCPMesh) Attach(node graph.NodeID) (Endpoint, error) {
+	m.mu.Lock()
+	addr, ok := m.addrs[node]
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("transport: node %d not in directory: %w", node, ErrUnknownPeer)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{
+		mesh:    m,
+		node:    node,
+		ln:      ln,
+		out:     make(chan proto.Envelope),
+		done:    make(chan struct{}),
+		conns:   make(map[graph.NodeID]*tcpConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	// Record the actual address (supports ":0" ephemeral ports).
+	m.mu.Lock()
+	m.addrs[node] = ln.Addr().String()
+	m.mu.Unlock()
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the directory address of a node (after Attach it reflects
+// the bound address, including ephemeral ports).
+func (m *TCPMesh) Addr(node graph.NodeID) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.addrs[node]
+	return a, ok
+}
+
+// Close marks the mesh closed; endpoints must be closed individually.
+func (m *TCPMesh) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+type tcpEndpoint struct {
+	mesh *TCPMesh
+	node graph.NodeID
+	ln   net.Listener
+	out  chan proto.Envelope
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[graph.NodeID]*tcpConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+// Node implements Endpoint.
+func (e *tcpEndpoint) Node() graph.NodeID { return e.node }
+
+// Send implements Endpoint.
+func (e *tcpEndpoint) Send(to graph.NodeID, msg proto.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	c := e.conns[to]
+	e.mu.Unlock()
+
+	if c == nil {
+		addr, ok := e.mesh.Addr(to)
+		if !ok {
+			return ErrUnknownPeer
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("transport: dial node %d: %w", to, err)
+		}
+		c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return ErrClosed
+		}
+		if existing := e.conns[to]; existing != nil {
+			// Lost the race; use the cached connection.
+			e.mu.Unlock()
+			_ = conn.Close()
+			c = existing
+		} else {
+			e.conns[to] = c
+			e.mu.Unlock()
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	env := proto.Envelope{From: e.node, To: to, Msg: msg}
+	if err := c.enc.Encode(&env); err != nil {
+		// Drop the broken connection; the next Send redials.
+		e.mu.Lock()
+		if e.conns[to] == c {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		_ = c.conn.Close()
+		return fmt.Errorf("transport: send to node %d: %w", to, err)
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *tcpEndpoint) Recv() <-chan proto.Envelope { return e.out }
+
+// Close implements Endpoint.
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns)+len(e.inbound))
+	for _, c := range e.conns {
+		conns = append(conns, c.conn)
+	}
+	for c := range e.inbound {
+		conns = append(conns, c)
+	}
+	e.conns = make(map[graph.NodeID]*tcpConn)
+	e.mu.Unlock()
+
+	close(e.done)
+	err := e.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	close(e.out)
+	return err
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		e.inbound[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inbound, conn)
+		e.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env proto.Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		select {
+		case e.out <- env:
+		case <-e.done:
+			return
+		}
+	}
+}

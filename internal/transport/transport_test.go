@@ -1,0 +1,314 @@
+package transport_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/proto"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+func recvOne(t *testing.T, ep transport.Endpoint) proto.Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for message")
+		return proto.Envelope{}
+	}
+}
+
+func TestMemDelivery(t *testing.T) {
+	m := transport.NewMem()
+	defer m.Close()
+	a, err := m.Attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Node() != 0 || b.Node() != 1 {
+		t.Fatal("node IDs wrong")
+	}
+	if err := a.Send(1, proto.Hello{From: 0, Seq: 42}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b)
+	if env.From != 0 || env.To != 1 {
+		t.Fatalf("envelope = %+v", env)
+	}
+	hello, ok := env.Msg.(proto.Hello)
+	if !ok || hello.Seq != 42 {
+		t.Fatalf("msg = %+v", env.Msg)
+	}
+}
+
+func TestMemOrderPreserved(t *testing.T) {
+	m := transport.NewMem()
+	defer m.Close()
+	a, _ := m.Attach(0)
+	b, _ := m.Attach(1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, proto.Hello{From: 0, Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		env := recvOne(t, b)
+		if env.Msg.(proto.Hello).Seq != uint64(i) {
+			t.Fatalf("message %d out of order: %+v", i, env.Msg)
+		}
+	}
+}
+
+func TestMemSelfSend(t *testing.T) {
+	m := transport.NewMem()
+	defer m.Close()
+	a, _ := m.Attach(0)
+	if err := a.Send(0, proto.Hello{From: 0}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, a)
+	if env.From != 0 || env.To != 0 {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+func TestMemUnknownPeer(t *testing.T) {
+	m := transport.NewMem()
+	defer m.Close()
+	a, _ := m.Attach(0)
+	if err := a.Send(9, proto.Hello{}); !errors.Is(err, transport.ErrUnknownPeer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemDoubleAttach(t *testing.T) {
+	m := transport.NewMem()
+	defer m.Close()
+	if _, err := m.Attach(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Attach(0); err == nil {
+		t.Fatal("double attach accepted")
+	}
+}
+
+func TestMemClosedEndpoint(t *testing.T) {
+	m := transport.NewMem()
+	defer m.Close()
+	a, _ := m.Attach(0)
+	b, _ := m.Attach(1)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, proto.Hello{}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := b.Send(0, proto.Hello{}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("send to closed endpoint: %v", err)
+	}
+	select {
+	case _, ok := <-a.Recv():
+		if ok {
+			t.Fatal("message after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv channel not closed")
+	}
+	// Re-attach after close is allowed.
+	if _, err := m.Attach(0); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+}
+
+func TestMemCloseAll(t *testing.T) {
+	m := transport.NewMem()
+	a, _ := m.Attach(0)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(0, proto.Hello{}); err == nil {
+		t.Fatal("send on closed switchboard accepted")
+	}
+	if _, err := m.Attach(5); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("attach after close: %v", err)
+	}
+}
+
+func TestMemManySendersNoBlock(t *testing.T) {
+	// Senders must not block on a receiver that is not draining.
+	m := transport.NewMem()
+	defer m.Close()
+	slow, _ := m.Attach(0)
+	_ = slow
+	senders := make([]transport.Endpoint, 5)
+	for i := range senders {
+		ep, err := m.Attach(graph.NodeID(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders[i] = ep
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			for _, ep := range senders {
+				if err := ep.Send(0, proto.Hello{Seq: uint64(i)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("senders blocked on undrained receiver")
+	}
+}
+
+func tcpPair(t *testing.T) (transport.Endpoint, transport.Endpoint) {
+	t.Helper()
+	mesh := transport.NewTCPMesh(map[graph.NodeID]string{
+		0: "127.0.0.1:0",
+		1: "127.0.0.1:0",
+	})
+	a, err := mesh.Attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mesh.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+		_ = mesh.Close()
+	})
+	return a, b
+}
+
+func TestTCPDelivery(t *testing.T) {
+	a, b := tcpPair(t)
+	if err := a.Send(1, proto.Setup{
+		Conn:  7,
+		Route: []graph.NodeID{0, 1},
+		Hop:   1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b)
+	setup, ok := env.Msg.(proto.Setup)
+	if !ok || setup.Conn != 7 || len(setup.Route) != 2 {
+		t.Fatalf("msg = %#v", env.Msg)
+	}
+	// And the reverse direction.
+	if err := b.Send(0, proto.SetupResult{Conn: 7, OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	env = recvOne(t, a)
+	if res, ok := env.Msg.(proto.SetupResult); !ok || !res.OK {
+		t.Fatalf("msg = %#v", env.Msg)
+	}
+}
+
+func TestTCPMessageMatrix(t *testing.T) {
+	a, b := tcpPair(t)
+	cases := []proto.Message{
+		proto.Hello{From: 0, Seq: 1},
+		proto.LSUpdate{Origin: 0, Seq: 2, Links: []proto.LinkAdvert{{Link: 3, Norm: 4, CV: []byte{0xff}}}},
+		proto.Setup{Conn: 1, Channel: proto.Backup, Route: []graph.NodeID{0, 1}, PrimaryLSET: []graph.LinkID{2}},
+		proto.SetupResult{Conn: 1, Channel: proto.Backup, Reason: "x", FailedHop: 1},
+		proto.Teardown{Conn: 1, Channel: proto.Primary, Route: []graph.NodeID{0, 1}, UpTo: 1},
+		proto.FailureReport{Link: 5, Conns: []lsdb.ConnID{4, 9}},
+		proto.Activate{Conn: 4, Route: []graph.NodeID{0, 1}, Hop: 0},
+		proto.ActivateResult{Conn: 4, OK: true},
+	}
+	for i, msg := range cases {
+		t.Run(fmt.Sprintf("%d_%s", i, msg.Kind()), func(t *testing.T) {
+			if err := a.Send(1, msg); err != nil {
+				t.Fatal(err)
+			}
+			env := recvOne(t, b)
+			if env.Msg.Kind() != msg.Kind() {
+				t.Fatalf("kind = %s, want %s", env.Msg.Kind(), msg.Kind())
+			}
+		})
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := tcpPair(t)
+	if err := a.Send(9, proto.Hello{}); err == nil {
+		t.Fatal("send to unknown peer accepted")
+	}
+}
+
+func TestTCPClose(t *testing.T) {
+	a, b := tcpPair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, proto.Hello{}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	_ = b
+}
+
+func TestLossyMemDropsMessages(t *testing.T) {
+	m := transport.NewLossyMem(1.0, 7) // drop everything but hellos
+	defer m.Close()
+	a, _ := m.Attach(0)
+	b, _ := m.Attach(1)
+	if err := a.Send(1, proto.Setup{Conn: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-b.Recv():
+		t.Fatalf("message delivered despite full loss: %+v", env)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if m.Dropped() != 1 {
+		t.Fatalf("dropped = %d", m.Dropped())
+	}
+	// Hellos always pass.
+	if err := a.Send(1, proto.Hello{From: 0}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b)
+	if env.Msg.Kind() != "hello" {
+		t.Fatalf("msg = %v", env.Msg)
+	}
+}
+
+func TestLossyMemZeroRateLossless(t *testing.T) {
+	m := transport.NewLossyMem(0, 1)
+	defer m.Close()
+	a, _ := m.Attach(0)
+	b, _ := m.Attach(1)
+	for i := 0; i < 50; i++ {
+		if err := a.Send(1, proto.Setup{Conn: lsdb.ConnID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		recvOne(t, b)
+	}
+	if m.Dropped() != 0 {
+		t.Fatalf("dropped = %d", m.Dropped())
+	}
+}
