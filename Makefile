@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments quick clean
+.PHONY: all build test race bench bench-json vet fmt experiments quick clean
 
 all: build test
 
@@ -18,6 +18,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# One reproduction per experiment benchmark, three samples each, written
+# to BENCH_<date>.json for cross-commit comparison (see scripts/bench.sh).
+bench-json:
+	GO="$(GO)" ./scripts/bench.sh
 
 vet:
 	$(GO) vet ./...

@@ -1,6 +1,9 @@
 package drtp
 
 import (
+	"io"
+	"net/http"
+
 	core "github.com/rtcl/drtp/internal/drtp"
 	"github.com/rtcl/drtp/internal/experiments"
 	"github.com/rtcl/drtp/internal/flood"
@@ -9,6 +12,7 @@ import (
 	"github.com/rtcl/drtp/internal/routing"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/sim"
+	"github.com/rtcl/drtp/internal/telemetry"
 	"github.com/rtcl/drtp/internal/topology"
 )
 
@@ -162,6 +166,66 @@ const (
 	// InvalidEdge is the sentinel for "no edge".
 	InvalidEdge = graph.InvalidEdge
 )
+
+// Telemetry (event tracing and metrics; see internal/telemetry).
+type (
+	// Tracer is the structured protocol-event bus. A nil *Tracer is a
+	// valid no-op instrument.
+	Tracer = telemetry.Tracer
+	// TraceEvent is one emitted protocol event.
+	TraceEvent = telemetry.Event
+	// TraceEventKind enumerates the typed protocol events.
+	TraceEventKind = telemetry.EventKind
+	// TraceSink consumes emitted events (Ring, JSONL, MetricsSink, Null).
+	TraceSink = telemetry.Sink
+	// RingSink keeps the last n events in memory.
+	RingSink = telemetry.Ring
+	// JSONLSink appends events as JSON lines to a writer.
+	JSONLSink = telemetry.JSONL
+	// MetricsRegistry holds named counters, gauges and histograms and
+	// writes Prometheus text format.
+	MetricsRegistry = telemetry.Registry
+)
+
+// Trace event kinds (see telemetry.EventKind).
+const (
+	EvConnEstablish    = telemetry.EvConnEstablish
+	EvConnReject       = telemetry.EvConnReject
+	EvBackupRegister   = telemetry.EvBackupRegister
+	EvBackupRelease    = telemetry.EvBackupRelease
+	EvLinkFail         = telemetry.EvLinkFail
+	EvBackupActivate   = telemetry.EvBackupActivate
+	EvActivationDenied = telemetry.EvActivationDenied
+	EvCDPForward       = telemetry.EvCDPForward
+	EvCDPDrop          = telemetry.EvCDPDrop
+	EvLSUpdate         = telemetry.EvLSUpdate
+)
+
+// NewTracer creates an event tracer fanning out to the given sinks.
+func NewTracer(sinks ...TraceSink) *Tracer { return telemetry.NewTracer(sinks...) }
+
+// NewRingSink keeps the most recent n events in memory.
+func NewRingSink(n int) *RingSink { return telemetry.NewRing(n) }
+
+// NewJSONLSink streams events as JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONL(w) }
+
+// NewMetricsSink aggregates events into reg's counter families.
+func NewMetricsSink(reg *MetricsRegistry) TraceSink { return telemetry.NewMetricsSink(reg) }
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// MetricsHandler serves reg as Prometheus text on /metrics plus a
+// /healthz liveness probe.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return telemetry.Handler(reg) }
+
+// ReadTraceJSONL parses an event stream written by a JSONL sink.
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return telemetry.ReadJSONL(r) }
+
+// WithTelemetry attaches an event tracer to a Manager; all admission,
+// registration and failure-recovery events are emitted through it.
+func WithTelemetry(tr *Tracer) ManagerOption { return core.WithTelemetry(tr) }
 
 // NewGraph creates a graph with n nodes and no edges.
 func NewGraph(n int) *Graph { return graph.New(n) }

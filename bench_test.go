@@ -138,9 +138,9 @@ func benchNetwork(b *testing.B, degree float64) (*drtp.Graph, *drtp.Network) {
 // for which the scheme finds no backup (possible for BF on sparse
 // topologies) are skipped rather than failed — that is an admission
 // outcome, not a benchmark error.
-func benchmarkEstablishRelease(b *testing.B, scheme drtp.Scheme) {
+func benchmarkEstablishRelease(b *testing.B, scheme drtp.Scheme, opts ...drtp.ManagerOption) {
 	g, net := benchNetwork(b, 3)
-	mgr := drtp.NewManager(net, scheme)
+	mgr := drtp.NewManager(net, scheme, opts...)
 	n := drtp.NodeID(g.NumNodes())
 	established := 0
 	b.ResetTimer()
@@ -162,6 +162,14 @@ func benchmarkEstablishRelease(b *testing.B, scheme drtp.Scheme) {
 }
 
 func BenchmarkEstablishDLSR(b *testing.B) { benchmarkEstablishRelease(b, drtp.NewDLSR()) }
+
+// BenchmarkEstablishDLSRTraced is BenchmarkEstablishDLSR with a sink-less
+// tracer attached: the diff between the two is the telemetry subsystem's
+// cost on the admission hot path when tracing is configured but inert
+// (it must stay within noise — a few ns against an ~µs establish).
+func BenchmarkEstablishDLSRTraced(b *testing.B) {
+	benchmarkEstablishRelease(b, drtp.NewDLSR(), drtp.WithTelemetry(drtp.NewTracer()))
+}
 
 func BenchmarkEstablishPLSR(b *testing.B) { benchmarkEstablishRelease(b, drtp.NewPLSR()) }
 

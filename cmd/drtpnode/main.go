@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -33,6 +35,7 @@ import (
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
 	"github.com/rtcl/drtp/internal/router"
+	"github.com/rtcl/drtp/internal/telemetry"
 	"github.com/rtcl/drtp/internal/topology"
 	"github.com/rtcl/drtp/internal/transport"
 )
@@ -53,6 +56,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		capacity = fs.Int("capacity", 40, "per-direction link bandwidth units")
 		unitBW   = fs.Int("unitbw", 1, "bandwidth units per DR-connection")
 		scheme   = fs.String("scheme", "dlsr", "backup routing scheme: dlsr|plsr")
+		metrics  = fs.String("metrics", "", "serve /metrics and /healthz on this address (e.g. :9090)")
+		trace    = fs.String("trace", "", "append protocol events as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,23 +80,50 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
 
+	reg := telemetry.NewRegistry()
+	var sinks []telemetry.Sink
+	sinks = append(sinks, telemetry.NewMetricsSink(reg))
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, telemetry.NewJSONL(f))
+	}
+	tracer := telemetry.NewTracer(sinks...)
+	defer func() { _ = tracer.Close() }()
+
 	mesh := transport.NewTCPMesh(addrs)
 	ep, err := mesh.Attach(graph.NodeID(*node))
 	if err != nil {
 		return err
 	}
 	r, err := router.New(router.Config{
-		Node:     graph.NodeID(*node),
-		Graph:    g,
-		Capacity: *capacity,
-		UnitBW:   *unitBW,
-		Scheme:   backup,
+		Node:      graph.NodeID(*node),
+		Graph:     g,
+		Capacity:  *capacity,
+		UnitBW:    *unitBW,
+		Scheme:    backup,
+		Telemetry: tracer,
+		Metrics:   reg,
 	}, ep)
 	if err != nil {
 		_ = ep.Close()
 		return err
 	}
 	defer r.Close()
+
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: telemetry.Handler(reg)}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(out, "drtpnode: metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	addr, _ := mesh.Addr(graph.NodeID(*node))
 	fmt.Fprintf(out, "drtpnode: node %d listening on %s (%d nodes, %d links)\n",

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -191,5 +195,98 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-topology", topoPath, "-peers", "0=127.0.0.1:0,1=127.0.0.1:0,2=127.0.0.1:0", "-scheme", "zz"}, strings.NewReader(""), &out); err == nil {
 		t.Fatal("bad scheme accepted")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing run output
+// while the node is still serving.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunMetricsEndpoint(t *testing.T) {
+	g, err := topology.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoPath := filepath.Join(t.TempDir(), "topo.json")
+	if err := topology.SaveJSON(topoPath, g); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "events.jsonl")
+
+	inR, inW := io.Pipe()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-node", "0", "-topology", topoPath,
+			"-peers", "0=127.0.0.1:0,1=127.0.0.1:0,2=127.0.0.1:0",
+			"-metrics", "127.0.0.1:0", "-trace", tracePath,
+		}, inR, &out)
+	}()
+
+	// Wait for the metrics server line, then scrape it.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics line never appeared; output:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "drtpnode: metrics on http://"); ok {
+				addr = strings.TrimSuffix(strings.TrimSpace(rest), "/metrics")
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz: %d %q", res.StatusCode, body)
+	}
+
+	res, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(string(body), "drtp_router_active_connections") {
+		t.Fatalf("/metrics body missing router families:\n%s", body)
+	}
+
+	if _, err := inW.Write([]byte("quit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("trace file missing: %v", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"github.com/rtcl/drtp/internal/metrics"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/sim"
+	"github.com/rtcl/drtp/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func run(args []string, w io.Writer) error {
 		reps     = fs.Int("reps", 1, "replications per cell (mean±sd over seeds)")
 		plot     = fs.Bool("plot", false, "render fig4/fig5 as ASCII charts too")
 		scenFile = fs.String("scenario", "", "scenario file for -exp replay (see scenariogen)")
+		trace    = fs.String("trace", "", "write protocol events as JSONL to this file")
+		metrSum  = fs.Bool("metrics-summary", false, "print aggregated event counters after the experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +69,27 @@ func run(args []string, w io.Writer) error {
 		p.Warmup = *duration * 0.4
 	}
 
+	var (
+		tracer *telemetry.Tracer
+		reg    *telemetry.Registry
+	)
+	if *trace != "" || *metrSum {
+		var sinks []telemetry.Sink
+		if *metrSum {
+			reg = telemetry.NewRegistry()
+			sinks = append(sinks, telemetry.NewMetricsSink(reg))
+		}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return err
+			}
+			sinks = append(sinks, telemetry.NewJSONL(f))
+		}
+		tracer = telemetry.NewTracer(sinks...)
+		p.Telemetry = tracer
+	}
+
 	render := func(t *metrics.Table) error {
 		if *csvOut {
 			return t.RenderCSV(w)
@@ -81,136 +105,149 @@ func run(args []string, w io.Writer) error {
 		return experiments.RunSweep(p, experiments.PaperSchemes())
 	}
 
-	switch *exp {
-	case "table1":
-		return render(experiments.Table1(p))
-	case "fig4":
-		s, err := runSweep()
-		if err != nil {
-			return err
+	dispatch := func() error {
+		switch *exp {
+		case "table1":
+			return render(experiments.Table1(p))
+		case "fig4":
+			s, err := runSweep()
+			if err != nil {
+				return err
+			}
+			if err := render(s.Fig4Table()); err != nil {
+				return err
+			}
+			if *plot {
+				return renderCharts(w, p, s, (*experiments.Sweep).Fig4Chart)
+			}
+			return nil
+		case "fig5":
+			s, err := runSweep()
+			if err != nil {
+				return err
+			}
+			if err := render(s.Fig5Table()); err != nil {
+				return err
+			}
+			if *plot {
+				return renderCharts(w, p, s, (*experiments.Sweep).Fig5Chart)
+			}
+			return nil
+		case "acceptance":
+			s, err := runSweep()
+			if err != nil {
+				return err
+			}
+			return render(s.AcceptanceTable())
+		case "overhead":
+			o, err := experiments.RunOverhead(p, scenario.UT, *lambda)
+			if err != nil {
+				return err
+			}
+			return render(o.Table())
+		case "ablation":
+			a, err := experiments.RunAblation(p)
+			if err != nil {
+				return err
+			}
+			return render(a.Table())
+		case "multibackup":
+			mb, err := experiments.RunMultiBackup(p)
+			if err != nil {
+				return err
+			}
+			return render(mb.Table())
+		case "topologies":
+			ts, err := experiments.RunTopologySensitivity(p, *lambda)
+			if err != nil {
+				return err
+			}
+			return render(ts.Table())
+		case "replay":
+			return replayScenario(p, *scenFile, *seed, w, *csvOut)
+		case "qos":
+			q, err := experiments.RunQoS(p, *lambda)
+			if err != nil {
+				return err
+			}
+			return render(q.Table())
+		case "availability":
+			ap := experiments.DefaultAvailabilityParams(*degree)
+			ap.Params = p
+			ap.Lambda = *lambda
+			av, err := experiments.RunAvailability(ap)
+			if err != nil {
+				return err
+			}
+			return render(av.Table())
+		case "all":
+			if err := render(experiments.Table1(p)); err != nil {
+				return err
+			}
+			s, err := runSweep()
+			if err != nil {
+				return err
+			}
+			if err := render(s.Fig4Table()); err != nil {
+				return err
+			}
+			if err := render(s.Fig5Table()); err != nil {
+				return err
+			}
+			if err := render(s.AcceptanceTable()); err != nil {
+				return err
+			}
+			o, err := experiments.RunOverhead(p, scenario.UT, *lambda)
+			if err != nil {
+				return err
+			}
+			if err := render(o.Table()); err != nil {
+				return err
+			}
+			a, err := experiments.RunAblation(p)
+			if err != nil {
+				return err
+			}
+			if err := render(a.Table()); err != nil {
+				return err
+			}
+			mb, err := experiments.RunMultiBackup(p)
+			if err != nil {
+				return err
+			}
+			if err := render(mb.Table()); err != nil {
+				return err
+			}
+			ap := experiments.DefaultAvailabilityParams(*degree)
+			ap.Params = p
+			ap.Lambda = *lambda
+			av, err := experiments.RunAvailability(ap)
+			if err != nil {
+				return err
+			}
+			if err := render(av.Table()); err != nil {
+				return err
+			}
+			q, err := experiments.RunQoS(p, *lambda)
+			if err != nil {
+				return err
+			}
+			return render(q.Table())
+		default:
+			return fmt.Errorf("unknown experiment %q", *exp)
 		}
-		if err := render(s.Fig4Table()); err != nil {
-			return err
-		}
-		if *plot {
-			return renderCharts(w, p, s, (*experiments.Sweep).Fig4Chart)
-		}
-		return nil
-	case "fig5":
-		s, err := runSweep()
-		if err != nil {
-			return err
-		}
-		if err := render(s.Fig5Table()); err != nil {
-			return err
-		}
-		if *plot {
-			return renderCharts(w, p, s, (*experiments.Sweep).Fig5Chart)
-		}
-		return nil
-	case "acceptance":
-		s, err := runSweep()
-		if err != nil {
-			return err
-		}
-		return render(s.AcceptanceTable())
-	case "overhead":
-		o, err := experiments.RunOverhead(p, scenario.UT, *lambda)
-		if err != nil {
-			return err
-		}
-		return render(o.Table())
-	case "ablation":
-		a, err := experiments.RunAblation(p)
-		if err != nil {
-			return err
-		}
-		return render(a.Table())
-	case "multibackup":
-		mb, err := experiments.RunMultiBackup(p)
-		if err != nil {
-			return err
-		}
-		return render(mb.Table())
-	case "topologies":
-		ts, err := experiments.RunTopologySensitivity(p, *lambda)
-		if err != nil {
-			return err
-		}
-		return render(ts.Table())
-	case "replay":
-		return replayScenario(p, *scenFile, *seed, w, *csvOut)
-	case "qos":
-		q, err := experiments.RunQoS(p, *lambda)
-		if err != nil {
-			return err
-		}
-		return render(q.Table())
-	case "availability":
-		ap := experiments.DefaultAvailabilityParams(*degree)
-		ap.Params = p
-		ap.Lambda = *lambda
-		av, err := experiments.RunAvailability(ap)
-		if err != nil {
-			return err
-		}
-		return render(av.Table())
-	case "all":
-		if err := render(experiments.Table1(p)); err != nil {
-			return err
-		}
-		s, err := runSweep()
-		if err != nil {
-			return err
-		}
-		if err := render(s.Fig4Table()); err != nil {
-			return err
-		}
-		if err := render(s.Fig5Table()); err != nil {
-			return err
-		}
-		if err := render(s.AcceptanceTable()); err != nil {
-			return err
-		}
-		o, err := experiments.RunOverhead(p, scenario.UT, *lambda)
-		if err != nil {
-			return err
-		}
-		if err := render(o.Table()); err != nil {
-			return err
-		}
-		a, err := experiments.RunAblation(p)
-		if err != nil {
-			return err
-		}
-		if err := render(a.Table()); err != nil {
-			return err
-		}
-		mb, err := experiments.RunMultiBackup(p)
-		if err != nil {
-			return err
-		}
-		if err := render(mb.Table()); err != nil {
-			return err
-		}
-		ap := experiments.DefaultAvailabilityParams(*degree)
-		ap.Params = p
-		ap.Lambda = *lambda
-		av, err := experiments.RunAvailability(ap)
-		if err != nil {
-			return err
-		}
-		if err := render(av.Table()); err != nil {
-			return err
-		}
-		q, err := experiments.RunQoS(p, *lambda)
-		if err != nil {
-			return err
-		}
-		return render(q.Table())
-	default:
-		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+
+	err := dispatch()
+	if cerr := tracer.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("trace: %w", cerr)
+	}
+	if err == nil && reg != nil {
+		if _, err = fmt.Fprintln(w, "# event metrics summary"); err == nil {
+			err = reg.WritePrometheus(w)
+		}
+	}
+	return err
 }
 
 // renderCharts draws one ASCII chart per traffic pattern.
@@ -263,6 +300,7 @@ func replayScenario(p experiments.Params, path string, seed int64, w io.Writer, 
 			Warmup:       warmup,
 			EvalInterval: p.EvalInterval,
 			ManagerOpts:  spec.ManagerOpts,
+			Telemetry:    p.Telemetry,
 		})
 		if err != nil {
 			return err

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
 	"github.com/rtcl/drtp/internal/scenario"
+	"github.com/rtcl/drtp/internal/telemetry"
 )
 
 // quickArgs shrinks every experiment run to seconds.
@@ -170,5 +173,82 @@ func TestRunReplications(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "±") || !strings.Contains(buf.String(), "2 replications") {
 		t.Fatalf("replication output missing:\n%s", buf.String())
+	}
+}
+
+// TestRunFig4TraceReconciliation runs fig4 with -trace and -metrics-summary
+// and checks that the JSONL event stream reconciles exactly with the
+// table: per scheme, backup-activate events are the P_act-bk numerator
+// and activate + denied events its denominator.
+func TestRunFig4TraceReconciliation(t *testing.T) {
+	path := t.TempDir() + "/events.jsonl"
+	var buf bytes.Buffer
+	if err := run(quickArgs("-exp", "fig4", "-csv", "-trace", path, "-metrics-summary"), &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sum affected/recovered per scheme from the CSV rows
+	// (pattern,scheme,lambda,P_act-bk,affected,recovered,...).
+	type tally struct{ affected, recovered int64 }
+	want := map[string]*tally{}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) < 6 {
+			continue
+		}
+		affected, err1 := strconv.ParseInt(f[4], 10, 64)
+		recovered, err2 := strconv.ParseInt(f[5], 10, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		w := want[f[1]]
+		if w == nil {
+			w = &tally{}
+			want[f[1]] = w
+		}
+		w.affected += affected
+		w.recovered += recovered
+	}
+	if len(want) != 3 {
+		t.Fatalf("parsed %d schemes from CSV:\n%s", len(want), buf.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]*tally{}
+	for _, e := range events {
+		g := got[e.Scheme]
+		if g == nil {
+			g = &tally{}
+			got[e.Scheme] = g
+		}
+		switch e.Kind {
+		case telemetry.EvBackupActivate:
+			g.affected++
+			g.recovered++
+		case telemetry.EvActivationDenied:
+			g.affected++
+		}
+	}
+	for scheme, w := range want {
+		g := got[scheme]
+		if g == nil {
+			t.Fatalf("no events for scheme %s", scheme)
+		}
+		if g.recovered != w.recovered || g.affected != w.affected {
+			t.Errorf("%s: events give %d/%d, table gives %d/%d",
+				scheme, g.recovered, g.affected, w.recovered, w.affected)
+		}
+	}
+	if !strings.Contains(buf.String(), "drtp_events_total") {
+		t.Errorf("metrics summary missing from output:\n%s", buf.String())
 	}
 }

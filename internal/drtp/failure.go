@@ -94,9 +94,11 @@ func (m *Manager) evaluateFailure(out *FailureOutcome, hits func(graph.Path) boo
 	// slots[l] is the remaining activation capacity of link l, initialized
 	// lazily from the spare resources reserved there.
 	slots := make(map[graph.LinkID]int)
+	link := int(out.Link)
 	for _, c := range affected {
 		if !c.HasBackup() {
 			out.NoBackup++
+			m.tracer.ActivationDenied(m.schemeName, int64(c.ID), link, "no-backup")
 			continue
 		}
 		// Try the connection's backups in preference order; a backup
@@ -116,10 +118,13 @@ func (m *Manager) evaluateFailure(out *FailureOutcome, hits func(graph.Path) boo
 		switch {
 		case recovered:
 			out.Recovered++
+			m.tracer.BackupActivate(m.schemeName, int64(c.ID), link, "")
 		case allHit:
 			out.BackupHit++
+			m.tracer.ActivationDenied(m.schemeName, int64(c.ID), link, "backup-hit")
 		default:
 			out.Contention++
+			m.tracer.ActivationDenied(m.schemeName, int64(c.ID), link, "contention")
 		}
 	}
 }
@@ -216,12 +221,14 @@ func (m *Manager) EvaluateLinkFailureReactive(l graph.LinkID) FailureOutcome {
 		path, total := graph.ShortestPath(g, c.Src, c.Dst, cost)
 		if total == graph.Unreachable {
 			out.Contention++
+			m.tracer.ActivationDenied(m.schemeName, int64(c.ID), int(l), "no-route")
 			continue
 		}
 		for _, x := range path.Links() {
 			avail[x] = remaining(x) - unit
 		}
 		out.Recovered++
+		m.tracer.BackupActivate(m.schemeName, int64(c.ID), int(l), "reactive")
 	}
 	return out
 }

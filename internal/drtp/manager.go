@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/telemetry"
 )
 
 // Connection is an established DR-connection.
@@ -76,6 +77,10 @@ type Manager struct {
 	stats            Stats
 	optionalBackup   bool
 	reactiveRecovery bool
+	// tracer receives protocol events; nil (the default) is a no-op, so
+	// the instrumented paths cost a nil check each.
+	tracer     *telemetry.Tracer
+	schemeName string
 }
 
 // ManagerOption configures a Manager.
@@ -97,6 +102,16 @@ type reactiveRecoveryOption struct{}
 
 func (reactiveRecoveryOption) apply(m *Manager) { m.reactiveRecovery = true }
 
+type telemetryOption struct{ tracer *telemetry.Tracer }
+
+func (o telemetryOption) apply(m *Manager) { m.tracer = o.tracer }
+
+// WithTelemetry attaches an event tracer to the manager: establishments,
+// rejections, backup registrations/releases and failure-recovery
+// outcomes are emitted as typed events. A nil tracer keeps the no-op
+// default.
+func WithTelemetry(tr *telemetry.Tracer) ManagerOption { return telemetryOption{tracer: tr} }
+
 // WithReactiveRecovery makes destructive failure handling fall back to
 // re-routing a fresh primary from free capacity when a connection has no
 // activatable backup — the reactive recovery of the paper's §1 (modelled
@@ -115,6 +130,7 @@ func NewManager(net *Network, scheme Scheme, opts ...ManagerOption) *Manager {
 	for _, o := range opts {
 		o.apply(m)
 	}
+	m.schemeName = scheme.Name()
 	return m
 }
 
@@ -176,14 +192,17 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 	route, err := m.scheme.Route(m.net, req)
 	if err != nil {
 		m.stats.Rejected++
+		m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-route")
 		return nil, err
 	}
 	if route.Primary.Empty() {
 		m.stats.Rejected++
+		m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-route")
 		return nil, ErrNoRoute
 	}
 	if !m.optionalBackup && len(route.Backups) == 0 {
 		m.stats.RejectedNoBackup++
+		m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-backup")
 		return nil, ErrNoBackup
 	}
 
@@ -195,6 +214,7 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 				mustRelease(db.ReleasePrimary(req.ID, rl))
 			}
 			m.stats.Rejected++
+			m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-capacity")
 			return nil, fmt.Errorf("drtp: reserve primary: %w", err)
 		}
 		reserved = append(reserved, l)
@@ -216,8 +236,10 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 		if m.registerBackup(req.ID, backup, route.Primary, conn.Backups) {
 			conn.Backups = append(conn.Backups, backup)
 			m.stats.BackupsEstablished++
+			m.tracer.BackupRegister(m.schemeName, int64(req.ID), backup.Hops(), "")
 		} else {
 			m.stats.BackupRegisterFailures++
+			m.tracer.BackupRegister(m.schemeName, int64(req.ID), backup.Hops(), "rejected")
 		}
 	}
 	if !conn.HasBackup() {
@@ -226,6 +248,7 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 				mustRelease(db.ReleasePrimary(req.ID, rl))
 			}
 			m.stats.RejectedNoBackup++
+			m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-backup")
 			return nil, ErrNoBackup
 		}
 		m.stats.BackupLess++
@@ -233,6 +256,7 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 
 	m.conns[req.ID] = conn
 	m.stats.Accepted++
+	m.tracer.ConnEstablish(m.schemeName, int64(req.ID), conn.Primary.Hops())
 	return conn, nil
 }
 
@@ -279,6 +303,9 @@ func (m *Manager) Release(id ConnID) error {
 		}
 	}
 	delete(m.conns, id)
+	if len(conn.Backups) > 0 {
+		m.tracer.BackupRelease(m.schemeName, int64(id), len(conn.Backups))
+	}
 	return nil
 }
 

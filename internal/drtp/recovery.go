@@ -43,19 +43,25 @@ type BackupRouter interface {
 // backups registered for their new primaries.
 func (m *Manager) ApplyLinkFailure(l graph.LinkID) RecoveryOutcome {
 	m.net.FailLink(l)
+	m.tracer.LinkFail(-1, int(l))
 	hits := func(p graph.Path) bool { return p.Contains(l) }
-	return m.applyFailure(hits)
+	return m.applyFailure(hits, int(l))
 }
 
 // ApplyEdgeFailure destructively fails both directions of an edge.
 func (m *Manager) ApplyEdgeFailure(e graph.EdgeID) RecoveryOutcome {
 	m.net.FailEdge(e)
 	g := m.net.Graph()
+	if m.tracer.Enabled() {
+		fwd, bwd := g.EdgeLinks(e)
+		m.tracer.LinkFail(-1, int(fwd))
+		m.tracer.LinkFail(-1, int(bwd))
+	}
 	hits := func(p graph.Path) bool { return p.ContainsEdge(g, e) }
-	return m.applyFailure(hits)
+	return m.applyFailure(hits, -1)
 }
 
-func (m *Manager) applyFailure(hits func(graph.Path) bool) RecoveryOutcome {
+func (m *Manager) applyFailure(hits func(graph.Path) bool, link int) RecoveryOutcome {
 	var out RecoveryOutcome
 	var affected []*Connection
 	for _, c := range m.conns {
@@ -70,11 +76,14 @@ func (m *Manager) applyFailure(hits func(graph.Path) bool) RecoveryOutcome {
 		switch {
 		case m.switchConnection(c, &out):
 			out.Switched++
+			m.tracer.BackupActivate(m.schemeName, int64(c.ID), link, "switch")
 		case m.reactiveRecovery && m.rerouteConnection(c):
 			out.Switched++
+			m.tracer.BackupActivate(m.schemeName, int64(c.ID), link, "reroute")
 		default:
 			mustRelease(m.Release(c.ID))
 			out.Dropped++
+			m.tracer.ActivationDenied(m.schemeName, int64(c.ID), link, "dropped")
 		}
 	}
 	return out

@@ -16,6 +16,7 @@ import (
 	"github.com/rtcl/drtp/internal/routing"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/sim"
+	"github.com/rtcl/drtp/internal/telemetry"
 	"github.com/rtcl/drtp/internal/topology"
 )
 
@@ -50,6 +51,10 @@ type Params struct {
 	Replications int
 	// Mode selects backup multiplexing (default) or dedicated spares.
 	Mode lsdb.Mode
+	// Telemetry, when non-nil, receives protocol events from every cell
+	// run (see sim.Config.Telemetry). Cells run sequentially, so one
+	// tracer safely observes a whole sweep.
+	Telemetry *telemetry.Tracer
 }
 
 // DefaultParams returns the paper's evaluation setting for the given
@@ -137,6 +142,7 @@ func runCell(p Params, g *graph.Graph, spec SchemeSpec, sc *scenario.Scenario) (
 		Warmup:       p.Warmup,
 		EvalInterval: p.EvalInterval,
 		ManagerOpts:  spec.ManagerOpts,
+		Telemetry:    p.Telemetry,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)

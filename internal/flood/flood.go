@@ -25,6 +25,7 @@ import (
 
 	"github.com/rtcl/drtp/internal/drtp"
 	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/telemetry"
 )
 
 // Params are the four flooding-bound parameters. The paper evaluates
@@ -71,6 +72,7 @@ type Stats struct {
 type Scheme struct {
 	params Params
 	stats  Stats
+	tracer *telemetry.Tracer
 }
 
 var _ drtp.Scheme = (*Scheme)(nil)
@@ -91,6 +93,12 @@ func (s *Scheme) Stats() Stats { return s.stats }
 
 // ResetStats zeroes the counters.
 func (s *Scheme) ResetStats() { s.stats = Stats{} }
+
+// SetTracer attaches an event tracer: each flood emits one aggregated
+// cdp-forward event (N = CDP transmissions) and, when copies were dropped
+// by the valid-detour test, one cdp-drop event. A nil tracer disables
+// emission (the default).
+func (s *Scheme) SetTracer(tr *telemetry.Tracer) { s.tracer = tr }
 
 // cdp is a channel-discovery packet. The conn-id field of the paper is
 // implicit: one flood handles exactly one request, so the pending
@@ -162,6 +170,17 @@ var _ drtp.BackupRouter = (*Scheme)(nil)
 // order (FIFO within a hop), which reproduces the arrival order of an
 // event-driven simulation exactly.
 func (s *Scheme) flood(net *drtp.Network, req drtp.Request) []candidate {
+	if s.tracer.Enabled() {
+		fwd0, drop0 := s.stats.CDPForwards, s.stats.CDPDropsDetour
+		defer func() {
+			if n := s.stats.CDPForwards - fwd0; n > 0 {
+				s.tracer.CDPForward(s.Name(), int64(req.ID), int(n))
+			}
+			if n := s.stats.CDPDropsDetour - drop0; n > 0 {
+				s.tracer.CDPDrop(s.Name(), int64(req.ID), int(n))
+			}
+		}()
+	}
 	g := net.Graph()
 	db := net.DB()
 	dist := net.Distances()

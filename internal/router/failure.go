@@ -54,6 +54,7 @@ func (r *Router) declareDownLocked(nbr graph.NodeID) []failureReport {
 	if !ok {
 		return nil
 	}
+	r.tracer.LinkFail(int(r.cfg.Node), int(l))
 	// Group the affected primaries by source and notify each.
 	bySrc := make(map[graph.NodeID][]lsdb.ConnID)
 	for id, src := range r.transitPrim[l] {
@@ -105,14 +106,15 @@ func (r *Router) FailLink(nbr graph.NodeID) {
 // handleFailureReport switches affected connections to their backups.
 func (r *Router) handleFailureReport(m proto.FailureReport) {
 	for _, id := range m.Conns {
-		r.switchToBackup(id)
+		r.switchToBackup(id, int(m.Link))
 	}
 }
 
 // switchToBackup initiates channel switching for one connection: its
 // backup routes are tried in preference order, each activated hop-by-hop
-// (spare reservations converted to primary bandwidth).
-func (r *Router) switchToBackup(id lsdb.ConnID) {
+// (spare reservations converted to primary bandwidth). failedLink labels
+// the telemetry events with the reported failure.
+func (r *Router) switchToBackup(id lsdb.ConnID, failedLink int) {
 	r.mu.Lock()
 	c, ok := r.conns[id]
 	if !ok || c.info.Switched || c.info.Dead || c.switching {
@@ -128,13 +130,13 @@ func (r *Router) switchToBackup(id lsdb.ConnID) {
 	// The activation round trips complete asynchronously in the router
 	// loop; a helper goroutine walks the backup list.
 	r.wg.Add(1)
-	go r.runSwitch(id, oldPrimary, backups)
+	go r.runSwitch(id, failedLink, oldPrimary, backups)
 }
 
 // runSwitch tries each backup in order; the first successful activation
 // becomes the new primary, surviving backups stay registered, and the old
 // primary's remaining reservations are reconfigured away.
-func (r *Router) runSwitch(id lsdb.ConnID, oldPrimary graph.Path, backups []graph.Path) {
+func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, oldPrimary graph.Path, backups []graph.Path) {
 	defer r.wg.Done()
 	for i, backup := range backups {
 		if !r.activateBackup(id, backup) {
@@ -162,6 +164,7 @@ func (r *Router) runSwitch(id lsdb.ConnID, oldPrimary graph.Path, backups []grap
 		}
 		r.mu.Unlock()
 		r.log.Warn("channel switched to backup", "conn", int64(id), "attempt", i+1)
+		r.tracer.BackupActivate(r.schemeName, int64(id), failedLink, "switch")
 		// Resource reconfiguration: release what the failed primary still
 		// holds on surviving links.
 		r.teardownChannel(id, proto.Primary, oldPrimary, -1)
@@ -178,6 +181,7 @@ func (r *Router) runSwitch(id lsdb.ConnID, oldPrimary graph.Path, backups []grap
 	}
 	r.mu.Unlock()
 	r.log.Error("connection lost", "conn", int64(id), "backupsTried", len(backups))
+	r.tracer.ActivationDenied(r.schemeName, int64(id), failedLink, "dropped")
 	r.teardownChannel(id, proto.Primary, oldPrimary, -1)
 }
 

@@ -37,6 +37,7 @@ func (r *Router) advertise() {
 	}
 	nbrs := r.g.Neighbors(r.cfg.Node)
 	r.mu.Unlock()
+	r.tracer.LSUpdate(int(r.cfg.Node), len(update.Links))
 	for _, n := range nbrs {
 		r.send(n, update)
 	}

@@ -31,6 +31,7 @@ import (
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
 	"github.com/rtcl/drtp/internal/proto"
+	"github.com/rtcl/drtp/internal/telemetry"
 	"github.com/rtcl/drtp/internal/transport"
 )
 
@@ -44,6 +45,18 @@ const (
 	// PLSR routes backups with the scalar ‖APLV‖₁ (probabilistic).
 	PLSR
 )
+
+// String returns the paper's name for the scheme.
+func (s BackupScheme) String() string {
+	switch s {
+	case PLSR:
+		return "P-LSR"
+	case DLSR:
+		return "D-LSR"
+	default:
+		return "unknown"
+	}
+}
 
 // Config parameterizes a Router.
 type Config struct {
@@ -75,6 +88,14 @@ type Config struct {
 	// Logger receives protocol events (establishments, failures, channel
 	// switches) with the node ID attached. Nil discards them.
 	Logger *slog.Logger
+	// Telemetry receives typed protocol events (establishments,
+	// rejections, link failures, channel switches, LS adverts). Nil (the
+	// default) disables emission at negligible cost.
+	Telemetry *telemetry.Tracer
+	// Metrics, when non-nil, registers the router's metric families there:
+	// an establishment-latency histogram and per-node connection gauges.
+	// Share one registry across a cluster's routers.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -162,7 +183,13 @@ type Router struct {
 	downNbr     map[graph.NodeID]bool
 	closed      bool
 
-	log *slog.Logger
+	log        *slog.Logger
+	tracer     *telemetry.Tracer
+	schemeName string
+	// Cached metric instruments (nil when Config.Metrics is nil; every
+	// method on them is nil-safe).
+	mEstablishSeconds *telemetry.Histogram
+	mActiveConns      *telemetry.Gauge
 
 	stop chan struct{}
 	done chan struct{}
@@ -196,8 +223,17 @@ func New(cfg Config, ep transport.Endpoint) (*Router, error) {
 		lastHello:   make(map[graph.NodeID]time.Time),
 		downNbr:     make(map[graph.NodeID]bool),
 		log:         cfg.Logger.With("node", int(cfg.Node)),
+		tracer:      cfg.Telemetry,
+		schemeName:  cfg.Scheme.String(),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		r.mEstablishSeconds = cfg.Metrics.Histogram("drtp_router_establish_seconds",
+			"Latency of successful DR-connection establishments.", nil)
+		r.mActiveConns = cfg.Metrics.GaugeVec("drtp_router_active_connections",
+			"Connections originated at each node.", "node").
+			With(fmt.Sprint(int(cfg.Node)))
 	}
 	// Optimistic initial view: every link empty until adverts arrive.
 	for i := range r.view {

@@ -27,6 +27,7 @@ var (
 // primary is torn down and the request fails (the backup-required
 // admission policy).
 func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
+	start := time.Now()
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -39,10 +40,12 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 	primary := r.routePrimary(dst)
 	r.mu.Unlock()
 	if primary.Empty() {
+		r.tracer.ConnReject(r.schemeName, int64(id), "no-route")
 		return ConnInfo{}, ErrNoRoute
 	}
 
 	if err := r.setupChannel(id, proto.Primary, primary, nil); err != nil {
+		r.tracer.ConnReject(r.schemeName, int64(id), "no-capacity")
 		return ConnInfo{}, err
 	}
 
@@ -65,11 +68,13 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 			break
 		}
 		if err := r.setupChannel(id, proto.Backup, backup, primary.Links()); err != nil {
+			r.tracer.BackupRegister(r.schemeName, int64(id), backup.Hops(), "rejected")
 			if firstErr == nil {
 				firstErr = err
 			}
 			break
 		}
+		r.tracer.BackupRegister(r.schemeName, int64(id), backup.Hops(), "")
 		backups = append(backups, backup)
 		for _, l := range backup.Links() {
 			avoid[l] = struct{}{}
@@ -77,6 +82,7 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 	}
 	if len(backups) == 0 {
 		r.teardownChannel(id, proto.Primary, primary, -1)
+		r.tracer.ConnReject(r.schemeName, int64(id), "no-backup")
 		if firstErr != nil {
 			return ConnInfo{}, fmt.Errorf("%w: %v", ErrNoBackup, firstErr)
 		}
@@ -103,6 +109,9 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 	r.mu.Unlock()
 	r.log.Info("connection established", "conn", int64(id), "dst", int(dst),
 		"primaryHops", primary.Hops(), "backups", len(backups))
+	r.tracer.ConnEstablish(r.schemeName, int64(id), primary.Hops())
+	r.mEstablishSeconds.Observe(time.Since(start).Seconds())
+	r.mActiveConns.Add(1)
 	return info, nil
 }
 
@@ -130,6 +139,10 @@ func (r *Router) Release(id lsdb.ConnID) error {
 	r.mu.Unlock()
 
 	r.log.Info("connection released", "conn", int64(id))
+	if len(backups) > 0 {
+		r.tracer.BackupRelease(r.schemeName, int64(id), len(backups))
+	}
+	r.mActiveConns.Add(-1)
 	// primaryPath always names the route currently carrying primary
 	// bandwidth (the activated backup after a switch); backupPaths only
 	// the still-registered backup channels.

@@ -1,0 +1,89 @@
+package router_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/router"
+	"github.com/rtcl/drtp/internal/telemetry"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+// TestRemoteFailureReportOverTCP covers the failure-report path across a
+// real TCP transport with a *remote* detector: the failed link is an
+// intermediate hop of the primary, so the detecting router must deliver
+// its FailureReport to the source over TCP before the source can switch
+// the connection to its backup. (TestClusterOverTCP fails the source's
+// own adjacency, where detection and switching happen on the same node.)
+func TestRemoteFailureReportOverTCP(t *testing.T) {
+	g := theta(t)
+	addrs := make(map[graph.NodeID]string, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		addrs[graph.NodeID(n)] = "127.0.0.1:0"
+	}
+	mesh := transport.NewTCPMesh(addrs)
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(4096)
+	tracer := telemetry.NewTracer(ring)
+	c, err := router.NewCluster(router.Config{
+		Graph:         g,
+		Capacity:      10,
+		UnitBW:        1,
+		HelloInterval: 10 * time.Millisecond,
+		LSInterval:    20 * time.Millisecond,
+		Telemetry:     tracer,
+		Metrics:       reg,
+	}, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		c.Close()
+		_ = mesh.Close()
+	}()
+
+	// A connection 0 -> 4 always has a two-hop primary through an
+	// intermediate node (0-3-4 or 0-1-4 on theta).
+	info, err := c.Router(0).Establish(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Primary) != 3 {
+		t.Fatalf("primary = %v, want a two-hop route", info.Primary)
+	}
+	mid, last := info.Primary[1], info.Primary[2]
+
+	// Fail the intermediate hop at the remote detector only: mid notices,
+	// looks up the transiting primary, and reports to source 0 over TCP.
+	c.Router(mid).FailLink(last)
+	waitFor(t, "switch driven by remote failure report", func() bool {
+		got, ok := c.Router(0).Conn(7)
+		return ok && got.Switched && !got.Dead
+	})
+	got, _ := c.Router(0).Conn(7)
+	for i := 0; i+1 < len(got.Primary); i++ {
+		if got.Primary[i] == mid && got.Primary[i+1] == last {
+			t.Fatalf("new primary %v still crosses the failed link", got.Primary)
+		}
+	}
+
+	// The event stream saw the remote detection and the source's switch.
+	failedLink, _ := g.LinkBetween(mid, last)
+	waitFor(t, "telemetry events", func() bool {
+		var sawFail, sawSwitch bool
+		for _, e := range ring.Events() {
+			switch e.Kind {
+			case telemetry.EvLinkFail:
+				if e.Node == int(mid) && e.Link == int(failedLink) {
+					sawFail = true
+				}
+			case telemetry.EvBackupActivate:
+				if e.Conn == 7 && e.Reason == "switch" && e.Link == int(failedLink) {
+					sawSwitch = true
+				}
+			}
+		}
+		return sawFail && sawSwitch
+	})
+}

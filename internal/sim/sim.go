@@ -12,6 +12,7 @@ import (
 	"github.com/rtcl/drtp/internal/drtp"
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/scenario"
+	"github.com/rtcl/drtp/internal/telemetry"
 )
 
 // FailureEvent schedules a destructive edge failure (and optional repair)
@@ -60,6 +61,10 @@ type Config struct {
 	// both channels (the paper's end-to-end delay QoS).
 	QoSBound bool
 	QoSSlack int
+	// Telemetry, when non-nil, receives protocol events from the run. The
+	// tracer's clock is bound to simulated time (minutes) for the duration
+	// of the run, so event timestamps line up with the scenario timeline.
+	Telemetry *telemetry.Tracer
 }
 
 // Result aggregates one run's measurements.
@@ -142,7 +147,16 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 		return nil, errors.New("sim: negative warmup or eval interval")
 	}
 
-	mgr := drtp.NewManager(net, schm, cfg.ManagerOpts...)
+	opts := cfg.ManagerOpts
+	if cfg.Telemetry != nil {
+		opts = append(append([]drtp.ManagerOption(nil), opts...), drtp.WithTelemetry(cfg.Telemetry))
+		// Schemes that generate their own traffic (bounded flooding)
+		// expose SetTracer for CDP-level events.
+		if ts, ok := schm.(interface{ SetTracer(*telemetry.Tracer) }); ok {
+			ts.SetTracer(cfg.Telemetry)
+		}
+	}
+	mgr := drtp.NewManager(net, schm, opts...)
 	res := &Result{Scheme: schm.Name()}
 
 	end := cfg.EndTime
@@ -166,6 +180,9 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 		sumBackupHops  int64
 		numBackup      int64
 	)
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.SetClock(func() float64 { return now })
+	}
 	db := net.DB()
 	totalCap := float64(db.TotalCapacity())
 

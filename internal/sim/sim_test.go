@@ -4,9 +4,11 @@ import (
 	"testing"
 
 	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/flood"
 	"github.com/rtcl/drtp/internal/routing"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/sim"
+	"github.com/rtcl/drtp/internal/telemetry"
 	"github.com/rtcl/drtp/internal/topology"
 )
 
@@ -180,5 +182,60 @@ func TestRunEdgeFailureModel(t *testing.T) {
 	// connections per sweep on any loaded network.
 	if edge.Affected <= link.Affected/2 {
 		t.Fatalf("edge affected = %d, link affected = %d", edge.Affected, link.Affected)
+	}
+}
+
+// TestTelemetryReconciliation runs with a ring sink and asserts the
+// event stream reconciles exactly with the run's aggregate counters:
+// backup-activate events are the P_act-bk numerator, activate + denied
+// events its denominator, and establish/reject events match the
+// admission stats.
+func TestTelemetryReconciliation(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme drtp.Scheme
+	}{
+		{"D-LSR", routing.NewDLSR()},
+		{"BF", flood.NewDefault()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net := smallNetwork(t)
+			sc := smallScenario(t, 0.2)
+			ring := telemetry.NewRing(1 << 20)
+			tr := telemetry.NewTracer(ring)
+			res, err := sim.Run(net, tc.scheme, sc, sim.Config{
+				Warmup: 40, EvalInterval: 10, Telemetry: tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ring.Count(telemetry.EvBackupActivate); got != res.Recovered {
+				t.Errorf("backup-activate events = %d, Recovered = %d", got, res.Recovered)
+			}
+			denied := ring.Count(telemetry.EvActivationDenied)
+			if got := ring.Count(telemetry.EvBackupActivate) + denied; got != res.Affected {
+				t.Errorf("activate+denied events = %d, Affected = %d", got, res.Affected)
+			}
+			if got := ring.Count(telemetry.EvConnEstablish); got != res.Stats.Accepted {
+				t.Errorf("establish events = %d, Accepted = %d", got, res.Stats.Accepted)
+			}
+			rejects := res.Stats.Rejected + res.Stats.RejectedNoBackup
+			if got := ring.Count(telemetry.EvConnReject); got != rejects {
+				t.Errorf("reject events = %d, rejections = %d", got, rejects)
+			}
+			if got := ring.Count(telemetry.EvBackupRegister); got == 0 {
+				t.Error("no backup-register events")
+			}
+			if bf, ok := tc.scheme.(*flood.Scheme); ok {
+				if got := ring.Count(telemetry.EvCDPForward); got != bf.Stats().CDPForwards {
+					t.Errorf("cdp-forward events = %d, stat = %d", got, bf.Stats().CDPForwards)
+				}
+			}
+			// Event timestamps must follow simulated time.
+			evs := ring.Events()
+			if len(evs) == 0 || evs[len(evs)-1].T > res.EndTime {
+				t.Errorf("last event at t=%v beyond end %v", evs[len(evs)-1].T, res.EndTime)
+			}
+		})
 	}
 }

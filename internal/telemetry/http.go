@@ -1,0 +1,26 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	GET /metrics  — Prometheus text exposition format
+//	GET /healthz  — 200 "ok" liveness probe
+//
+// Mount it on a plain http.Server; cmd/drtpnode does so behind its
+// -metrics flag.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

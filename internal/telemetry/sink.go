@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Ring is an in-memory sink keeping the most recent events in a fixed
+// circular buffer. Intended for tests and live inspection.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total int64
+}
+
+// NewRing creates a ring sink holding up to n events (n < 1 becomes 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Record implements Sink.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events recorded over the ring's lifetime
+// (including events that have been overwritten).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Count sums the multiplicity (N) of retained events of the given kind.
+func (r *Ring) Count(kind EventKind) int64 {
+	var n int64
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			n += int64(e.N)
+		}
+	}
+	return n
+}
+
+// JSONL is a sink writing one JSON object per event, one per line, to a
+// buffered writer.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	w   io.Writer
+	err error
+}
+
+// NewJSONL creates a JSONL sink over w. Close flushes the buffer and, if
+// w is an io.Closer, closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw), w: w}
+}
+
+// Record implements Sink. The first write error is retained (see Err)
+// and later records become no-ops.
+func (j *JSONL) Record(e Event) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(e)
+	}
+	j.mu.Unlock()
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes buffered lines and closes the underlying writer when it
+// is an io.Closer.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	if c, ok := j.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	return j.err
+}
+
+// ReadJSONL decodes a JSONL trace written by a JSONL sink.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// MetricsSink aggregates events into a Registry: one
+// drtp_events_total{kind,scheme} counter family (incremented by each
+// event's multiplicity N) plus drtp_link_failures_total. It is how live
+// processes turn the event stream into /metrics families.
+type MetricsSink struct {
+	events    *CounterVec
+	linkFails *Counter
+}
+
+// NewMetricsSink creates a sink aggregating into reg.
+func NewMetricsSink(reg *Registry) *MetricsSink {
+	return &MetricsSink{
+		events: reg.CounterVec("drtp_events_total",
+			"Protocol events by kind and routing scheme.", "kind", "scheme"),
+		linkFails: reg.Counter("drtp_link_failures_total",
+			"Links declared failed."),
+	}
+}
+
+// Record implements Sink.
+func (m *MetricsSink) Record(e Event) {
+	scheme := e.Scheme
+	if scheme == "" {
+		scheme = "-"
+	}
+	m.events.With(e.Kind.String(), scheme).Add(int64(e.N))
+	if e.Kind == EvLinkFail {
+		m.linkFails.Add(int64(e.N))
+	}
+}

@@ -1,0 +1,300 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind enumerates the typed protocol events the subsystem traces.
+type EventKind uint8
+
+const (
+	// EvConnEstablish records an accepted DR-connection.
+	EvConnEstablish EventKind = iota + 1
+	// EvConnReject records a rejected DR-connection request.
+	EvConnReject
+	// EvBackupRegister records one backup channel registration attempt
+	// (Reason is empty on success, "rejected" on a mid-path rejection).
+	EvBackupRegister
+	// EvBackupRelease records backup registrations released at teardown
+	// (N = number of backup channels released).
+	EvBackupRelease
+	// EvLinkFail records a link declared failed (destructive failure or
+	// hello-miss detection).
+	EvLinkFail
+	// EvBackupActivate records a successful backup activation for a
+	// connection whose primary was hit by a failure.
+	EvBackupActivate
+	// EvActivationDenied records a failed recovery attempt; Reason is one
+	// of "no-backup", "backup-hit", "contention", "no-route", "dropped".
+	EvActivationDenied
+	// EvCDPForward records channel-discovery-packet transmissions of one
+	// bounded flood (N = number of CDP copies forwarded).
+	EvCDPForward
+	// EvCDPDrop records CDP copies dropped by the valid-detour test
+	// during one bounded flood (N = number of drops).
+	EvCDPDrop
+	// EvLSUpdate records a link-state advertisement flood (N = number of
+	// link summaries carried).
+	EvLSUpdate
+)
+
+var kindNames = map[EventKind]string{
+	EvConnEstablish:    "conn-establish",
+	EvConnReject:       "conn-reject",
+	EvBackupRegister:   "backup-register",
+	EvBackupRelease:    "backup-release",
+	EvLinkFail:         "link-fail",
+	EvBackupActivate:   "backup-activate",
+	EvActivationDenied: "activation-denied",
+	EvCDPForward:       "cdp-forward",
+	EvCDPDrop:          "cdp-drop",
+	EvLSUpdate:         "ls-update",
+}
+
+// String returns the kind's stable wire name.
+func (k EventKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("unknown-%d", uint8(k))
+}
+
+// ParseEventKind maps a wire name back to its kind.
+func ParseEventKind(s string) (EventKind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON encodes the kind as its wire name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a wire name.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("telemetry: bad event kind %s", b)
+	}
+	kind, ok := ParseEventKind(string(b[1 : len(b)-1]))
+	if !ok {
+		return fmt.Errorf("telemetry: unknown event kind %s", b)
+	}
+	*k = kind
+	return nil
+}
+
+// Event is one structured trace record. Numeric identity fields use -1
+// when not applicable so every JSONL line carries the full schema.
+type Event struct {
+	// T is the trace timestamp: simulated minutes when a simulation
+	// installed its clock (Tracer.SetClock), wall seconds since tracer
+	// creation otherwise.
+	T float64 `json:"t"`
+	// Kind is the event type, serialized as its wire name.
+	Kind EventKind `json:"kind"`
+	// Conn is the affected DR-connection (-1 when not applicable).
+	Conn int64 `json:"conn"`
+	// Node is the emitting router's node ID (-1 for centralized runs).
+	Node int `json:"node"`
+	// Link is the relevant link ID, e.g. the failed link (-1 when not
+	// applicable).
+	Link int `json:"link"`
+	// Hops is the route length in hops (-1 when not applicable).
+	Hops int `json:"hops"`
+	// N is the event multiplicity (aggregated kinds; at least 1).
+	N int `json:"n"`
+	// Scheme is the routing scheme's name, when known.
+	Scheme string `json:"scheme,omitempty"`
+	// Reason qualifies rejections and denials.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Sink receives emitted events. Implementations must be safe for
+// concurrent use; Record must not block on slow consumers beyond its own
+// writer (the distributed routers emit from their processing loops).
+type Sink interface {
+	Record(Event)
+}
+
+// Null is a Sink that discards everything (useful to keep a tracer
+// enabled-shaped in tests without retaining events).
+type Null struct{}
+
+// Record implements Sink.
+func (Null) Record(Event) {}
+
+// Tracer is the event bus: it stamps events and fans them out to its
+// sinks. A nil *Tracer, and a Tracer with no sinks, are no-ops — hot
+// paths call the typed emit helpers unconditionally.
+type Tracer struct {
+	sinks []Sink
+	start time.Time
+	clock atomic.Pointer[func() float64]
+}
+
+// NewTracer creates a tracer fanning out to the given sinks.
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks, start: time.Now()}
+}
+
+// Enabled reports whether emitted events reach at least one sink.
+func (t *Tracer) Enabled() bool { return t != nil && len(t.sinks) > 0 }
+
+// SetClock installs the timestamp source (e.g. simulated time). A nil fn
+// restores the default wall clock (seconds since tracer creation).
+func (t *Tracer) SetClock(fn func() float64) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.clock.Store(nil)
+		return
+	}
+	t.clock.Store(&fn)
+}
+
+func (t *Tracer) now() float64 {
+	if fn := t.clock.Load(); fn != nil {
+		return (*fn)()
+	}
+	return time.Since(t.start).Seconds()
+}
+
+// Emit stamps the event with the tracer clock and records it in every
+// sink. Events with zero multiplicity are normalized to N=1.
+func (t *Tracer) Emit(e Event) {
+	if !t.Enabled() {
+		return
+	}
+	e.T = t.now()
+	if e.N < 1 {
+		e.N = 1
+	}
+	for _, s := range t.sinks {
+		s.Record(e)
+	}
+}
+
+// Close closes every sink that implements io.Closer (flushing buffered
+// writers), returning the first error.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	var first error
+	for _, s := range t.sinks {
+		if c, ok := s.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// --- typed emit helpers ------------------------------------------------
+//
+// Each helper takes scalar arguments so that the disabled path costs one
+// nil/len check and no Event construction.
+
+// ConnEstablish records an accepted connection with its primary length;
+// the connection's backup channels appear as BackupRegister events.
+func (t *Tracer) ConnEstablish(scheme string, conn int64, primaryHops int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvConnEstablish, Conn: conn, Node: -1, Link: -1,
+		Hops: primaryHops, Scheme: scheme})
+}
+
+// ConnReject records a rejected request.
+func (t *Tracer) ConnReject(scheme string, conn int64, reason string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvConnReject, Conn: conn, Node: -1, Link: -1, Hops: -1,
+		Scheme: scheme, Reason: reason})
+}
+
+// BackupRegister records one backup registration attempt; reason is
+// empty on success.
+func (t *Tracer) BackupRegister(scheme string, conn int64, hops int, reason string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvBackupRegister, Conn: conn, Node: -1, Link: -1,
+		Hops: hops, Scheme: scheme, Reason: reason})
+}
+
+// BackupRelease records n backup channels released at teardown.
+func (t *Tracer) BackupRelease(scheme string, conn int64, n int) {
+	if !t.Enabled() || n <= 0 {
+		return
+	}
+	t.Emit(Event{Kind: EvBackupRelease, Conn: conn, Node: -1, Link: -1,
+		Hops: -1, N: n, Scheme: scheme})
+}
+
+// LinkFail records link l declared failed; node is the detecting router
+// (-1 for centralized failure injection).
+func (t *Tracer) LinkFail(node, link int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvLinkFail, Conn: -1, Node: node, Link: link, Hops: -1})
+}
+
+// BackupActivate records a successful backup activation for conn after
+// the failure of link (which may be -1 when unknown, e.g. edge bundles).
+// reason distinguishes evaluation sweeps (empty), reactive re-routes
+// ("reactive") and destructive channel switches ("switch").
+func (t *Tracer) BackupActivate(scheme string, conn int64, link int, reason string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvBackupActivate, Conn: conn, Node: -1, Link: link,
+		Hops: -1, Scheme: scheme, Reason: reason})
+}
+
+// ActivationDenied records a failed recovery attempt for conn.
+func (t *Tracer) ActivationDenied(scheme string, conn int64, link int, reason string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvActivationDenied, Conn: conn, Node: -1, Link: link,
+		Hops: -1, Scheme: scheme, Reason: reason})
+}
+
+// CDPForward records n CDP transmissions of one bounded flood.
+func (t *Tracer) CDPForward(scheme string, conn int64, n int) {
+	if !t.Enabled() || n <= 0 {
+		return
+	}
+	t.Emit(Event{Kind: EvCDPForward, Conn: conn, Node: -1, Link: -1, Hops: -1,
+		N: n, Scheme: scheme})
+}
+
+// CDPDrop records n CDP copies dropped by the valid-detour test.
+func (t *Tracer) CDPDrop(scheme string, conn int64, n int) {
+	if !t.Enabled() || n <= 0 {
+		return
+	}
+	t.Emit(Event{Kind: EvCDPDrop, Conn: conn, Node: -1, Link: -1, Hops: -1,
+		N: n, Scheme: scheme})
+}
+
+// LSUpdate records a link-state advertisement flood from node carrying n
+// link summaries.
+func (t *Tracer) LSUpdate(node, n int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvLSUpdate, Conn: -1, Node: node, Link: -1, Hops: -1, N: n})
+}

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench.sh — run the per-experiment benchmarks and write a machine-readable
+# snapshot next to the repo root.
+#
+# Usage:
+#   scripts/bench.sh                # all benchmarks, BENCH_<date>.json
+#   OUT=foo.json scripts/bench.sh   # custom output path
+#   PATTERN=Fig4 scripts/bench.sh   # subset by benchmark name
+#
+# Each iteration of an experiment benchmark regenerates a full table or
+# figure, so -benchtime 1x is one reproduction; -count 3 gives three
+# samples per benchmark for eyeballing run-to-run variance.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+COUNT=${COUNT:-3}
+BENCHTIME=${BENCHTIME:-1x}
+PATTERN=${PATTERN:-.}
+OUT=${OUT:-BENCH_$(date +%Y%m%d).json}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+"$GO" test -run NONE -bench "$PATTERN" -benchtime "$BENCHTIME" \
+	-count "$COUNT" -benchmem ./... | tee "$raw"
+
+awk -v go_version="$("$GO" env GOVERSION)" \
+	-v goos="$("$GO" env GOOS)" -v goarch="$("$GO" env GOARCH)" \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, go_version
+	printf "  \"platform\": \"%s/%s\",\n  \"commit\": \"%s\",\n", goos, goarch, commit
+	printf "  \"benchtime\": \"'"$BENCHTIME"'\",\n  \"count\": '"$COUNT"',\n"
+	printf "  \"results\": [\n"
+	n = 0
+}
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"pkg\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", \
+		name, pkg, $2, $3
+	for (i = 4; i < NF; i++) {
+		if ($(i+1) == "B/op") printf ", \"bytes_per_op\": %s", $i
+		if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+	}
+	printf "}"
+}
+END {
+	printf "\n  ]\n}\n"
+}' "$raw" >"$OUT"
+
+echo "wrote $OUT"
