@@ -185,6 +185,17 @@ type (
 	// MetricsRegistry holds named counters, gauges and histograms and
 	// writes Prometheus text format.
 	MetricsRegistry = telemetry.Registry
+	// ReconstructedTrace is a set of connection-lifecycle and failure-
+	// recovery spans rebuilt from raw events (see BuildTrace).
+	ReconstructedTrace = telemetry.Trace
+	// ConnSpan is one DR-connection's reconstructed lifecycle.
+	ConnSpan = telemetry.ConnSpan
+	// RecoverySpan links one link failure to its per-connection outcomes.
+	RecoverySpan = telemetry.RecoverySpan
+	// TraceReport is the paper-aligned analysis of a reconstructed trace
+	// (P_act-bk per scheme, disruption times, link criticality,
+	// occupancy).
+	TraceReport = telemetry.Report
 )
 
 // Trace event kinds (see telemetry.EventKind).
@@ -199,6 +210,11 @@ const (
 	EvCDPForward       = telemetry.EvCDPForward
 	EvCDPDrop          = telemetry.EvCDPDrop
 	EvLSUpdate         = telemetry.EvLSUpdate
+	EvConnRequest      = telemetry.EvConnRequest
+	EvPrimarySetup     = telemetry.EvPrimarySetup
+	EvConnTeardown     = telemetry.EvConnTeardown
+	EvHopSignal        = telemetry.EvHopSignal
+	EvLinkState        = telemetry.EvLinkState
 )
 
 // NewTracer creates an event tracer fanning out to the given sinks.
@@ -222,6 +238,19 @@ func MetricsHandler(reg *MetricsRegistry) http.Handler { return telemetry.Handle
 
 // ReadTraceJSONL parses an event stream written by a JSONL sink.
 func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return telemetry.ReadJSONL(r) }
+
+// BuildTrace reconstructs per-connection lifecycle spans and per-failure
+// recovery spans from raw events (possibly merged from several files; the
+// cmd/drtptrace CLI wraps this).
+func BuildTrace(events []TraceEvent) *ReconstructedTrace { return telemetry.BuildTrace(events) }
+
+// BuildTraceReport derives the paper-aligned report from a reconstructed
+// trace.
+func BuildTraceReport(tr *ReconstructedTrace) *TraceReport { return telemetry.BuildReport(tr) }
+
+// ConnTrace derives the deterministic span/trace ID keying every event of
+// one connection's lifecycle under the named scheme.
+func ConnTrace(scheme string, conn int64) uint64 { return telemetry.ConnTrace(scheme, conn) }
 
 // WithTelemetry attaches an event tracer to a Manager; all admission,
 // registration and failure-recovery events are emitted through it.

@@ -23,14 +23,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
@@ -91,7 +95,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		sinks = append(sinks, telemetry.NewJSONL(f))
 	}
 	tracer := telemetry.NewTracer(sinks...)
+	tracer.SetNode(*node)
 	defer func() { _ = tracer.Close() }()
+
+	// SIGINT/SIGTERM shut the process down gracefully: the HTTP server
+	// drains in-flight scrapes, the router closes, and the trace flushes.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	mesh := transport.NewTCPMesh(addrs)
 	ep, err := mesh.Attach(graph.NodeID(*node))
@@ -118,17 +128,29 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		defer ln.Close()
 		srv := &http.Server{Handler: telemetry.Handler(reg)}
 		go func() { _ = srv.Serve(ln) }()
-		defer func() { _ = srv.Close() }()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
 		fmt.Fprintf(out, "drtpnode: metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	addr, _ := mesh.Addr(graph.NodeID(*node))
 	fmt.Fprintf(out, "drtpnode: node %d listening on %s (%d nodes, %d links)\n",
 		*node, addr, g.NumNodes(), g.NumLinks())
-	return console(r, g, in, out)
+
+	consoleDone := make(chan error, 1)
+	go func() { consoleDone <- console(r, g, in, out) }()
+	select {
+	case err := <-consoleDone:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(out, "drtpnode: signal received, shutting down")
+		return nil
+	}
 }
 
 // parsePeers parses "0=host:port,1=host:port,..." into the directory.

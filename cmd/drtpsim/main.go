@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	drtpcore "github.com/rtcl/drtp/internal/drtp"
 	"github.com/rtcl/drtp/internal/experiments"
@@ -49,6 +50,7 @@ func run(args []string, w io.Writer) error {
 		scenFile = fs.String("scenario", "", "scenario file for -exp replay (see scenariogen)")
 		trace    = fs.String("trace", "", "write protocol events as JSONL to this file")
 		metrSum  = fs.Bool("metrics-summary", false, "print aggregated event counters after the experiment")
+		cpuProf  = fs.String("pprof", "", "write a CPU profile of the experiment to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -236,6 +238,21 @@ func run(args []string, w io.Writer) error {
 		default:
 			return fmt.Errorf("unknown experiment %q", *exp)
 		}
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	err := dispatch()

@@ -1,0 +1,525 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/experiments"
+	"github.com/rtcl/drtp/internal/routing"
+	"github.com/rtcl/drtp/internal/scenario"
+	"github.com/rtcl/drtp/internal/sim"
+	"github.com/rtcl/drtp/internal/telemetry"
+	"github.com/rtcl/drtp/internal/topology"
+)
+
+// writeTrace writes events through a JSONL sink to a temp file and
+// returns its path.
+func writeTrace(t *testing.T, events []telemetry.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewJSONL(f)
+	for _, e := range events {
+		sink.Record(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func connEv(ts float64, kind telemetry.EventKind, scheme string, conn int64, mut func(*telemetry.Event)) telemetry.Event {
+	e := telemetry.Event{
+		T: ts, Kind: kind, Conn: conn, Node: -1, Link: -1, Hops: -1, N: 1,
+		Scheme: scheme, Trace: telemetry.ConnTrace(scheme, conn),
+	}
+	if mut != nil {
+		mut(&e)
+	}
+	return e
+}
+
+func sampleEvents() []telemetry.Event {
+	return []telemetry.Event{
+		connEv(1, telemetry.EvConnRequest, "D-LSR", 7, func(e *telemetry.Event) { e.Node = 0 }),
+		connEv(1.1, telemetry.EvPrimarySetup, "D-LSR", 7, func(e *telemetry.Event) { e.Node = 0; e.Hops = 2 }),
+		connEv(1.2, telemetry.EvBackupRegister, "D-LSR", 7, func(e *telemetry.Event) { e.Node = 0; e.Hops = 3 }),
+		connEv(1.3, telemetry.EvConnEstablish, "D-LSR", 7, func(e *telemetry.Event) { e.Node = 0; e.Hops = 2 }),
+		{T: 2, Kind: telemetry.EvLinkFail, Conn: -1, Node: 1, Link: 3, Hops: -1, N: 1},
+		connEv(2.5, telemetry.EvBackupActivate, "D-LSR", 7, func(e *telemetry.Event) { e.Node = 0; e.Link = 3; e.Reason = "switch" }),
+	}
+}
+
+func TestRunTextReport(t *testing.T) {
+	path := writeTrace(t, sampleEvents())
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace: 6 events, 1 connections, 1 link failures",
+		"D-LSR",
+		"service disruption",
+		"top failure-critical links",
+		"L3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	path := writeTrace(t, sampleEvents())
+	var buf bytes.Buffer
+	if err := run([]string{"-conn", "7", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"conn 7", "outcome=switched", "conn-request", "backup-activate switch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-conn", "99", path}, &buf); err == nil {
+		t.Fatal("missing connection accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("no trace files accepted")
+	}
+	if err := run([]string{"/nonexistent.jsonl"}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeTrace(t, sampleEvents())
+	if err := run([]string{"-format", "yaml", path}, &buf); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestRunFig4SweepReconciliation runs a scaled-down Figure-4 sweep with a
+// JSONL trace attached and checks that drtptrace's per-scheme recovered/
+// affected counts equal the simulator's P_act-bk numerators and
+// denominators exactly.
+func TestRunFig4SweepReconciliation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := telemetry.NewTracer(telemetry.NewJSONL(f))
+
+	p := experiments.DefaultParams(3)
+	p.Nodes = 30
+	p.Duration = 120
+	p.Warmup = 48
+	p.EvalInterval = 20
+	p.Lambdas = []float64{0.4}
+	p.Patterns = []scenario.Pattern{scenario.UT}
+	p.Telemetry = tracer
+
+	sweep, err := experiments.RunSweep(p, experiments.PaperSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out jsonOutput
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	stats := map[string]*telemetry.SchemeStats{}
+	for _, s := range out.Report.Schemes {
+		stats[s.Scheme] = s
+	}
+
+	checked := 0
+	for _, row := range sweep.Rows {
+		s := stats[row.Scheme]
+		if s == nil {
+			t.Fatalf("scheme %s missing from report (have %v)", row.Scheme, out.Report.Schemes)
+		}
+		if s.EvalRecovered != row.Result.Recovered || s.EvalAffected != row.Result.Affected {
+			t.Errorf("%s: trace gives %d/%d, simulator gives %d/%d",
+				row.Scheme, s.EvalRecovered, s.EvalAffected,
+				row.Result.Recovered, row.Result.Affected)
+		}
+		if s.EvalAffected > 0 {
+			want := float64(row.Result.Recovered) / float64(row.Result.Affected)
+			if math.Abs(s.FaultTolerance-want) > 1e-12 {
+				t.Errorf("%s: P_act-bk %v, want %v", row.Scheme, s.FaultTolerance, want)
+			}
+		}
+		checked++
+	}
+	if checked != 3 {
+		t.Fatalf("reconciled %d schemes, want 3", checked)
+	}
+	// A fig4 sweep is non-destructive: it must produce no disruption
+	// samples and no destructive switch/drop tallies.
+	if out.Report.Disruption.Samples != 0 {
+		t.Fatalf("disruption samples = %d in a sweep-only run", out.Report.Disruption.Samples)
+	}
+	// Occupancy sampling rides the evaluation epochs.
+	if len(out.Report.Occupancy) == 0 {
+		t.Fatal("no occupancy samples in report")
+	}
+}
+
+// TestRunDestructiveDisruption replays a run with scheduled destructive
+// failures and checks the trace-derived recovery spans: switched/dropped
+// counts reconcile with the simulator, and every service-disruption
+// sample is bounded by the run's failure-detection plus activation path —
+// in simulated time both happen at the failure instant, so the bound is
+// zero.
+func TestRunDestructiveDisruption(t *testing.T) {
+	g, err := topology.Waxman(topology.WaxmanConfig{Nodes: 20, AvgDegree: 3, MinDegree: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := drtp.NewNetwork(g, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Generate(scenario.Config{Nodes: 20, Lambda: 0.3, Duration: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := telemetry.NewTracer(telemetry.NewJSONL(f))
+
+	res, err := sim.Run(net, routing.NewDLSR(), sc, sim.Config{
+		Warmup: 40,
+		FailureSchedule: []sim.FailureEvent{
+			{Time: 50, Edge: 0, Repair: 70},
+			{Time: 60, Edge: 5, Repair: 90},
+			{Time: 80, Edge: 11},
+		},
+		Telemetry: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Switched == 0 {
+		t.Fatal("run produced no destructive switches; pick a busier scenario")
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out jsonOutput
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+
+	var switched, dropped int64
+	for _, s := range out.Report.Schemes {
+		switched += s.Switched
+		dropped += s.Dropped
+	}
+	if switched != res.Switched || dropped != res.Dropped {
+		t.Fatalf("trace gives switched=%d dropped=%d, simulator %d/%d",
+			switched, dropped, res.Switched, res.Dropped)
+	}
+
+	d := out.Report.Disruption
+	if int64(d.Samples) != res.Switched {
+		t.Fatalf("disruption samples = %d, want one per switch (%d)", d.Samples, res.Switched)
+	}
+	// Simulated failure detection and backup activation are instantaneous:
+	// every sample must sit at the failure instant.
+	if d.Min < 0 || d.Max > 1e-9 {
+		t.Fatalf("disruption outside [0, detection+activation] bound: min=%v max=%v", d.Min, d.Max)
+	}
+	// The overflow bucket's +Inf bound must survive the JSON round trip.
+	if n := len(d.Buckets); n == 0 || !math.IsInf(d.Buckets[n-1].Le, 1) {
+		t.Fatalf("+Inf bucket lost in JSON round trip: %+v", d.Buckets)
+	}
+}
+
+// syncBuffer captures subprocess output concurrently with reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// nodeProc is one drtpnode subprocess under test.
+type nodeProc struct {
+	cmd   *exec.Cmd
+	in    interface{ Write([]byte) (int, error) }
+	out   *syncBuffer
+	trace string
+	done  chan error
+}
+
+func (p *nodeProc) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := p.in.Write([]byte(line + "\n")); err != nil {
+		t.Fatalf("sending %q: %v", line, err)
+	}
+}
+
+// waitOutput polls the process output until the pattern appears, failing
+// the test on timeout.
+func (p *nodeProc) waitOutput(t *testing.T, re *regexp.Regexp, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if m := re.FindString(p.out.String()); m != "" {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pattern %q never appeared; output:\n%s", re, p.out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMultiNodeSharedTrace is the end-to-end distributed tracing check:
+// three drtpnode processes form a ring over TCP, a DR-connection is
+// established and switched to its backup after a declared link failure,
+// and drtptrace joins the three per-process JSONL files into one span
+// whose events come from more than one process but share one trace ID.
+func TestMultiNodeSharedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "drtpnode")
+	if out, err := exec.Command(goBin, "build", "-o", bin,
+		"github.com/rtcl/drtp/cmd/drtpnode").CombinedOutput(); err != nil {
+		t.Fatalf("building drtpnode: %v\n%s", err, out)
+	}
+
+	g, err := topology.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoPath := filepath.Join(dir, "topo.json")
+	if err := topology.SaveJSON(topoPath, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve three loopback ports, then free them for the subprocesses.
+	addrs := make([]string, 3)
+	listeners := make([]net.Listener, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		listeners[i] = ln
+	}
+	peers := fmt.Sprintf("0=%s,1=%s,2=%s", addrs[0], addrs[1], addrs[2])
+	for _, ln := range listeners {
+		ln.Close()
+	}
+
+	procs := make([]*nodeProc, 3)
+	for i := range procs {
+		trace := filepath.Join(dir, fmt.Sprintf("node%d.jsonl", i))
+		cmd := exec.Command(bin,
+			"-node", strconv.Itoa(i), "-topology", topoPath,
+			"-peers", peers, "-trace", trace)
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := &syncBuffer{}
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting node %d: %v", i, err)
+		}
+		p := &nodeProc{cmd: cmd, in: stdin, out: out, trace: trace, done: make(chan error, 1)}
+		go func() { p.done <- cmd.Wait() }()
+		procs[i] = p
+		t.Cleanup(func() { _ = cmd.Process.Kill() })
+	}
+	for _, p := range procs {
+		p.waitOutput(t, regexp.MustCompile(`listening on`), 10*time.Second)
+	}
+
+	// Establish 0 -> 2 with retries while the TCP mesh comes up.
+	established := regexp.MustCompile(`established 7: primary \[([0-9 ]+)\] backup \[[0-9 ]+\]`)
+	var primary []string
+	for attempt := 0; attempt < 20; attempt++ {
+		procs[0].send(t, "establish 7 2")
+		time.Sleep(250 * time.Millisecond)
+		if m := established.FindStringSubmatch(procs[0].out.String()); m != nil {
+			primary = strings.Fields(m[1])
+			break
+		}
+	}
+	if primary == nil {
+		t.Fatalf("connection never established; node 0 output:\n%s", procs[0].out.String())
+	}
+	if len(primary) < 2 {
+		t.Fatalf("primary path too short: %v", primary)
+	}
+
+	// Fail the primary's first hop at the source; the router switches the
+	// connection to its registered backup.
+	procs[0].send(t, "fail "+primary[1])
+	switchedRe := regexp.MustCompile(`switched=true`)
+	deadline := time.Now().Add(10 * time.Second)
+	for !switchedRe.MatchString(procs[0].out.String()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("connection never switched; node 0 output:\n%s", procs[0].out.String())
+		}
+		procs[0].send(t, "info 7")
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Graceful shutdown: SIGTERM for nodes 1 and 2 (the signal path),
+	// console quit for node 0. All three must flush their traces.
+	for _, p := range procs[1:] {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	procs[0].send(t, "quit")
+	for i, p := range procs {
+		select {
+		case err := <-p.done:
+			if err != nil {
+				t.Fatalf("node %d exited: %v\n%s", i, err, p.out.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %d did not exit; output:\n%s", i, p.out.String())
+		}
+	}
+	for _, p := range procs[1:] {
+		if !strings.Contains(p.out.String(), "signal received, shutting down") {
+			t.Fatalf("graceful shutdown message missing:\n%s", p.out.String())
+		}
+	}
+
+	// Join the three per-process traces and find the connection's span.
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "json",
+		procs[0].trace, procs[1].trace, procs[2].trace}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out jsonOutput
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	var span *telemetry.ConnSpan
+	for _, sp := range out.Spans {
+		if sp.Conn == 7 {
+			span = sp
+			break
+		}
+	}
+	if span == nil {
+		t.Fatalf("connection 7 missing from joined trace: %s", buf.String())
+	}
+	if span.Trace == 0 {
+		t.Fatal("span has no trace ID")
+	}
+	if len(span.Nodes) < 2 {
+		t.Fatalf("span joined events from %v, want >= 2 processes", span.Nodes)
+	}
+	if span.SwitchT < 0 {
+		t.Fatalf("span shows no backup switch: %+v", span)
+	}
+
+	// The trace ID was propagated, not re-derived: at least two of the
+	// per-process files must contain raw events carrying it.
+	filesWithTrace := 0
+	for _, p := range procs {
+		f, err := os.Open(p.trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range events {
+			if e.Trace == uint64(span.Trace) {
+				filesWithTrace++
+				break
+			}
+		}
+	}
+	if filesWithTrace < 2 {
+		t.Fatalf("trace ID %d found in %d files, want >= 2", span.Trace, filesWithTrace)
+	}
+
+	// Wall-clock disruption bound: hello detection was bypassed (the
+	// failure is declared), so the switch must land within the activation
+	// path's round trip — seconds, not the test's full runtime.
+	d := out.Report.Disruption
+	if d.Samples < 1 {
+		t.Fatal("no disruption samples in multi-node trace")
+	}
+	if d.Max > 10 {
+		t.Fatalf("disruption %vs exceeds the activation-path bound", d.Max)
+	}
+
+	// The timeline view joins the same events for human eyes.
+	buf.Reset()
+	if err := run([]string{"-conn", "7",
+		procs[0].trace, procs[1].trace, procs[2].trace}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "backup-activate") {
+		t.Fatalf("timeline missing activation:\n%s", buf.String())
+	}
+}

@@ -23,6 +23,9 @@ type Connection struct {
 	// seq orders connections by establishment for deterministic
 	// activation priority under contention.
 	seq int64
+	// trace keys the connection's lifecycle span (telemetry.ConnTrace);
+	// zero when the manager traces nothing.
+	trace uint64
 }
 
 // HasBackup reports whether the connection has at least one backup.
@@ -189,20 +192,27 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 	if _, dup := m.conns[req.ID]; dup {
 		return nil, fmt.Errorf("drtp: connection %d already active", req.ID)
 	}
+	// The span context is derived only when tracing is on: the hash is
+	// cheap but not free, and the disabled path must stay a nil check.
+	var trace uint64
+	if m.tracer.Enabled() {
+		trace = telemetry.ConnTrace(m.schemeName, int64(req.ID))
+		m.tracer.ConnRequest(m.schemeName, trace, int64(req.ID))
+	}
 	route, err := m.scheme.Route(m.net, req)
 	if err != nil {
 		m.stats.Rejected++
-		m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-route")
+		m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-route")
 		return nil, err
 	}
 	if route.Primary.Empty() {
 		m.stats.Rejected++
-		m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-route")
+		m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-route")
 		return nil, ErrNoRoute
 	}
 	if !m.optionalBackup && len(route.Backups) == 0 {
 		m.stats.RejectedNoBackup++
-		m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-backup")
+		m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-backup")
 		return nil, ErrNoBackup
 	}
 
@@ -214,11 +224,12 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 				mustRelease(db.ReleasePrimary(req.ID, rl))
 			}
 			m.stats.Rejected++
-			m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-capacity")
+			m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-capacity")
 			return nil, fmt.Errorf("drtp: reserve primary: %w", err)
 		}
 		reserved = append(reserved, l)
 	}
+	m.tracer.PrimarySetup(m.schemeName, trace, int64(req.ID), route.Primary.Hops())
 
 	conn := &Connection{
 		ID:      req.ID,
@@ -226,6 +237,7 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 		Dst:     req.Dst,
 		Primary: route.Primary,
 		seq:     m.nexSeq,
+		trace:   trace,
 	}
 	m.nexSeq++
 
@@ -236,10 +248,10 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 		if m.registerBackup(req.ID, backup, route.Primary, conn.Backups) {
 			conn.Backups = append(conn.Backups, backup)
 			m.stats.BackupsEstablished++
-			m.tracer.BackupRegister(m.schemeName, int64(req.ID), backup.Hops(), "")
+			m.tracer.BackupRegister(m.schemeName, trace, int64(req.ID), backup.Hops(), "")
 		} else {
 			m.stats.BackupRegisterFailures++
-			m.tracer.BackupRegister(m.schemeName, int64(req.ID), backup.Hops(), "rejected")
+			m.tracer.BackupRegister(m.schemeName, trace, int64(req.ID), backup.Hops(), "rejected")
 		}
 	}
 	if !conn.HasBackup() {
@@ -248,7 +260,7 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 				mustRelease(db.ReleasePrimary(req.ID, rl))
 			}
 			m.stats.RejectedNoBackup++
-			m.tracer.ConnReject(m.schemeName, int64(req.ID), "no-backup")
+			m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-backup")
 			return nil, ErrNoBackup
 		}
 		m.stats.BackupLess++
@@ -256,7 +268,7 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 
 	m.conns[req.ID] = conn
 	m.stats.Accepted++
-	m.tracer.ConnEstablish(m.schemeName, int64(req.ID), conn.Primary.Hops())
+	m.tracer.ConnEstablish(m.schemeName, trace, int64(req.ID), conn.Primary.Hops())
 	return conn, nil
 }
 
@@ -304,8 +316,9 @@ func (m *Manager) Release(id ConnID) error {
 	}
 	delete(m.conns, id)
 	if len(conn.Backups) > 0 {
-		m.tracer.BackupRelease(m.schemeName, int64(id), len(conn.Backups))
+		m.tracer.BackupRelease(m.schemeName, conn.trace, int64(id), len(conn.Backups))
 	}
+	m.tracer.ConnTeardown(m.schemeName, conn.trace, int64(id))
 	return nil
 }
 

@@ -76,14 +76,14 @@ func (m *Manager) applyFailure(hits func(graph.Path) bool, link int) RecoveryOut
 		switch {
 		case m.switchConnection(c, &out):
 			out.Switched++
-			m.tracer.BackupActivate(m.schemeName, int64(c.ID), link, "switch")
+			m.tracer.BackupActivate(m.schemeName, c.trace, int64(c.ID), link, "switch")
 		case m.reactiveRecovery && m.rerouteConnection(c):
 			out.Switched++
-			m.tracer.BackupActivate(m.schemeName, int64(c.ID), link, "reroute")
+			m.tracer.BackupActivate(m.schemeName, c.trace, int64(c.ID), link, "reroute")
 		default:
 			mustRelease(m.Release(c.ID))
 			out.Dropped++
-			m.tracer.ActivationDenied(m.schemeName, int64(c.ID), link, "dropped")
+			m.tracer.ActivationDenied(m.schemeName, c.trace, int64(c.ID), link, "dropped")
 		}
 	}
 	return out

@@ -98,6 +98,7 @@ func RunAvailability(p AvailabilityParams) (*Availability, error) {
 			Warmup:          p.Warmup,
 			FailureSchedule: schedule,
 			ManagerOpts:     spec.opts,
+			Telemetry:       p.Telemetry,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: availability %s: %w", spec.name, err)

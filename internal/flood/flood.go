@@ -60,6 +60,12 @@ type Stats struct {
 	CDPForwards int64
 	// CDPDropsDetour counts copies dropped by the valid-detour test.
 	CDPDropsDetour int64
+	// CDPDropsHopLimit counts copies discarded by the distance test: the
+	// minimum-hop continuation via a neighbor could no longer meet
+	// hc_limit. (Loop-freedom and bandwidth suppressions are not counted
+	// as drops: the paper's overhead measure is transmissions, and those
+	// copies never left the node for a viable route.)
+	CDPDropsHopLimit int64
 	// Candidates is the total number of routes accumulated in CRTs.
 	Candidates int64
 	// NoPrimary counts requests whose CRT held no primary-flagged route.
@@ -95,9 +101,9 @@ func (s *Scheme) Stats() Stats { return s.stats }
 func (s *Scheme) ResetStats() { s.stats = Stats{} }
 
 // SetTracer attaches an event tracer: each flood emits one aggregated
-// cdp-forward event (N = CDP transmissions) and, when copies were dropped
-// by the valid-detour test, one cdp-drop event. A nil tracer disables
-// emission (the default).
+// cdp-forward event (N = CDP transmissions) and, when copies were
+// dropped, one cdp-drop event per discarding test ("hop-limit",
+// "detour"). A nil tracer disables emission (the default).
 func (s *Scheme) SetTracer(tr *telemetry.Tracer) { s.tracer = tr }
 
 // cdp is a channel-discovery packet. The conn-id field of the paper is
@@ -171,13 +177,17 @@ var _ drtp.BackupRouter = (*Scheme)(nil)
 // event-driven simulation exactly.
 func (s *Scheme) flood(net *drtp.Network, req drtp.Request) []candidate {
 	if s.tracer.Enabled() {
-		fwd0, drop0 := s.stats.CDPForwards, s.stats.CDPDropsDetour
+		trace := telemetry.ConnTrace(s.Name(), int64(req.ID))
+		fwd0, hop0, det0 := s.stats.CDPForwards, s.stats.CDPDropsHopLimit, s.stats.CDPDropsDetour
 		defer func() {
 			if n := s.stats.CDPForwards - fwd0; n > 0 {
-				s.tracer.CDPForward(s.Name(), int64(req.ID), int(n))
+				s.tracer.CDPForward(s.Name(), trace, int64(req.ID), int(n))
 			}
-			if n := s.stats.CDPDropsDetour - drop0; n > 0 {
-				s.tracer.CDPDrop(s.Name(), int64(req.ID), int(n))
+			if n := s.stats.CDPDropsHopLimit - hop0; n > 0 {
+				s.tracer.CDPDrop(s.Name(), trace, int64(req.ID), int(n), "hop-limit")
+			}
+			if n := s.stats.CDPDropsDetour - det0; n > 0 {
+				s.tracer.CDPDrop(s.Name(), trace, int64(req.ID), int(n), "detour")
 			}
 		}()
 	}
@@ -214,7 +224,11 @@ func (s *Scheme) flood(net *drtp.Network, req drtp.Request) []candidate {
 			// Distance test: can the minimum-hop continuation via k
 			// still meet the hop limit?
 			dk := dist.Hops(k, req.Dst)
-			if dk < 0 || m.hcCurr+dk+1 > hcLimit {
+			if dk < 0 {
+				continue
+			}
+			if m.hcCurr+dk+1 > hcLimit {
+				s.stats.CDPDropsHopLimit++
 				continue
 			}
 			// Loop-freedom test.

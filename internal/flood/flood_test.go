@@ -1,14 +1,17 @@
 package flood_test
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"github.com/rtcl/drtp/internal/drtp"
 	"github.com/rtcl/drtp/internal/flood"
 	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/telemetry"
 	"github.com/rtcl/drtp/internal/topology"
 )
 
@@ -267,4 +270,73 @@ func backupOf(r drtp.Route) graph.Path {
 		return graph.Path{}
 	}
 	return r.Backups[0]
+}
+
+// TestFloodDropReasons forces both discarding tests and checks the
+// split counters and the labeled cdp-drop events they emit: a MaxHops=1
+// bound discards every copy that cannot reach the destination in one
+// hop (hop-limit), while an unconstrained flood on the theta graph
+// exercises the valid-detour test.
+func TestFloodDropReasons(t *testing.T) {
+	net := theta(t, 10)
+	bf := flood.NewDefault()
+	ring := telemetry.NewRing(64)
+	bf.SetTracer(telemetry.NewTracer(ring))
+
+	if _, err := bf.Route(net, drtp.Request{ID: 1, Src: 0, Dst: 1, MaxHops: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := bf.Stats()
+	if s.CDPDropsHopLimit < 2 {
+		t.Fatalf("hop-limit drops = %d, want >= 2 (copies toward nodes 2 and 3)", s.CDPDropsHopLimit)
+	}
+
+	if _, err := bf.Route(net, drtp.Request{ID: 2, Src: 0, Dst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s = bf.Stats()
+
+	// Events: aggregated per flood, one per discarding test, with the
+	// multiplicities summing to the stats counters.
+	var hopN, detN int64
+	for _, e := range ring.Events() {
+		if e.Kind != telemetry.EvCDPDrop {
+			continue
+		}
+		switch e.Reason {
+		case "hop-limit":
+			hopN += int64(e.N)
+		case "detour":
+			detN += int64(e.N)
+		default:
+			t.Fatalf("unlabeled cdp-drop event: %+v", e)
+		}
+		if e.Trace != telemetry.ConnTrace("BF", e.Conn) {
+			t.Fatalf("cdp-drop without span context: %+v", e)
+		}
+	}
+	if hopN != s.CDPDropsHopLimit || detN != s.CDPDropsDetour {
+		t.Fatalf("events give %d/%d drops, stats %d/%d",
+			hopN, detN, s.CDPDropsHopLimit, s.CDPDropsDetour)
+	}
+}
+
+// TestFloodDropMetricsLabels routes through a metrics sink and checks
+// the drops land in drtp_cdp_drops_total under their reason label.
+func TestFloodDropMetricsLabels(t *testing.T) {
+	net := theta(t, 10)
+	bf := flood.NewDefault()
+	reg := telemetry.NewRegistry()
+	bf.SetTracer(telemetry.NewTracer(telemetry.NewMetricsSink(reg)))
+
+	if _, err := bf.Route(net, drtp.Request{ID: 1, Src: 0, Dst: 1, MaxHops: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `drtp_cdp_drops_total{reason="hop-limit"}`) {
+		t.Fatalf("labeled drop counter missing:\n%s", buf.String())
+	}
 }

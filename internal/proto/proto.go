@@ -97,6 +97,9 @@ type Setup struct {
 	Route       []graph.NodeID
 	Hop         int
 	PrimaryLSET []graph.LinkID
+	// Trace is the connection's span context, propagated so every router
+	// on the path stamps its telemetry with the same trace ID.
+	Trace uint64
 }
 
 // Kind implements Message.
@@ -125,6 +128,8 @@ type Teardown struct {
 	Route   []graph.NodeID
 	Hop     int
 	UpTo    int
+	// Trace is the connection's span context (see Setup.Trace).
+	Trace uint64
 }
 
 // Kind implements Message.
@@ -135,6 +140,9 @@ func (Teardown) Kind() string { return "teardown" }
 type FailureReport struct {
 	Link  graph.LinkID
 	Conns []lsdb.ConnID
+	// Traces carries the span context of each reported connection,
+	// parallel to Conns (empty when the reporter traces nothing).
+	Traces []uint64
 }
 
 // Kind implements Message.
@@ -147,6 +155,8 @@ type Activate struct {
 	Conn  lsdb.ConnID
 	Route []graph.NodeID
 	Hop   int
+	// Trace is the connection's span context (see Setup.Trace).
+	Trace uint64
 }
 
 // Kind implements Message.

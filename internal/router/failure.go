@@ -55,16 +55,27 @@ func (r *Router) declareDownLocked(nbr graph.NodeID) []failureReport {
 		return nil
 	}
 	r.tracer.LinkFail(int(r.cfg.Node), int(l))
-	// Group the affected primaries by source and notify each.
-	bySrc := make(map[graph.NodeID][]lsdb.ConnID)
-	for id, src := range r.transitPrim[l] {
-		bySrc[src] = append(bySrc[src], id)
+	// Group the affected primaries by source and notify each, carrying
+	// each connection's span context alongside its ID.
+	type hit struct {
+		ids    []lsdb.ConnID
+		traces []uint64
+	}
+	bySrc := make(map[graph.NodeID]*hit)
+	for id, rec := range r.transitPrim[l] {
+		h := bySrc[rec.src]
+		if h == nil {
+			h = &hit{}
+			bySrc[rec.src] = h
+		}
+		h.ids = append(h.ids, id)
+		h.traces = append(h.traces, rec.trace)
 	}
 	reports := make([]failureReport, 0, len(bySrc))
-	for src, ids := range bySrc {
+	for src, h := range bySrc {
 		reports = append(reports, failureReport{
 			src: src,
-			msg: proto.FailureReport{Link: l, Conns: ids},
+			msg: proto.FailureReport{Link: l, Conns: h.ids, Traces: h.traces},
 		})
 	}
 	return reports
@@ -105,8 +116,12 @@ func (r *Router) FailLink(nbr graph.NodeID) {
 
 // handleFailureReport switches affected connections to their backups.
 func (r *Router) handleFailureReport(m proto.FailureReport) {
-	for _, id := range m.Conns {
-		r.switchToBackup(id, int(m.Link))
+	for i, id := range m.Conns {
+		var trace uint64
+		if i < len(m.Traces) {
+			trace = m.Traces[i]
+		}
+		r.switchToBackup(id, int(m.Link), trace)
 	}
 }
 
@@ -114,7 +129,7 @@ func (r *Router) handleFailureReport(m proto.FailureReport) {
 // backup routes are tried in preference order, each activated hop-by-hop
 // (spare reservations converted to primary bandwidth). failedLink labels
 // the telemetry events with the reported failure.
-func (r *Router) switchToBackup(id lsdb.ConnID, failedLink int) {
+func (r *Router) switchToBackup(id lsdb.ConnID, failedLink int, trace uint64) {
 	r.mu.Lock()
 	c, ok := r.conns[id]
 	if !ok || c.info.Switched || c.info.Dead || c.switching {
@@ -125,25 +140,28 @@ func (r *Router) switchToBackup(id lsdb.ConnID, failedLink int) {
 	oldPrimary := c.primaryPath
 	backups := make([]graph.Path, len(c.backupPaths))
 	copy(backups, c.backupPaths)
+	if trace == 0 {
+		trace = c.trace // locally-originated reports may omit the context
+	}
 	r.mu.Unlock()
 
 	// The activation round trips complete asynchronously in the router
 	// loop; a helper goroutine walks the backup list.
 	r.wg.Add(1)
-	go r.runSwitch(id, failedLink, oldPrimary, backups)
+	go r.runSwitch(id, failedLink, trace, oldPrimary, backups)
 }
 
 // runSwitch tries each backup in order; the first successful activation
 // becomes the new primary, surviving backups stay registered, and the old
 // primary's remaining reservations are reconfigured away.
-func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, oldPrimary graph.Path, backups []graph.Path) {
+func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, trace uint64, oldPrimary graph.Path, backups []graph.Path) {
 	defer r.wg.Done()
 	for i, backup := range backups {
-		if !r.activateBackup(id, backup) {
+		if !r.activateBackup(id, backup, trace) {
 			// Release the failed attempt's registrations and any hops
 			// already converted to primary bandwidth.
-			r.teardownChannel(id, proto.Backup, backup, -1)
-			r.teardownChannel(id, proto.Primary, backup, -1)
+			r.teardownChannel(id, proto.Backup, backup, -1, trace)
+			r.teardownChannel(id, proto.Primary, backup, -1, trace)
 			continue
 		}
 		r.mu.Lock()
@@ -164,10 +182,10 @@ func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, oldPrimary graph.Path
 		}
 		r.mu.Unlock()
 		r.log.Warn("channel switched to backup", "conn", int64(id), "attempt", i+1)
-		r.tracer.BackupActivate(r.schemeName, int64(id), failedLink, "switch")
+		r.tracer.BackupActivate(r.schemeName, trace, int64(id), failedLink, "switch")
 		// Resource reconfiguration: release what the failed primary still
 		// holds on surviving links.
-		r.teardownChannel(id, proto.Primary, oldPrimary, -1)
+		r.teardownChannel(id, proto.Primary, oldPrimary, -1, trace)
 		return
 	}
 
@@ -181,12 +199,12 @@ func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, oldPrimary graph.Path
 	}
 	r.mu.Unlock()
 	r.log.Error("connection lost", "conn", int64(id), "backupsTried", len(backups))
-	r.tracer.ActivationDenied(r.schemeName, int64(id), failedLink, "dropped")
-	r.teardownChannel(id, proto.Primary, oldPrimary, -1)
+	r.tracer.ActivationDenied(r.schemeName, trace, int64(id), failedLink, "dropped")
+	r.teardownChannel(id, proto.Primary, oldPrimary, -1, trace)
 }
 
 // activateBackup runs one activation round trip.
-func (r *Router) activateBackup(id lsdb.ConnID, backup graph.Path) bool {
+func (r *Router) activateBackup(id lsdb.ConnID, backup graph.Path, trace uint64) bool {
 	ch := make(chan proto.ActivateResult, 1)
 	r.mu.Lock()
 	r.pendingAct[id] = ch
@@ -201,6 +219,7 @@ func (r *Router) activateBackup(id lsdb.ConnID, backup graph.Path) bool {
 		Conn:  id,
 		Route: backup.Nodes(r.g),
 		Hop:   0,
+		Trace: trace,
 	})
 	select {
 	case res := <-ch:
@@ -220,6 +239,7 @@ func (r *Router) handleActivate(m proto.Activate) {
 	}
 	origin := m.Route[0]
 	if i == len(m.Route)-1 {
+		r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), -1, "activate")
 		r.send(origin, proto.ActivateResult{Conn: m.Conn, OK: true})
 		return
 	}
@@ -241,9 +261,9 @@ func (r *Router) handleActivate(m proto.Activate) {
 		// conflicting backups multiplexed on the same spare pool.
 		if err = r.db.PromoteBackup(m.Conn, l); err == nil {
 			if r.transitPrim[l] == nil {
-				r.transitPrim[l] = make(map[lsdb.ConnID]graph.NodeID)
+				r.transitPrim[l] = make(map[lsdb.ConnID]transitRec)
 			}
-			r.transitPrim[l][m.Conn] = origin
+			r.transitPrim[l][m.Conn] = transitRec{src: origin, trace: m.Trace}
 		}
 	}
 	if err == nil {
@@ -255,6 +275,7 @@ func (r *Router) handleActivate(m proto.Activate) {
 		r.send(origin, proto.ActivateResult{Conn: m.Conn, Reason: err.Error()})
 		return
 	}
+	r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), int(l), "activate")
 	m.Hop++
 	r.send(next, m)
 }

@@ -144,9 +144,20 @@ type conn struct {
 	info        ConnInfo
 	primaryPath graph.Path
 	backupPaths []graph.Path
+	// trace keys the connection's telemetry span (telemetry.ConnTrace);
+	// zero when the router traces nothing.
+	trace uint64
 	// switching guards against duplicate switch attempts from repeated
 	// failure reports.
 	switching bool
+}
+
+// transitRec remembers, per transit primary reservation, the source
+// router to notify on failure and the connection's span context so the
+// failure report carries the trace ID back to the source.
+type transitRec struct {
+	src   graph.NodeID
+	trace uint64
 }
 
 // linkView is the router's view of one (possibly remote) link.
@@ -177,7 +188,7 @@ type Router struct {
 	pending     map[pendingKey]chan proto.SetupResult
 	pendingAct  map[lsdb.ConnID]chan proto.ActivateResult
 	conns       map[lsdb.ConnID]*conn
-	transitPrim map[graph.LinkID]map[lsdb.ConnID]graph.NodeID
+	transitPrim map[graph.LinkID]map[lsdb.ConnID]transitRec
 	lastHello   map[graph.NodeID]time.Time
 	helloSeq    uint64
 	downNbr     map[graph.NodeID]bool
@@ -219,7 +230,7 @@ func New(cfg Config, ep transport.Endpoint) (*Router, error) {
 		pending:     make(map[pendingKey]chan proto.SetupResult),
 		pendingAct:  make(map[lsdb.ConnID]chan proto.ActivateResult),
 		conns:       make(map[lsdb.ConnID]*conn),
-		transitPrim: make(map[graph.LinkID]map[lsdb.ConnID]graph.NodeID),
+		transitPrim: make(map[graph.LinkID]map[lsdb.ConnID]transitRec),
 		lastHello:   make(map[graph.NodeID]time.Time),
 		downNbr:     make(map[graph.NodeID]bool),
 		log:         cfg.Logger.With("node", int(cfg.Node)),

@@ -7,6 +7,7 @@ import (
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
 	"github.com/rtcl/drtp/internal/proto"
+	"github.com/rtcl/drtp/internal/telemetry"
 )
 
 // Exported signalling errors.
@@ -39,15 +40,24 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 	}
 	primary := r.routePrimary(dst)
 	r.mu.Unlock()
+	// The span context rides inside every signalling packet of this
+	// connection so remote hops stamp the same trace ID; derived only
+	// when tracing to keep the untraced hot path at a nil check.
+	var trace uint64
+	if r.tracer.Enabled() {
+		trace = telemetry.ConnTrace(r.schemeName, int64(id))
+		r.tracer.ConnRequest(r.schemeName, trace, int64(id))
+	}
 	if primary.Empty() {
-		r.tracer.ConnReject(r.schemeName, int64(id), "no-route")
+		r.tracer.ConnReject(r.schemeName, trace, int64(id), "no-route")
 		return ConnInfo{}, ErrNoRoute
 	}
 
-	if err := r.setupChannel(id, proto.Primary, primary, nil); err != nil {
-		r.tracer.ConnReject(r.schemeName, int64(id), "no-capacity")
+	if err := r.setupChannel(id, proto.Primary, primary, nil, trace); err != nil {
+		r.tracer.ConnReject(r.schemeName, trace, int64(id), "no-capacity")
 		return ConnInfo{}, err
 	}
+	r.tracer.PrimarySetup(r.schemeName, trace, int64(id), primary.Hops())
 
 	// Route and register up to cfg.Backups backup channels: the first may
 	// overlap the primary as a last resort, later ones must be disjoint
@@ -67,22 +77,22 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 		if k > 0 && (backup.SharedLinks(primary) > 0 || overlapsAnyPath(backup, backups)) {
 			break
 		}
-		if err := r.setupChannel(id, proto.Backup, backup, primary.Links()); err != nil {
-			r.tracer.BackupRegister(r.schemeName, int64(id), backup.Hops(), "rejected")
+		if err := r.setupChannel(id, proto.Backup, backup, primary.Links(), trace); err != nil {
+			r.tracer.BackupRegister(r.schemeName, trace, int64(id), backup.Hops(), "rejected")
 			if firstErr == nil {
 				firstErr = err
 			}
 			break
 		}
-		r.tracer.BackupRegister(r.schemeName, int64(id), backup.Hops(), "")
+		r.tracer.BackupRegister(r.schemeName, trace, int64(id), backup.Hops(), "")
 		backups = append(backups, backup)
 		for _, l := range backup.Links() {
 			avoid[l] = struct{}{}
 		}
 	}
 	if len(backups) == 0 {
-		r.teardownChannel(id, proto.Primary, primary, -1)
-		r.tracer.ConnReject(r.schemeName, int64(id), "no-backup")
+		r.teardownChannel(id, proto.Primary, primary, -1, trace)
+		r.tracer.ConnReject(r.schemeName, trace, int64(id), "no-backup")
 		if firstErr != nil {
 			return ConnInfo{}, fmt.Errorf("%w: %v", ErrNoBackup, firstErr)
 		}
@@ -99,6 +109,7 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 		},
 		primaryPath: primary,
 		backupPaths: backups,
+		trace:       trace,
 	}
 	for _, b := range backups {
 		c.info.Backups = append(c.info.Backups, b.Nodes(r.g))
@@ -109,7 +120,7 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 	r.mu.Unlock()
 	r.log.Info("connection established", "conn", int64(id), "dst", int(dst),
 		"primaryHops", primary.Hops(), "backups", len(backups))
-	r.tracer.ConnEstablish(r.schemeName, int64(id), primary.Hops())
+	r.tracer.ConnEstablish(r.schemeName, trace, int64(id), primary.Hops())
 	r.mEstablishSeconds.Observe(time.Since(start).Seconds())
 	r.mActiveConns.Add(1)
 	return info, nil
@@ -135,27 +146,28 @@ func (r *Router) Release(id lsdb.ConnID) error {
 	}
 	delete(r.conns, id)
 	info := c.info
-	primary, backups := c.primaryPath, c.backupPaths
+	primary, backups, trace := c.primaryPath, c.backupPaths, c.trace
 	r.mu.Unlock()
 
 	r.log.Info("connection released", "conn", int64(id))
 	if len(backups) > 0 {
-		r.tracer.BackupRelease(r.schemeName, int64(id), len(backups))
+		r.tracer.BackupRelease(r.schemeName, trace, int64(id), len(backups))
 	}
 	r.mActiveConns.Add(-1)
 	// primaryPath always names the route currently carrying primary
 	// bandwidth (the activated backup after a switch); backupPaths only
 	// the still-registered backup channels.
 	_ = info
-	r.teardownChannel(id, proto.Primary, primary, -1)
+	r.teardownChannel(id, proto.Primary, primary, -1, trace)
 	for _, b := range backups {
-		r.teardownChannel(id, proto.Backup, b, -1)
+		r.teardownChannel(id, proto.Backup, b, -1, trace)
 	}
+	r.tracer.ConnTeardown(r.schemeName, trace, int64(id))
 	return nil
 }
 
 // setupChannel runs one hop-by-hop setup and waits for the result.
-func (r *Router) setupChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, lset []graph.LinkID) error {
+func (r *Router) setupChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, lset []graph.LinkID, trace uint64) error {
 	key := pendingKey{conn: id, channel: kind}
 	ch := make(chan proto.SetupResult, 1)
 	r.mu.Lock()
@@ -173,17 +185,18 @@ func (r *Router) setupChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph
 		Route:       path.Nodes(r.g),
 		Hop:         0,
 		PrimaryLSET: lset,
+		Trace:       trace,
 	})
 	select {
 	case res := <-ch:
 		if !res.OK {
 			// Roll back the hops reserved before the failure.
-			r.teardownChannel(id, kind, path, res.FailedHop)
+			r.teardownChannel(id, kind, path, res.FailedHop, trace)
 			return fmt.Errorf("router: %s setup rejected at hop %d: %s", kind, res.FailedHop, res.Reason)
 		}
 		return nil
 	case <-time.After(r.cfg.SetupTimeout):
-		r.teardownChannel(id, kind, path, -1)
+		r.teardownChannel(id, kind, path, -1, trace)
 		return ErrTimeout
 	case <-r.stop:
 		return ErrClosed
@@ -192,7 +205,7 @@ func (r *Router) setupChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph
 
 // teardownChannel releases a channel's reservations along a route. upTo
 // bounds the number of out-links released (-1 = all).
-func (r *Router) teardownChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, upTo int) {
+func (r *Router) teardownChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, upTo int, trace uint64) {
 	nodes := path.Nodes(r.g)
 	if len(nodes) < 2 {
 		return
@@ -209,6 +222,7 @@ func (r *Router) teardownChannel(id lsdb.ConnID, kind proto.ChannelKind, path gr
 		Route:   nodes,
 		Hop:     0,
 		UpTo:    upTo,
+		Trace:   trace,
 	})
 }
 
@@ -220,6 +234,7 @@ func (r *Router) handleSetup(m proto.Setup) {
 	}
 	origin := m.Route[0]
 	if i == len(m.Route)-1 {
+		r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), -1, m.Channel.String())
 		r.send(origin, proto.SetupResult{Conn: m.Conn, Channel: m.Channel, OK: true})
 		return
 	}
@@ -241,9 +256,9 @@ func (r *Router) handleSetup(m proto.Setup) {
 	case m.Channel == proto.Primary:
 		if err = r.db.ReservePrimary(m.Conn, l); err == nil {
 			if r.transitPrim[l] == nil {
-				r.transitPrim[l] = make(map[lsdb.ConnID]graph.NodeID)
+				r.transitPrim[l] = make(map[lsdb.ConnID]transitRec)
 			}
-			r.transitPrim[l][m.Conn] = origin
+			r.transitPrim[l][m.Conn] = transitRec{src: origin, trace: m.Trace}
 		}
 	default:
 		err = r.db.RegisterBackup(m.Conn, l, m.PrimaryLSET)
@@ -259,6 +274,7 @@ func (r *Router) handleSetup(m proto.Setup) {
 		})
 		return
 	}
+	r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), int(l), m.Channel.String())
 	m.Hop++
 	r.send(next, m)
 }
@@ -288,6 +304,7 @@ func (r *Router) handleTeardown(m proto.Teardown) {
 		r.releaseLocal(m.Conn, m.Channel, l)
 		r.markDirty()
 		r.mu.Unlock()
+		r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), int(l), "teardown")
 	}
 	if i+1 < m.UpTo {
 		m.Hop++

@@ -225,6 +225,19 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 				}
 			}
 			res.Sweeps++
+			// Sample per-link occupancy at each evaluation epoch: reserved
+			// primary/spare bandwidth and the backup-multiplexing degree,
+			// for the trace-derived occupancy-over-time report.
+			if cfg.Telemetry.Enabled() {
+				for l := 0; l < net.Graph().NumLinks(); l++ {
+					lid := graph.LinkID(l)
+					prime, spare := db.PrimeBW(lid), db.SpareBW(lid)
+					if prime == 0 && spare == 0 {
+						continue
+					}
+					cfg.Telemetry.LinkState(res.Scheme, l, prime, spare, db.NumBackupsOn(lid))
+				}
+			}
 			nextEval += cfg.EvalInterval
 		}
 	}

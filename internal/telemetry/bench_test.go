@@ -13,7 +13,7 @@ func BenchmarkNilTracerEmit(b *testing.B) {
 	var tr *telemetry.Tracer
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tr.ConnEstablish("D-LSR", int64(i), 4)
+		tr.ConnEstablish("D-LSR", 0, int64(i), 4)
 	}
 }
 
@@ -23,7 +23,7 @@ func BenchmarkSinklessTracerEmit(b *testing.B) {
 	tr := telemetry.NewTracer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tr.ConnEstablish("D-LSR", int64(i), 4)
+		tr.ConnEstablish("D-LSR", 0, int64(i), 4)
 	}
 }
 
@@ -32,7 +32,7 @@ func BenchmarkRingEmit(b *testing.B) {
 	tr := telemetry.NewTracer(telemetry.NewRing(1024))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tr.ConnEstablish("D-LSR", int64(i), 4)
+		tr.ConnEstablish("D-LSR", 0, int64(i), 4)
 	}
 }
 

@@ -1,0 +1,130 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/telemetry"
+)
+
+func exposition(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestExpositionLabelEscaping checks the text-format escaping of label
+// values: backslashes, double quotes and newlines must be escaped, and
+// untouched values must round-trip verbatim.
+func TestExpositionLabelEscaping(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cv := reg.CounterVec("test_escape_total", "escaping", "path")
+	cv.With(`C:\drtp "trace"` + "\nfile").Inc()
+	cv.With("plain").Add(2)
+
+	out := exposition(t, reg)
+	want := `test_escape_total{path="C:\\drtp \"trace\"\nfile"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped series missing.\nwant line: %s\ngot:\n%s", want, out)
+	}
+	if !strings.Contains(out, `test_escape_total{path="plain"} 2`) {
+		t.Fatalf("plain series missing:\n%s", out)
+	}
+	// The escaped value must not leak a raw newline into the body: every
+	// line of the output is either a comment or name{labels} value.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("raw newline leaked into exposition:\n%q", out)
+		}
+	}
+}
+
+// TestExpositionHistogramInfBucket checks the +Inf overflow bucket line:
+// it is always last, cumulative, and equals the _count series.
+func TestExpositionHistogramInfBucket(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("test_lat", "latency", []float64{0.1, 1})
+	// Power-of-two fractions keep the sum exact in binary floating point.
+	for _, v := range []float64{0.0625, 0.5, 99, 100} { // two above the top bound
+		h.Observe(v)
+	}
+
+	out := exposition(t, reg)
+	for _, want := range []string{
+		`test_lat_bucket{le="0.1"} 1`,
+		`test_lat_bucket{le="1"} 2`,
+		`test_lat_bucket{le="+Inf"} 4`,
+		`test_lat_count 4`,
+		`test_lat_sum 199.5625`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative ordering: +Inf is the last bucket line.
+	lines := strings.Split(out, "\n")
+	lastBucket := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "test_lat_bucket") {
+			lastBucket = l
+		}
+	}
+	if !strings.Contains(lastBucket, `le="+Inf"`) {
+		t.Fatalf("+Inf bucket not last: %q", lastBucket)
+	}
+}
+
+// TestExpositionEmptyHistogram: a registered unlabeled histogram with no
+// observations still prints its full (all-zero) bucket set — scrapers
+// need the series to exist before the first sample — while a labeled
+// family with no children prints nothing at all.
+func TestExpositionEmptyHistogram(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Histogram("test_idle", "never observed", []float64{1, 2})
+	reg.HistogramVec("test_empty_vec", "no children", []float64{1}, "scheme")
+	reg.CounterVec("test_empty_counter", "no children", "scheme")
+
+	out := exposition(t, reg)
+	for _, want := range []string{
+		"# TYPE test_idle histogram",
+		`test_idle_bucket{le="1"} 0`,
+		`test_idle_bucket{le="2"} 0`,
+		`test_idle_bucket{le="+Inf"} 0`,
+		"test_idle_sum 0",
+		"test_idle_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	for _, absent := range []string{"test_empty_vec", "test_empty_counter"} {
+		if strings.Contains(out, absent) {
+			t.Fatalf("family %s with no children was exposed:\n%s", absent, out)
+		}
+	}
+}
+
+// TestExpositionHistogramVecLabels: bucket lines of a labeled histogram
+// carry both the family labels and the le bound, le last.
+func TestExpositionHistogramVecLabels(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	hv := reg.HistogramVec("test_hops", "route lengths", []float64{2}, "scheme")
+	hv.With("D-LSR").Observe(1)
+	hv.With("D-LSR").Observe(5)
+
+	out := exposition(t, reg)
+	for _, want := range []string{
+		`test_hops_bucket{scheme="D-LSR",le="2"} 1`,
+		`test_hops_bucket{scheme="D-LSR",le="+Inf"} 2`,
+		`test_hops_sum{scheme="D-LSR"} 6`,
+		`test_hops_count{scheme="D-LSR"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

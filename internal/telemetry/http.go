@@ -3,12 +3,15 @@ package telemetry
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler serves the registry over HTTP:
 //
-//	GET /metrics  — Prometheus text exposition format
-//	GET /healthz  — 200 "ok" liveness probe
+//	GET /metrics       — Prometheus text exposition format
+//	GET /healthz       — 200 "ok" liveness probe
+//	GET /debug/pprof/  — stdlib profiling endpoints (CPU, heap, goroutine,
+//	                     block, mutex, execution trace)
 //
 // Mount it on a plain http.Server; cmd/drtpnode does so behind its
 // -metrics flag.
@@ -22,5 +25,10 @@ func Handler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

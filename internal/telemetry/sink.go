@@ -140,11 +140,14 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 
 // MetricsSink aggregates events into a Registry: one
 // drtp_events_total{kind,scheme} counter family (incremented by each
-// event's multiplicity N) plus drtp_link_failures_total. It is how live
-// processes turn the event stream into /metrics families.
+// event's multiplicity N) plus drtp_link_failures_total and
+// drtp_cdp_drops_total{reason} (hop-limit vs detour, so BF's flooding
+// overhead is attributable). It is how live processes turn the event
+// stream into /metrics families.
 type MetricsSink struct {
 	events    *CounterVec
 	linkFails *Counter
+	cdpDrops  *CounterVec
 }
 
 // NewMetricsSink creates a sink aggregating into reg.
@@ -154,6 +157,8 @@ func NewMetricsSink(reg *Registry) *MetricsSink {
 			"Protocol events by kind and routing scheme.", "kind", "scheme"),
 		linkFails: reg.Counter("drtp_link_failures_total",
 			"Links declared failed."),
+		cdpDrops: reg.CounterVec("drtp_cdp_drops_total",
+			"Channel-discovery packets dropped, by discarding test.", "reason"),
 	}
 }
 
@@ -164,7 +169,14 @@ func (m *MetricsSink) Record(e Event) {
 		scheme = "-"
 	}
 	m.events.With(e.Kind.String(), scheme).Add(int64(e.N))
-	if e.Kind == EvLinkFail {
+	switch e.Kind {
+	case EvLinkFail:
 		m.linkFails.Add(int64(e.N))
+	case EvCDPDrop:
+		reason := e.Reason
+		if reason == "" {
+			reason = "-"
+		}
+		m.cdpDrops.With(reason).Add(int64(e.N))
 	}
 }

@@ -77,8 +77,8 @@ func TestTracerConcurrency(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				tr.ConnEstablish("D-LSR", int64(w*perWorker+i), 3)
-				tr.CDPForward("BF", int64(i), 5)
+				tr.ConnEstablish("D-LSR", 0, int64(w*perWorker+i), 3)
+				tr.CDPForward("BF", 0, int64(i), 5)
 			}
 		}(w)
 	}
@@ -102,18 +102,24 @@ func TestTracerConcurrency(t *testing.T) {
 
 func TestNilInstrumentsAreNoOps(t *testing.T) {
 	var tr *telemetry.Tracer
-	tr.ConnEstablish("x", 1, 2)
-	tr.ConnReject("x", 1, "no-route")
-	tr.BackupRegister("x", 1, 2, "")
-	tr.BackupRelease("x", 1, 1)
+	tr.ConnRequest("x", 9, 1)
+	tr.PrimarySetup("x", 9, 1, 2)
+	tr.ConnEstablish("x", 9, 1, 2)
+	tr.ConnReject("x", 9, 1, "no-route")
+	tr.BackupRegister("x", 9, 1, 2, "")
+	tr.BackupRelease("x", 9, 1, 1)
+	tr.ConnTeardown("x", 9, 1)
 	tr.LinkFail(0, 3)
-	tr.BackupActivate("x", 1, 3, "")
-	tr.ActivationDenied("x", 1, 3, "contention")
-	tr.CDPForward("x", 1, 7)
-	tr.CDPDrop("x", 1, 7)
+	tr.BackupActivate("x", 9, 1, 3, "")
+	tr.ActivationDenied("x", 9, 1, 3, "contention")
+	tr.HopSignal(9, 1, 0, 3, "primary")
+	tr.CDPForward("x", 9, 1, 7)
+	tr.CDPDrop("x", 9, 1, 7, "detour")
 	tr.LSUpdate(0, 4)
+	tr.LinkState("x", 3, 1, 2, 3)
 	tr.Emit(telemetry.Event{Kind: telemetry.EvLinkFail})
 	tr.SetClock(nil)
+	tr.SetNode(5)
 	if tr.Enabled() {
 		t.Fatal("nil tracer enabled")
 	}
@@ -158,8 +164,8 @@ func TestJSONLRoundTrip(t *testing.T) {
 	sink := telemetry.NewJSONL(&buf)
 	tr := telemetry.NewTracer(sink)
 	tr.SetClock(func() float64 { return 42.5 })
-	tr.BackupActivate("D-LSR", 7, 13, "")
-	tr.ActivationDenied("D-LSR", 8, 13, "contention")
+	tr.BackupActivate("D-LSR", 99, 7, 13, "")
+	tr.ActivationDenied("D-LSR", 99, 8, 13, "contention")
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +182,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 	e := evs[0]
 	if e.Kind != telemetry.EvBackupActivate || e.Conn != 7 || e.Link != 13 ||
-		e.T != 42.5 || e.Scheme != "D-LSR" || e.N != 1 {
+		e.T != 42.5 || e.Scheme != "D-LSR" || e.N != 1 || e.Trace != 99 {
 		t.Errorf("event 0 = %+v", e)
 	}
 	if evs[1].Reason != "contention" {
@@ -259,6 +265,9 @@ func TestParseEventKind(t *testing.T) {
 		telemetry.EvLinkFail, telemetry.EvBackupActivate,
 		telemetry.EvActivationDenied, telemetry.EvCDPForward,
 		telemetry.EvCDPDrop, telemetry.EvLSUpdate,
+		telemetry.EvConnRequest, telemetry.EvPrimarySetup,
+		telemetry.EvConnTeardown, telemetry.EvHopSignal,
+		telemetry.EvLinkState,
 	} {
 		got, ok := telemetry.ParseEventKind(k.String())
 		if !ok || got != k {

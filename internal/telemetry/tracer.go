@@ -33,12 +33,30 @@ const (
 	// EvCDPForward records channel-discovery-packet transmissions of one
 	// bounded flood (N = number of CDP copies forwarded).
 	EvCDPForward
-	// EvCDPDrop records CDP copies dropped by the valid-detour test
-	// during one bounded flood (N = number of drops).
+	// EvCDPDrop records CDP copies discarded during one bounded flood;
+	// Reason labels the discarding test ("detour" for the valid-detour
+	// test, "hop-limit" for the distance test against hc_limit).
 	EvCDPDrop
 	// EvLSUpdate records a link-state advertisement flood (N = number of
 	// link summaries carried).
 	EvLSUpdate
+	// EvConnRequest opens a connection's lifecycle span: one per
+	// Establish attempt, before any routing or signalling.
+	EvConnRequest
+	// EvPrimarySetup records the primary channel reserved end-to-end
+	// (Hops = primary route length); backup registration follows.
+	EvPrimarySetup
+	// EvConnTeardown closes a connection's lifecycle span at release.
+	EvConnTeardown
+	// EvHopSignal records one hop of distributed signalling processed at
+	// an intermediate or terminal router (Reason names the signalling
+	// role: "primary", "backup", "activate", "teardown"). The hop events
+	// of one connection share its trace ID, joining multi-node traces.
+	EvHopSignal
+	// EvLinkState samples one link's occupancy (Prime/Spare bandwidth
+	// units reserved, Mux = backups multiplexed on the spare pool) at an
+	// evaluation epoch.
+	EvLinkState
 )
 
 var kindNames = map[EventKind]string{
@@ -52,6 +70,11 @@ var kindNames = map[EventKind]string{
 	EvCDPForward:       "cdp-forward",
 	EvCDPDrop:          "cdp-drop",
 	EvLSUpdate:         "ls-update",
+	EvConnRequest:      "conn-request",
+	EvPrimarySetup:     "primary-setup",
+	EvConnTeardown:     "conn-teardown",
+	EvHopSignal:        "hop-signal",
+	EvLinkState:        "link-state",
 }
 
 // String returns the kind's stable wire name.
@@ -94,8 +117,9 @@ func (k *EventKind) UnmarshalJSON(b []byte) error {
 // when not applicable so every JSONL line carries the full schema.
 type Event struct {
 	// T is the trace timestamp: simulated minutes when a simulation
-	// installed its clock (Tracer.SetClock), wall seconds since tracer
-	// creation otherwise.
+	// installed its clock (Tracer.SetClock), absolute Unix seconds
+	// otherwise — so traces written by separate processes merge on a
+	// common timeline.
 	T float64 `json:"t"`
 	// Kind is the event type, serialized as its wire name.
 	Kind EventKind `json:"kind"`
@@ -110,10 +134,48 @@ type Event struct {
 	Hops int `json:"hops"`
 	// N is the event multiplicity (aggregated kinds; at least 1).
 	N int `json:"n"`
+	// Trace is the connection's span context: a deterministic 53-bit ID
+	// (see ConnTrace) shared by every event of one connection's
+	// lifecycle, across every router that handles its signalling. Zero
+	// for events not tied to a connection span.
+	Trace uint64 `json:"trace,omitempty"`
+	// Prime and Spare are reserved bandwidth units on Link, and Mux the
+	// number of backups multiplexed on its spare pool (EvLinkState only).
+	Prime int `json:"prime,omitempty"`
+	Spare int `json:"spare,omitempty"`
+	Mux   int `json:"mux,omitempty"`
 	// Scheme is the routing scheme's name, when known.
 	Scheme string `json:"scheme,omitempty"`
-	// Reason qualifies rejections and denials.
+	// Reason qualifies rejections, denials, drops and signalling roles.
 	Reason string `json:"reason,omitempty"`
+}
+
+// ConnTrace derives the deterministic trace ID that keys every event of
+// one DR-connection's lifecycle span. Each emitter along the signalling
+// path could recompute it, but only the connection's source does: routers
+// propagate the ID inside the signalling packets so remote hops stamp
+// the span context they received, not one they derived (FNV-1a over the
+// scheme name and connection ID, masked to 53 bits so the value survives
+// JSON number round trips; never zero).
+func ConnTrace(scheme string, conn int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(scheme); i++ {
+		h ^= uint64(scheme[i])
+		h *= prime64
+	}
+	for s := uint(0); s < 64; s += 8 {
+		h ^= uint64(uint8(conn >> s))
+		h *= prime64
+	}
+	h &= 1<<53 - 1
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // Sink receives emitted events. Implementations must be safe for
@@ -135,20 +197,22 @@ func (Null) Record(Event) {}
 // paths call the typed emit helpers unconditionally.
 type Tracer struct {
 	sinks []Sink
-	start time.Time
 	clock atomic.Pointer[func() float64]
+	node  atomic.Int64
 }
 
 // NewTracer creates a tracer fanning out to the given sinks.
 func NewTracer(sinks ...Sink) *Tracer {
-	return &Tracer{sinks: sinks, start: time.Now()}
+	t := &Tracer{sinks: sinks}
+	t.node.Store(-1)
+	return t
 }
 
 // Enabled reports whether emitted events reach at least one sink.
 func (t *Tracer) Enabled() bool { return t != nil && len(t.sinks) > 0 }
 
 // SetClock installs the timestamp source (e.g. simulated time). A nil fn
-// restores the default wall clock (seconds since tracer creation).
+// restores the default wall clock (absolute Unix seconds).
 func (t *Tracer) SetClock(fn func() float64) {
 	if t == nil {
 		return
@@ -160,11 +224,21 @@ func (t *Tracer) SetClock(fn func() float64) {
 	t.clock.Store(&fn)
 }
 
+// SetNode installs a default node ID stamped onto events emitted without
+// one (Node < 0). Single-router processes such as cmd/drtpnode use it so
+// their source-side events are attributable in merged multi-node traces.
+func (t *Tracer) SetNode(node int) {
+	if t == nil {
+		return
+	}
+	t.node.Store(int64(node))
+}
+
 func (t *Tracer) now() float64 {
 	if fn := t.clock.Load(); fn != nil {
 		return (*fn)()
 	}
-	return time.Since(t.start).Seconds()
+	return float64(time.Now().UnixNano()) / 1e9
 }
 
 // Emit stamps the event with the tracer clock and records it in every
@@ -176,6 +250,11 @@ func (t *Tracer) Emit(e Event) {
 	e.T = t.now()
 	if e.N < 1 {
 		e.N = 1
+	}
+	if e.Node < 0 {
+		if n := t.node.Load(); n >= 0 {
+			e.Node = int(n)
+		}
 	}
 	for _, s := range t.sinks {
 		s.Record(e)
@@ -202,44 +281,73 @@ func (t *Tracer) Close() error {
 // --- typed emit helpers ------------------------------------------------
 //
 // Each helper takes scalar arguments so that the disabled path costs one
-// nil/len check and no Event construction.
+// nil/len check and no Event construction. Connection-scoped helpers
+// take the span's trace ID (ConnTrace; zero when the caller has none).
+
+// ConnRequest opens the connection's lifecycle span: one per Establish
+// attempt, emitted before routing or signalling starts.
+func (t *Tracer) ConnRequest(scheme string, trace uint64, conn int64) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvConnRequest, Conn: conn, Node: -1, Link: -1, Hops: -1,
+		Trace: trace, Scheme: scheme})
+}
+
+// PrimarySetup records the primary channel reserved end-to-end.
+func (t *Tracer) PrimarySetup(scheme string, trace uint64, conn int64, hops int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvPrimarySetup, Conn: conn, Node: -1, Link: -1,
+		Hops: hops, Trace: trace, Scheme: scheme})
+}
 
 // ConnEstablish records an accepted connection with its primary length;
 // the connection's backup channels appear as BackupRegister events.
-func (t *Tracer) ConnEstablish(scheme string, conn int64, primaryHops int) {
+func (t *Tracer) ConnEstablish(scheme string, trace uint64, conn int64, primaryHops int) {
 	if !t.Enabled() {
 		return
 	}
 	t.Emit(Event{Kind: EvConnEstablish, Conn: conn, Node: -1, Link: -1,
-		Hops: primaryHops, Scheme: scheme})
+		Hops: primaryHops, Trace: trace, Scheme: scheme})
 }
 
 // ConnReject records a rejected request.
-func (t *Tracer) ConnReject(scheme string, conn int64, reason string) {
+func (t *Tracer) ConnReject(scheme string, trace uint64, conn int64, reason string) {
 	if !t.Enabled() {
 		return
 	}
 	t.Emit(Event{Kind: EvConnReject, Conn: conn, Node: -1, Link: -1, Hops: -1,
-		Scheme: scheme, Reason: reason})
+		Trace: trace, Scheme: scheme, Reason: reason})
 }
 
 // BackupRegister records one backup registration attempt; reason is
 // empty on success.
-func (t *Tracer) BackupRegister(scheme string, conn int64, hops int, reason string) {
+func (t *Tracer) BackupRegister(scheme string, trace uint64, conn int64, hops int, reason string) {
 	if !t.Enabled() {
 		return
 	}
 	t.Emit(Event{Kind: EvBackupRegister, Conn: conn, Node: -1, Link: -1,
-		Hops: hops, Scheme: scheme, Reason: reason})
+		Hops: hops, Trace: trace, Scheme: scheme, Reason: reason})
 }
 
 // BackupRelease records n backup channels released at teardown.
-func (t *Tracer) BackupRelease(scheme string, conn int64, n int) {
+func (t *Tracer) BackupRelease(scheme string, trace uint64, conn int64, n int) {
 	if !t.Enabled() || n <= 0 {
 		return
 	}
 	t.Emit(Event{Kind: EvBackupRelease, Conn: conn, Node: -1, Link: -1,
-		Hops: -1, N: n, Scheme: scheme})
+		Hops: -1, N: n, Trace: trace, Scheme: scheme})
+}
+
+// ConnTeardown closes the connection's lifecycle span at release.
+func (t *Tracer) ConnTeardown(scheme string, trace uint64, conn int64) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvConnTeardown, Conn: conn, Node: -1, Link: -1, Hops: -1,
+		Trace: trace, Scheme: scheme})
 }
 
 // LinkFail records link l declared failed; node is the detecting router
@@ -254,40 +362,52 @@ func (t *Tracer) LinkFail(node, link int) {
 // BackupActivate records a successful backup activation for conn after
 // the failure of link (which may be -1 when unknown, e.g. edge bundles).
 // reason distinguishes evaluation sweeps (empty), reactive re-routes
-// ("reactive") and destructive channel switches ("switch").
-func (t *Tracer) BackupActivate(scheme string, conn int64, link int, reason string) {
+// ("reactive") and destructive channel switches ("switch", "reroute").
+func (t *Tracer) BackupActivate(scheme string, trace uint64, conn int64, link int, reason string) {
 	if !t.Enabled() {
 		return
 	}
 	t.Emit(Event{Kind: EvBackupActivate, Conn: conn, Node: -1, Link: link,
-		Hops: -1, Scheme: scheme, Reason: reason})
+		Hops: -1, Trace: trace, Scheme: scheme, Reason: reason})
 }
 
 // ActivationDenied records a failed recovery attempt for conn.
-func (t *Tracer) ActivationDenied(scheme string, conn int64, link int, reason string) {
+func (t *Tracer) ActivationDenied(scheme string, trace uint64, conn int64, link int, reason string) {
 	if !t.Enabled() {
 		return
 	}
 	t.Emit(Event{Kind: EvActivationDenied, Conn: conn, Node: -1, Link: link,
-		Hops: -1, Scheme: scheme, Reason: reason})
+		Hops: -1, Trace: trace, Scheme: scheme, Reason: reason})
+}
+
+// HopSignal records one hop of distributed signalling handled at node:
+// role names the packet ("primary", "backup", "activate", "teardown"),
+// link the out-link reserved/released there (-1 at a route's terminus).
+func (t *Tracer) HopSignal(trace uint64, conn int64, node, link int, role string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvHopSignal, Conn: conn, Node: node, Link: link, Hops: -1,
+		Trace: trace, Reason: role})
 }
 
 // CDPForward records n CDP transmissions of one bounded flood.
-func (t *Tracer) CDPForward(scheme string, conn int64, n int) {
+func (t *Tracer) CDPForward(scheme string, trace uint64, conn int64, n int) {
 	if !t.Enabled() || n <= 0 {
 		return
 	}
 	t.Emit(Event{Kind: EvCDPForward, Conn: conn, Node: -1, Link: -1, Hops: -1,
-		N: n, Scheme: scheme})
+		N: n, Trace: trace, Scheme: scheme})
 }
 
-// CDPDrop records n CDP copies dropped by the valid-detour test.
-func (t *Tracer) CDPDrop(scheme string, conn int64, n int) {
+// CDPDrop records n CDP copies discarded during one flood; reason labels
+// the discarding test ("detour" or "hop-limit").
+func (t *Tracer) CDPDrop(scheme string, trace uint64, conn int64, n int, reason string) {
 	if !t.Enabled() || n <= 0 {
 		return
 	}
 	t.Emit(Event{Kind: EvCDPDrop, Conn: conn, Node: -1, Link: -1, Hops: -1,
-		N: n, Scheme: scheme})
+		N: n, Trace: trace, Scheme: scheme, Reason: reason})
 }
 
 // LSUpdate records a link-state advertisement flood from node carrying n
@@ -297,4 +417,14 @@ func (t *Tracer) LSUpdate(node, n int) {
 		return
 	}
 	t.Emit(Event{Kind: EvLSUpdate, Conn: -1, Node: node, Link: -1, Hops: -1, N: n})
+}
+
+// LinkState samples link occupancy at an evaluation epoch: prime/spare
+// reserved bandwidth units and the number of multiplexed backups.
+func (t *Tracer) LinkState(scheme string, link, prime, spare, mux int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvLinkState, Conn: -1, Node: -1, Link: link, Hops: -1,
+		Prime: prime, Spare: spare, Mux: mux, Scheme: scheme})
 }
