@@ -7,6 +7,7 @@ package drtp_test
 // full-scale reproduction is `drtpsim -exp all` and EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/rtcl/drtp"
@@ -55,6 +56,30 @@ func benchmarkSweep(b *testing.B, degree float64) {
 				b.Fatalf("cell %s/%s has no fault-tolerance sample", row.Pattern, row.Scheme)
 			}
 		}
+	}
+}
+
+// BenchmarkSweepParallel regenerates the Figure 4/5 cell set at fixed
+// worker counts; compare the per-count results to see the parallel
+// engine's speedup (the output is bit-identical at every count, so only
+// wall-clock differs). On a single-CPU host all counts degrade to the
+// serial path.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := benchParams(3)
+			p.Lambdas = []float64{0.2, 0.4, 0.6}
+			p.Workers = workers
+			for i := 0; i < b.N; i++ {
+				sweep, err := drtp.RunSweep(p, drtp.PaperSchemes())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sweep.Rows) != 2*3*3 {
+					b.Fatalf("rows = %d", len(sweep.Rows))
+				}
+			}
+		})
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/pprof"
 
 	drtpcore "github.com/rtcl/drtp/internal/drtp"
@@ -51,6 +52,8 @@ func run(args []string, w io.Writer) error {
 		trace    = fs.String("trace", "", "write protocol events as JSONL to this file")
 		metrSum  = fs.Bool("metrics-summary", false, "print aggregated event counters after the experiment")
 		cpuProf  = fs.String("pprof", "", "write a CPU profile of the experiment to this file")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0),
+			"goroutines evaluating experiment cells concurrently (output is identical at any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +62,7 @@ func run(args []string, w io.Writer) error {
 	p := experiments.DefaultParams(*degree)
 	p.Seed = *seed
 	p.Replications = *reps
+	p.Workers = *workers
 	if *quick {
 		p.Nodes = 30
 		p.Duration = 160

@@ -77,44 +77,79 @@ func RunAblation(p Params) (*Ablation, error) {
 		{name: "reactive", mode: lsdb.Multiplexed, scheme: func(int64) drtp.Scheme { return routing.NewNoBackup() }, reactive: true},
 	}
 
-	result := &Ablation{Params: p}
-	simCfg := sim.Config{Warmup: p.Warmup, EvalInterval: p.EvalInterval}
+	// One job per (lambda, baseline-or-variant) run, enumerated in the
+	// serial visiting order and sharded across the worker pool; rows are
+	// assembled in job order afterwards (see engine.go).
+	type abJob struct {
+		lambda  float64
+		variant *variant // nil for the no-backup baseline
+		base    int      // job index of the lambda's baseline run
+		scen    *scenario.Scenario
+	}
+	var jobs []abJob
 	for _, lambda := range p.Lambdas {
 		sc, err := p.generateScenario(scenario.UT, lambda)
 		if err != nil {
 			return nil, err
 		}
-		baseNet, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, lsdb.Multiplexed)
-		if err != nil {
-			return nil, err
+		baseIdx := len(jobs)
+		jobs = append(jobs, abJob{lambda: lambda, base: -1, scen: sc})
+		for i := range variants {
+			jobs = append(jobs, abJob{lambda: lambda, variant: &variants[i], base: baseIdx, scen: sc})
 		}
-		baseCfg := simCfg
-		baseCfg.ManagerOpts = []drtp.ManagerOption{drtp.WithOptionalBackup()}
-		base, err := sim.Run(baseNet, routing.NewNoBackup(), sc, baseCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation baseline: %w", err)
-		}
-		for _, v := range variants {
-			net, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, v.mode)
+	}
+
+	simCfg := sim.Config{Warmup: p.Warmup, EvalInterval: p.EvalInterval}
+	results := make([]*sim.Result, len(jobs))
+	err = runParallel(p.workerCount(), len(jobs), func(i int) error {
+		j := jobs[i]
+		if j.variant == nil {
+			baseNet, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, lsdb.Multiplexed)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			vCfg := simCfg
-			if v.reactive {
-				vCfg.Reactive = true
-				vCfg.ManagerOpts = []drtp.ManagerOption{drtp.WithOptionalBackup()}
-			}
-			res, err := sim.Run(net, v.scheme(p.Seed), sc, vCfg)
+			baseCfg := simCfg
+			baseCfg.ManagerOpts = []drtp.ManagerOption{drtp.WithOptionalBackup()}
+			res, err := sim.Run(baseNet, routing.NewNoBackup(), j.scen, baseCfg)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
+				return fmt.Errorf("experiments: ablation baseline: %w", err)
 			}
-			result.Rows = append(result.Rows, AblationRow{
-				Variant:          v.name,
-				Lambda:           lambda,
-				Result:           res,
-				BaselineAccepted: base.AcceptedInWindow,
-			})
+			results[i] = res
+			return nil
 		}
+		v := j.variant
+		net, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, v.mode)
+		if err != nil {
+			return err
+		}
+		vCfg := simCfg
+		if v.reactive {
+			vCfg.Reactive = true
+			vCfg.ManagerOpts = []drtp.ManagerOption{drtp.WithOptionalBackup()}
+		}
+		seed := p.cellSeed(fmt.Sprintf("ablation/%s/%.3f", v.name, j.lambda))
+		res, err := sim.Run(net, v.scheme(seed), j.scen, vCfg)
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %s: %w", v.name, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	result := &Ablation{Params: p}
+	for i, j := range jobs {
+		if j.variant == nil {
+			continue
+		}
+		result.Rows = append(result.Rows, AblationRow{
+			Variant:          j.variant.name,
+			Lambda:           j.lambda,
+			Result:           results[i],
+			BaselineAccepted: results[j.base].AcceptedInWindow,
+		})
 	}
 	return result, nil
 }

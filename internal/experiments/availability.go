@@ -88,22 +88,39 @@ func RunAvailability(p AvailabilityParams) (*Availability, error) {
 			opts: []drtp.ManagerOption{drtp.WithOptionalBackup()}},
 	}
 
+	// Scheme runs replay the identical scenario and failure schedule on
+	// separate networks, so they shard across the worker pool; telemetry
+	// from concurrent runs is buffered per run and forwarded in spec
+	// order (see engine.go).
 	out := &Availability{Params: p, Failures: len(schedule)}
-	for _, spec := range specs {
+	results := make([]*sim.Result, len(specs))
+	flushes := make([]func(), len(specs))
+	err = runParallel(p.workerCount(), len(specs), func(i int) error {
+		spec := specs[i]
 		net, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		tracer, flush := cellTracer(p.Telemetry)
 		res, err := sim.Run(net, spec.new(), sc, sim.Config{
 			Warmup:          p.Warmup,
 			FailureSchedule: schedule,
 			ManagerOpts:     spec.opts,
-			Telemetry:       p.Telemetry,
+			Telemetry:       tracer,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: availability %s: %w", spec.name, err)
+			return fmt.Errorf("experiments: availability %s: %w", spec.name, err)
 		}
-		out.Rows = append(out.Rows, AvailabilityRow{Scheme: spec.name, Result: res})
+		results[i] = res
+		flushes[i] = flush
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		flushes[i]()
+		out.Rows = append(out.Rows, AvailabilityRow{Scheme: spec.name, Result: results[i]})
 	}
 	return out, nil
 }

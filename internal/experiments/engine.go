@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/rtcl/drtp/internal/telemetry"
+)
+
+// This file implements the parallel experiment engine shared by every
+// runner in the package. The evaluation is a Monte-Carlo sweep over
+// independent (pattern, lambda, scheme, replication) cells, so the
+// engine's contract is simple but strict:
+//
+//   - Cells are enumerated up front in the exact order the serial loops
+//     would visit them. Job i writes only result slot i.
+//   - Every per-cell random stream is derived from a stable label via
+//     rng.Split (Params.cellSeed), never from a shared sequential
+//     generator, so the assignment of cells to workers cannot perturb
+//     any draw.
+//   - Telemetry from concurrent cells is captured in per-cell Buffer
+//     sinks and forwarded to the shared tracer in cell order after all
+//     jobs complete (cellTracer / flush).
+//   - Aggregates (metrics.Sample) are merged in cell order during the
+//     single-threaded merge phase.
+//
+// Together these make every runner bit-identical to its serial execution
+// at any worker count.
+
+// workerCount resolves Params.Workers: non-positive means one goroutine
+// per available CPU.
+func (p Params) workerCount() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runParallel executes jobs 0..n-1 on up to workers goroutines and waits
+// for all of them. Each job must confine its writes to its own result
+// slot. The returned error is the lowest-indexed job error, so the error
+// surfaced to the caller does not depend on scheduling either.
+func runParallel(workers, n int, job func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellTracer returns the tracer one concurrently-running cell should
+// emit into, plus the flush that forwards its captured events to the
+// shared tracer. When the shared tracer is disabled both are cheap
+// no-ops. Flushes must be called single-threaded, in cell order, after
+// all jobs complete — that is what keeps trace output identical at any
+// worker count.
+func cellTracer(shared *telemetry.Tracer) (*telemetry.Tracer, func()) {
+	if !shared.Enabled() {
+		return nil, func() {}
+	}
+	buf := telemetry.NewBuffer()
+	return telemetry.NewTracer(buf), func() {
+		for _, e := range buf.Events() {
+			shared.Forward(e)
+		}
+	}
+}

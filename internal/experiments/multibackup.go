@@ -58,44 +58,73 @@ func RunMultiBackup(p Params) (*MultiBackup, error) {
 	if err != nil {
 		return nil, err
 	}
-	result := &MultiBackup{Params: p}
 	simCfg := sim.Config{
 		Warmup:       p.Warmup,
 		EvalInterval: p.EvalInterval,
 		PairSamples:  200,
 		PairSeed:     p.Seed,
 	}
+
+	// One job per (lambda, baseline-or-k) run, sharded across the worker
+	// pool and merged in job order (see engine.go).
+	type mbJob struct {
+		lambda float64
+		k      int // 0 for the no-backup baseline
+		base   int // job index of the lambda's baseline run
+		scen   *scenario.Scenario
+	}
+	var jobs []mbJob
 	for _, lambda := range p.Lambdas {
 		sc, err := p.generateScenario(scenario.UT, lambda)
 		if err != nil {
 			return nil, err
 		}
-		baseNet, err := drtp.NewNetwork(g, p.Capacity, p.UnitBW)
-		if err != nil {
-			return nil, err
-		}
-		baseCfg := simCfg
-		baseCfg.ManagerOpts = []drtp.ManagerOption{drtp.WithOptionalBackup()}
-		base, err := sim.Run(baseNet, routing.NewNoBackup(), sc, baseCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: multibackup baseline: %w", err)
-		}
+		baseIdx := len(jobs)
+		jobs = append(jobs, mbJob{lambda: lambda, base: -1, scen: sc})
 		for _, k := range []int{1, 2} {
-			net, err := drtp.NewNetwork(g, p.Capacity, p.UnitBW)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(net, routing.NewDLSR(routing.WithBackupCount(k)), sc, simCfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: multibackup k=%d: %w", k, err)
-			}
-			result.Rows = append(result.Rows, MultiBackupRow{
-				Backups:          k,
-				Lambda:           lambda,
-				Result:           res,
-				BaselineAccepted: base.AcceptedInWindow,
-			})
+			jobs = append(jobs, mbJob{lambda: lambda, k: k, base: baseIdx, scen: sc})
 		}
+	}
+
+	results := make([]*sim.Result, len(jobs))
+	err = runParallel(p.workerCount(), len(jobs), func(i int) error {
+		j := jobs[i]
+		net, err := drtp.NewNetwork(g, p.Capacity, p.UnitBW)
+		if err != nil {
+			return err
+		}
+		if j.k == 0 {
+			baseCfg := simCfg
+			baseCfg.ManagerOpts = []drtp.ManagerOption{drtp.WithOptionalBackup()}
+			res, err := sim.Run(net, routing.NewNoBackup(), j.scen, baseCfg)
+			if err != nil {
+				return fmt.Errorf("experiments: multibackup baseline: %w", err)
+			}
+			results[i] = res
+			return nil
+		}
+		res, err := sim.Run(net, routing.NewDLSR(routing.WithBackupCount(j.k)), j.scen, simCfg)
+		if err != nil {
+			return fmt.Errorf("experiments: multibackup k=%d: %w", j.k, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	result := &MultiBackup{Params: p}
+	for i, j := range jobs {
+		if j.k == 0 {
+			continue
+		}
+		result.Rows = append(result.Rows, MultiBackupRow{
+			Backups:          j.k,
+			Lambda:           j.lambda,
+			Result:           results[i],
+			BaselineAccepted: results[j.base].AcceptedInWindow,
+		})
 	}
 	return result, nil
 }

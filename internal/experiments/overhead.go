@@ -59,23 +59,38 @@ func RunOverhead(p Params, pattern scenario.Pattern, lambda float64) (*OverheadR
 	}
 	simCfg := sim.Config{Warmup: p.Warmup, EvalInterval: 0}
 
-	bfNet, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
-	if err != nil {
-		return nil, err
-	}
+	// The BF and D-LSR measurement runs replay the identical scenario on
+	// separate networks, so they shard across the worker pool like any
+	// other pair of cells.
 	bf := flood.NewDefault()
-	if _, err := sim.Run(bfNet, bf, sc, simCfg); err != nil {
-		return nil, fmt.Errorf("experiments: overhead BF run: %w", err)
+	var dlsrNet *drtp.Network
+	runs := []func() error{
+		func() error {
+			bfNet, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
+			if err != nil {
+				return err
+			}
+			if _, err := sim.Run(bfNet, bf, sc, simCfg); err != nil {
+				return fmt.Errorf("experiments: overhead BF run: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			net, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
+			if err != nil {
+				return err
+			}
+			if _, err := sim.Run(net, routing.NewDLSR(), sc, simCfg); err != nil {
+				return fmt.Errorf("experiments: overhead D-LSR run: %w", err)
+			}
+			dlsrNet = net
+			return nil
+		},
+	}
+	if err := runParallel(p.workerCount(), len(runs), func(i int) error { return runs[i]() }); err != nil {
+		return nil, err
 	}
 	bfStats := bf.Stats()
-
-	dlsrNet, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := sim.Run(dlsrNet, routing.NewDLSR(), sc, simCfg); err != nil {
-		return nil, fmt.Errorf("experiments: overhead D-LSR run: %w", err)
-	}
 
 	res := &OverheadResult{
 		Params:              p,

@@ -13,6 +13,7 @@ import (
 	"github.com/rtcl/drtp/internal/flood"
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/rng"
 	"github.com/rtcl/drtp/internal/routing"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/sim"
@@ -51,9 +52,17 @@ type Params struct {
 	Replications int
 	// Mode selects backup multiplexing (default) or dedicated spares.
 	Mode lsdb.Mode
+	// Workers is the number of goroutines evaluating experiment cells
+	// concurrently. Non-positive means one per available CPU
+	// (runtime.GOMAXPROCS). Results are bit-identical at any worker
+	// count: cell RNG streams derive from stable labels, aggregates and
+	// telemetry merge in cell order (see engine.go).
+	Workers int
 	// Telemetry, when non-nil, receives protocol events from every cell
-	// run (see sim.Config.Telemetry). Cells run sequentially, so one
-	// tracer safely observes a whole sweep.
+	// run (see sim.Config.Telemetry). Cells may run concurrently
+	// (Workers); each cell emits into a private buffer that the engine
+	// forwards to this tracer in deterministic cell order, so one tracer
+	// safely observes a whole sweep.
 	Telemetry *telemetry.Tracer
 }
 
@@ -131,13 +140,24 @@ func NoBackupSpec() SchemeSpec {
 	}
 }
 
-// runCell executes one (scheme, scenario) cell on a fresh network.
+// cellSeed derives the deterministic seed of one experiment cell from a
+// stable label: a pure function of (Seed, label) via rng.Split, so any
+// assignment of cells to workers draws the identical stream — unlike
+// sequential draws from a shared generator, which would depend on
+// completion order.
+func (p Params) cellSeed(label string) int64 {
+	return rng.New(p.Seed).Split(label).Int63()
+}
+
+// runCell executes one (scheme, scenario) cell on a fresh network. The
+// scheme is instantiated with a seed derived from the cell label so
+// randomized schemes are reproducible per cell.
 func runCell(p Params, g *graph.Graph, spec SchemeSpec, sc *scenario.Scenario) (*sim.Result, drtp.Scheme, error) {
 	net, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
 	if err != nil {
 		return nil, nil, err
 	}
-	schm := spec.New(p.Seed)
+	schm := spec.New(p.cellSeed("scheme/" + spec.Name))
 	res, err := sim.Run(net, schm, sc, sim.Config{
 		Warmup:       p.Warmup,
 		EvalInterval: p.EvalInterval,
@@ -150,13 +170,14 @@ func runCell(p Params, g *graph.Graph, spec SchemeSpec, sc *scenario.Scenario) (
 	return res, schm, nil
 }
 
-// generateScenario builds the traffic trace for one (pattern, lambda) cell.
+// generateScenario builds the traffic trace for one (pattern, lambda)
+// cell, seeded from the cell's stable label.
 func (p Params) generateScenario(pattern scenario.Pattern, lambda float64) (*scenario.Scenario, error) {
 	return scenario.Generate(scenario.Config{
 		Nodes:    p.Nodes,
 		Lambda:   lambda,
 		Duration: p.Duration,
 		Pattern:  pattern,
-		Seed:     p.Seed + int64(1000*lambda) + int64(pattern)*7919,
+		Seed:     p.cellSeed(fmt.Sprintf("scenario/%s/%.3f", pattern, lambda)),
 	})
 }

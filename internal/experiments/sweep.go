@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/metrics"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/sim"
@@ -43,6 +44,16 @@ type Sweep struct {
 	// Baselines holds the first-replication NoBackup run per
 	// (pattern, lambda).
 	Baselines map[string]*sim.Result
+	// index maps a cell key to its position in Rows, so row lookup is
+	// O(1) instead of a linear scan per cell access.
+	index map[rowKey]int
+}
+
+// rowKey identifies one sweep cell.
+type rowKey struct {
+	pattern scenario.Pattern
+	lambda  float64
+	scheme  string
 }
 
 func baselineKey(p scenario.Pattern, lambda float64) string {
@@ -56,14 +67,44 @@ func (s *Sweep) Baseline(p scenario.Pattern, lambda float64) *sim.Result {
 
 // row finds or creates the cell for (pattern, lambda, scheme).
 func (s *Sweep) row(pattern scenario.Pattern, lambda float64, scheme string) *SweepRow {
-	for _, r := range s.Rows {
-		if r.Pattern == pattern && r.Lambda == lambda && r.Scheme == scheme {
-			return r
-		}
+	if s.index == nil {
+		s.index = make(map[rowKey]int)
+	}
+	k := rowKey{pattern: pattern, lambda: lambda, scheme: scheme}
+	if i, ok := s.index[k]; ok {
+		return s.Rows[i]
 	}
 	r := &SweepRow{Pattern: pattern, Lambda: lambda, Scheme: scheme}
+	s.index[k] = len(s.Rows)
 	s.Rows = append(s.Rows, r)
 	return r
+}
+
+// sweepJob is one schedulable unit of a sweep: a single (replication,
+// pattern, lambda, scheme-or-baseline) simulation run.
+type sweepJob struct {
+	rep      int
+	pattern  scenario.Pattern
+	lambda   float64
+	spec     SchemeSpec
+	baseline bool
+	// base is the job index of this cell's NoBackup baseline run (the
+	// overhead denominator); -1 for baseline jobs themselves.
+	base int
+	// params carries the replication's seed; graph and scen are the
+	// shared read-only topology and traffic trace of the cell.
+	params Params
+	graph  *graph.Graph
+	scen   *scenario.Scenario
+}
+
+// sweepJobResult is what one job writes into its private slot.
+type sweepJobResult struct {
+	res *sim.Result
+	// ft is the job's single-observation fault-tolerance partial; the
+	// merge phase folds partials into each row's aggregate in cell order.
+	ft    metrics.Sample
+	flush func()
 }
 
 // RunSweep evaluates the given schemes over all (pattern, lambda) cells of
@@ -71,10 +112,19 @@ func (s *Sweep) row(pattern scenario.Pattern, lambda float64, scheme string) *Sw
 // of a cell (including the NoBackup baseline), exactly as the paper does.
 // With Replications > 1 every cell is re-run on fresh topology/scenario
 // seeds and the samples aggregated.
+//
+// Cells are sharded across Params.Workers goroutines; output is
+// bit-identical at any worker count (see engine.go for the contract).
 func RunSweep(p Params, schemes []SchemeSpec) (*Sweep, error) {
 	p.setDefaults()
 	sweep := &Sweep{Params: p, Baselines: make(map[string]*sim.Result)}
 	baseline := NoBackupSpec()
+
+	// Enumerate every run in the serial visiting order. Topologies and
+	// scenarios are generated up front (they are deterministic in the
+	// replication seed and cell label) and shared read-only by the jobs
+	// of a cell.
+	var jobs []sweepJob
 	for rep := 0; rep < p.Replications; rep++ {
 		pr := p
 		pr.Seed = p.Seed + int64(rep)
@@ -88,34 +138,62 @@ func RunSweep(p Params, schemes []SchemeSpec) (*Sweep, error) {
 				if err != nil {
 					return nil, err
 				}
-				base, _, err := runCell(pr, g, baseline, sc)
-				if err != nil {
-					return nil, err
-				}
-				if rep == 0 {
-					sweep.Baselines[baselineKey(pattern, lambda)] = base
-				}
+				baseIdx := len(jobs)
+				jobs = append(jobs, sweepJob{rep: rep, pattern: pattern, lambda: lambda,
+					spec: baseline, baseline: true, base: -1, params: pr, graph: g, scen: sc})
 				for _, spec := range schemes {
-					res, _, err := runCell(pr, g, spec, sc)
-					if err != nil {
-						return nil, err
-					}
-					row := sweep.row(pattern, lambda, spec.Name)
-					row.FTSample.Add(res.FaultTolerance)
-					oh := 0.0
-					if base.AcceptedInWindow > 0 {
-						oh = float64(base.AcceptedInWindow-res.AcceptedInWindow) / float64(base.AcceptedInWindow)
-						if oh < 0 {
-							oh = 0
-						}
-					}
-					row.OverheadSample.Add(oh)
-					if rep == 0 {
-						row.Result = res
-						row.BaselineAccepted = base.AcceptedInWindow
-					}
+					jobs = append(jobs, sweepJob{rep: rep, pattern: pattern, lambda: lambda,
+						spec: spec, base: baseIdx, params: pr, graph: g, scen: sc})
 				}
 			}
+		}
+	}
+
+	results := make([]sweepJobResult, len(jobs))
+	err := runParallel(p.workerCount(), len(jobs), func(i int) error {
+		j := jobs[i]
+		pc := j.params
+		tracer, flush := cellTracer(p.Telemetry)
+		pc.Telemetry = tracer
+		res, _, err := runCell(pc, j.graph, j.spec, j.scen)
+		if err != nil {
+			return err
+		}
+		r := sweepJobResult{res: res, flush: flush}
+		if !j.baseline {
+			r.ft.Add(res.FaultTolerance)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge phase: single-threaded, in job (= serial visiting) order.
+	for i, j := range jobs {
+		r := results[i]
+		r.flush()
+		if j.baseline {
+			if j.rep == 0 {
+				sweep.Baselines[baselineKey(j.pattern, j.lambda)] = r.res
+			}
+			continue
+		}
+		base := results[j.base].res
+		row := sweep.row(j.pattern, j.lambda, j.spec.Name)
+		row.FTSample.Merge(r.ft)
+		oh := 0.0
+		if base.AcceptedInWindow > 0 {
+			oh = float64(base.AcceptedInWindow-r.res.AcceptedInWindow) / float64(base.AcceptedInWindow)
+			if oh < 0 {
+				oh = 0
+			}
+		}
+		row.OverheadSample.Add(oh)
+		if j.rep == 0 {
+			row.Result = r.res
+			row.BaselineAccepted = base.AcceptedInWindow
 		}
 	}
 	return sweep, nil

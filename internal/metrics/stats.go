@@ -28,6 +28,31 @@ func (s *Sample) Add(v float64) {
 	s.sumq += v * v
 }
 
+// Merge folds another sample's observations into s, as if o's
+// observations had been Added to s in aggregate. The accumulators are
+// plain sums, so merging single-observation partials in a fixed order
+// reproduces serial Add-order accumulation bit for bit — the property the
+// parallel experiment engine relies on when it combines per-worker
+// partials in cell order.
+func (s *Sample) Merge(o Sample) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.sumq += o.sumq
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return s.n }
 

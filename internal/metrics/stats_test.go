@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSampleMergeMatchesSerial accumulates a value stream serially and
+// through merged per-worker partials; mean, variance and extrema must
+// agree to 1e-9 for any partition.
+func TestSampleMergeMatchesSerial(t *testing.T) {
+	values := make([]float64, 101)
+	for i := range values {
+		// A deterministic, irregular stream spanning several magnitudes.
+		values[i] = math.Sin(float64(i)*0.7)*42.5 + float64(i%7) - 3.25
+	}
+	var serial Sample
+	for _, v := range values {
+		serial.Add(v)
+	}
+	for _, parts := range []int{1, 2, 3, 5, 8, len(values)} {
+		partials := make([]Sample, parts)
+		for i, v := range values {
+			partials[i%parts].Add(v)
+		}
+		var merged Sample
+		for _, p := range partials {
+			merged.Merge(p)
+		}
+		if merged.N() != serial.N() {
+			t.Fatalf("parts=%d: n = %d, want %d", parts, merged.N(), serial.N())
+		}
+		const tol = 1e-9
+		if d := math.Abs(merged.Mean() - serial.Mean()); d > tol {
+			t.Fatalf("parts=%d: mean differs by %g", parts, d)
+		}
+		sd, want := merged.StdDev(), serial.StdDev()
+		if d := math.Abs(sd*sd - want*want); d > tol {
+			t.Fatalf("parts=%d: variance differs by %g", parts, d)
+		}
+		if merged.Min() != serial.Min() || merged.Max() != serial.Max() {
+			t.Fatalf("parts=%d: extrema [%v,%v], want [%v,%v]",
+				parts, merged.Min(), merged.Max(), serial.Min(), serial.Max())
+		}
+	}
+}
+
+// TestSampleMergeSingleObservations is the engine's exact usage: merging
+// single-observation partials in a fixed order must reproduce serial Add
+// calls bit-for-bit (plain sums in the same order), which is what makes
+// parallel sweeps byte-identical to serial ones.
+func TestSampleMergeSingleObservations(t *testing.T) {
+	values := []float64{0.97, 1.0 / 3, 0.5001, 0.25, 0.999999}
+	var serial, merged Sample
+	for _, v := range values {
+		serial.Add(v)
+		var single Sample
+		single.Add(v)
+		merged.Merge(single)
+	}
+	if serial != merged {
+		t.Fatalf("merged single observations %+v != serial %+v", merged, serial)
+	}
+}
+
+func TestSampleMergeEmpty(t *testing.T) {
+	var a Sample
+	a.Add(2)
+	a.Add(4)
+	before := a
+	a.Merge(Sample{})
+	if a != before {
+		t.Fatalf("merging an empty partial changed the sample: %+v -> %+v", before, a)
+	}
+	var empty Sample
+	empty.Merge(before)
+	if empty != before {
+		t.Fatalf("merging into an empty sample: got %+v, want %+v", empty, before)
+	}
+	var both Sample
+	both.Merge(Sample{})
+	if both.N() != 0 {
+		t.Fatalf("empty+empty has n=%d", both.N())
+	}
+}
+
+func TestSampleMergeSingleElement(t *testing.T) {
+	var a, b Sample
+	a.Add(7.5)
+	b.Merge(a)
+	if b.N() != 1 || b.Mean() != 7.5 || b.Min() != 7.5 || b.Max() != 7.5 {
+		t.Fatalf("single-element merge: %+v", b)
+	}
+	if b.StdDev() != 0 {
+		t.Fatalf("single-element stddev = %v", b.StdDev())
+	}
+	var c Sample
+	c.Add(2.5)
+	c.Merge(a)
+	if c.N() != 2 || c.Mean() != 5 || c.Min() != 2.5 || c.Max() != 7.5 {
+		t.Fatalf("two singles merged: %+v", c)
+	}
+}

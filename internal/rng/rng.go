@@ -28,6 +28,12 @@ func (s *Source) Split(label string) *Source {
 	return New(seed)
 }
 
+// Int63 returns a non-negative uniform 63-bit value. Its main use is
+// deriving child seeds: New(master).Split(label).Int63() is a pure
+// function of (master, label), so experiment cells scheduled in any
+// order across workers draw identical streams.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
 // Float64 returns a uniform value in [0,1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
 

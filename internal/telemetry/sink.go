@@ -72,6 +72,42 @@ func (r *Ring) Count(kind EventKind) int64 {
 	return n
 }
 
+// Buffer is an unbounded in-memory sink retaining every event in arrival
+// order. The parallel experiment engine gives each concurrently-running
+// cell its own Buffer-backed tracer and forwards the captured events to
+// the shared sinks in deterministic cell order once the cell completes
+// (Tracer.Forward), so trace output is identical at any worker count.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewBuffer creates an empty buffer sink.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Record implements Sink.
+func (b *Buffer) Record(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// Events returns the recorded events in arrival order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
 // JSONL is a sink writing one JSON object per event, one per line, to a
 // buffered writer.
 type JSONL struct {

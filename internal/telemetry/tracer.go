@@ -261,6 +261,22 @@ func (t *Tracer) Emit(e Event) {
 	}
 }
 
+// Forward records an already-stamped event in every sink without
+// touching its timestamp or default node: the replay path for event
+// streams captured in a Buffer during a concurrent experiment cell and
+// merged into the shared sinks in deterministic cell order.
+func (t *Tracer) Forward(e Event) {
+	if !t.Enabled() {
+		return
+	}
+	if e.N < 1 {
+		e.N = 1
+	}
+	for _, s := range t.sinks {
+		s.Record(e)
+	}
+}
+
 // Close closes every sink that implements io.Closer (flushing buffered
 // writers), returning the first error.
 func (t *Tracer) Close() error {
