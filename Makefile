@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet fmt experiments quick clean
+.PHONY: all build test race bench bench-json vet fmt lint lint-test experiments quick clean
 
 all: build test
 
@@ -26,6 +26,16 @@ bench-json:
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis (tools/drtplint, its own stdlib-only
+# module): determinism, niltracer, protoroundtrip, cvclone, lockguard.
+# Runs over every package of the main module; exits non-zero on findings.
+lint:
+	$(GO) -C tools/drtplint run .
+
+# The analyzers' own fixture tests.
+lint-test:
+	$(GO) -C tools/drtplint test ./...
 
 fmt:
 	gofmt -w .

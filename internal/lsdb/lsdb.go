@@ -17,6 +17,7 @@ package lsdb
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/rtcl/drtp/internal/bitvec"
@@ -87,11 +88,12 @@ type DB struct {
 	unitBW int
 	mode   Mode
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// links holds the per-link records; guarded by mu.
 	links []linkState
 	// backupOps counts RegisterBackup + ReleaseBackup calls: each is one
 	// per-link update driven by a backup-register/release packet, the
-	// signalling volume of the link-state schemes.
+	// signalling volume of the link-state schemes. Guarded by mu.
 	backupOps int64
 }
 
@@ -133,7 +135,11 @@ func (db *DB) Graph() *graph.Graph { return db.g }
 func (db *DB) UnitBW() int { return db.unitBW }
 
 // NumLinks returns the number of unidirectional links tracked.
-func (db *DB) NumLinks() int { return len(db.links) }
+func (db *DB) NumLinks() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.links)
+}
 
 // Capacity returns the total bandwidth of link l.
 func (db *DB) Capacity(l graph.LinkID) int {
@@ -245,7 +251,7 @@ func (db *DB) RegisterBackup(id ConnID, l graph.LinkID, primaryLSET []graph.Link
 			s.maxElem = int(s.aplv[pl])
 		}
 	}
-	db.resizeSpare(l)
+	db.resizeSpareLocked(l)
 	return nil
 }
 
@@ -278,7 +284,7 @@ func (db *DB) ReleaseBackup(id ConnID, l graph.LinkID) error {
 			}
 		}
 	}
-	db.resizeSpare(l)
+	db.resizeSpareLocked(l)
 	return nil
 }
 
@@ -326,14 +332,14 @@ func (db *DB) PromoteBackup(id ConnID, l graph.LinkID) error {
 			}
 		}
 	}
-	db.resizeSpare(l)
+	db.resizeSpareLocked(l)
 	return nil
 }
 
-// resizeSpare sets link l's spare bandwidth to the mode's requirement:
+// resizeSpareLocked sets link l's spare bandwidth to the mode's requirement:
 // max_j APLV[j] activations under multiplexing, or one unit per backup
 // under dedicated reservation; capped at what fits beside the primaries.
-func (db *DB) resizeSpare(l graph.LinkID) {
+func (db *DB) resizeSpareLocked(l graph.LinkID) {
 	s := &db.links[l]
 	required := s.maxElem * db.unitBW
 	if db.mode == Dedicated {
@@ -440,6 +446,7 @@ func (db *DB) BackupsOn(l graph.LinkID) []ConnID {
 	for id := range s.backups {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

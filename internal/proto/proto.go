@@ -5,8 +5,9 @@
 // switching.
 //
 // Messages are plain structs so the in-memory transport can pass them
-// directly; the TCP transport encodes them with encoding/gob. All types
-// are registered for gob in this package.
+// directly; the TCP transport frames them with the deterministic binary
+// codec in wire.go (see WriteFrame/ReadFrame). The encoding/gob
+// registration is retained for callers that persist envelopes with gob.
 package proto
 
 import (

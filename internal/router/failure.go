@@ -48,7 +48,7 @@ func (r *Router) declareDownLocked(nbr graph.NodeID) []failureReport {
 		return nil
 	}
 	r.downNbr[nbr] = true
-	r.markDirty()
+	r.markDirtyLocked()
 	r.log.Warn("link failure detected", "neighbor", int(nbr))
 	l, ok := r.g.LinkBetween(r.cfg.Node, nbr)
 	if !ok {
@@ -267,7 +267,7 @@ func (r *Router) handleActivate(m proto.Activate) {
 		}
 	}
 	if err == nil {
-		r.markDirty()
+		r.markDirtyLocked()
 	}
 	r.mu.Unlock()
 

@@ -11,8 +11,8 @@ import (
 // localLinks returns the IDs of this node's outgoing links.
 func (r *Router) localLinks() []graph.LinkID { return r.g.Out(r.cfg.Node) }
 
-// markDirty schedules a triggered link-state advertisement.
-func (r *Router) markDirty() { r.dirty = true }
+// markDirtyLocked schedules a triggered link-state advertisement.
+func (r *Router) markDirtyLocked() { r.dirty = true }
 
 // flushAdverts sends a triggered advertisement if local state changed.
 func (r *Router) flushAdverts() {
@@ -31,9 +31,9 @@ func (r *Router) advertise() {
 	r.mySeq++
 	update := proto.LSUpdate{Origin: r.cfg.Node, Seq: r.mySeq}
 	for _, l := range r.localLinks() {
-		update.Links = append(update.Links, r.advertFor(l))
+		update.Links = append(update.Links, r.advertForLocked(l))
 		// Local view mirrors local truth immediately.
-		r.applyAdvert(update.Links[len(update.Links)-1])
+		r.applyAdvertLocked(update.Links[len(update.Links)-1])
 	}
 	nbrs := r.g.Neighbors(r.cfg.Node)
 	r.mu.Unlock()
@@ -43,10 +43,10 @@ func (r *Router) advertise() {
 	}
 }
 
-// advertFor summarizes one local link. Links to failed neighbors
+// advertForLocked summarizes one local link. Links to failed neighbors
 // advertise zero bandwidth so remote routing excludes them.
 // Callers must hold r.mu.
-func (r *Router) advertFor(l graph.LinkID) proto.LinkAdvert {
+func (r *Router) advertForLocked(l graph.LinkID) proto.LinkAdvert {
 	if r.downNbr[r.g.Link(l).To] {
 		return proto.LinkAdvert{
 			Link: l,
@@ -62,9 +62,9 @@ func (r *Router) advertFor(l graph.LinkID) proto.LinkAdvert {
 	}
 }
 
-// applyAdvert installs a link summary into the view. Callers must hold
+// applyAdvertLocked installs a link summary into the view. Callers must hold
 // r.mu.
-func (r *Router) applyAdvert(a proto.LinkAdvert) {
+func (r *Router) applyAdvertLocked(a proto.LinkAdvert) {
 	if int(a.Link) >= len(r.view) {
 		return
 	}
@@ -92,7 +92,7 @@ func (r *Router) handleLSUpdate(from graph.NodeID, m proto.LSUpdate) {
 		if r.g.Link(a.Link).From == r.cfg.Node {
 			continue
 		}
-		r.applyAdvert(a)
+		r.applyAdvertLocked(a)
 	}
 	nbrs := r.g.Neighbors(r.cfg.Node)
 	r.mu.Unlock()
@@ -103,9 +103,9 @@ func (r *Router) handleLSUpdate(from graph.NodeID, m proto.LSUpdate) {
 	}
 }
 
-// routePrimary computes a minimum-hop feasible primary route from the
+// routePrimaryLocked computes a minimum-hop feasible primary route from the
 // view. Callers must hold r.mu.
-func (r *Router) routePrimary(dst graph.NodeID) graph.Path {
+func (r *Router) routePrimaryLocked(dst graph.NodeID) graph.Path {
 	unit := r.cfg.UnitBW
 	cost := func(l graph.LinkID) float64 {
 		if r.view[l].availPrim < unit {
@@ -123,10 +123,10 @@ func (r *Router) routePrimary(dst graph.NodeID) graph.Path {
 	return p
 }
 
-// routeBackup computes the scheme's backup route given the established
+// routeBackupLocked computes the scheme's backup route given the established
 // primary, penalizing the avoid set (primary plus earlier backups).
 // Callers must hold r.mu.
-func (r *Router) routeBackup(dst graph.NodeID, primary graph.Path, avoid map[graph.LinkID]struct{}) graph.Path {
+func (r *Router) routeBackupLocked(dst graph.NodeID, primary graph.Path, avoid map[graph.LinkID]struct{}) graph.Path {
 	const (
 		q   = 1e6
 		eps = 1e-3

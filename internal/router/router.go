@@ -179,20 +179,32 @@ type Router struct {
 	ep  transport.Endpoint
 	g   *graph.Graph
 
-	mu          sync.Mutex
-	db          *lsdb.DB // reservations for this node's outgoing links
-	view        []linkView
-	seqSeen     map[graph.NodeID]uint64
-	mySeq       uint64
-	dirty       bool
-	pending     map[pendingKey]chan proto.SetupResult
-	pendingAct  map[lsdb.ConnID]chan proto.ActivateResult
-	conns       map[lsdb.ConnID]*conn
+	mu sync.Mutex
+	db *lsdb.DB // reservations for this node's outgoing links; has its own lock
+	// view is the advertised state of every link; guarded by mu.
+	view []linkView
+	// seqSeen records the highest LS sequence per origin; guarded by mu.
+	seqSeen map[graph.NodeID]uint64
+	// mySeq numbers this router's own adverts; guarded by mu.
+	mySeq uint64
+	// dirty marks the local view changed since the last advert; guarded by mu.
+	dirty bool
+	// pending holds per-setup result channels; guarded by mu.
+	pending map[pendingKey]chan proto.SetupResult
+	// pendingAct holds per-activation result channels; guarded by mu.
+	pendingAct map[lsdb.ConnID]chan proto.ActivateResult
+	// conns records connections originated here; guarded by mu.
+	conns map[lsdb.ConnID]*conn
+	// transitPrim maps outgoing links to transit reservations; guarded by mu.
 	transitPrim map[graph.LinkID]map[lsdb.ConnID]transitRec
-	lastHello   map[graph.NodeID]time.Time
-	helloSeq    uint64
-	downNbr     map[graph.NodeID]bool
-	closed      bool
+	// lastHello stamps the latest keep-alive per neighbor; guarded by mu.
+	lastHello map[graph.NodeID]time.Time
+	// helloSeq numbers outgoing hellos; guarded by mu.
+	helloSeq uint64
+	// downNbr marks neighbors declared failed; guarded by mu.
+	downNbr map[graph.NodeID]bool
+	// closed is set once Close begins; guarded by mu.
+	closed bool
 
 	log        *slog.Logger
 	tracer     *telemetry.Tracer

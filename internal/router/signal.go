@@ -38,7 +38,7 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 		r.mu.Unlock()
 		return ConnInfo{}, fmt.Errorf("router: connection %d already exists", id)
 	}
-	primary := r.routePrimary(dst)
+	primary := r.routePrimaryLocked(dst)
 	r.mu.Unlock()
 	// The span context rides inside every signalling packet of this
 	// connection so remote hops stamp the same trace ID; derived only
@@ -69,7 +69,7 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 	avoid := primary.LinkSet()
 	for k := 0; k < r.cfg.Backups; k++ {
 		r.mu.Lock()
-		backup := r.routeBackup(dst, primary, avoid)
+		backup := r.routeBackupLocked(dst, primary, avoid)
 		r.mu.Unlock()
 		if backup.Empty() {
 			break
@@ -264,7 +264,7 @@ func (r *Router) handleSetup(m proto.Setup) {
 		err = r.db.RegisterBackup(m.Conn, l, m.PrimaryLSET)
 	}
 	if err == nil {
-		r.markDirty()
+		r.markDirtyLocked()
 	}
 	r.mu.Unlock()
 
@@ -301,8 +301,8 @@ func (r *Router) handleTeardown(m proto.Teardown) {
 	next := m.Route[i+1]
 	if l, ok := r.g.LinkBetween(r.cfg.Node, next); ok {
 		r.mu.Lock()
-		r.releaseLocal(m.Conn, m.Channel, l)
-		r.markDirty()
+		r.releaseLocalLocked(m.Conn, m.Channel, l)
+		r.markDirtyLocked()
 		r.mu.Unlock()
 		r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), int(l), "teardown")
 	}
@@ -312,10 +312,10 @@ func (r *Router) handleTeardown(m proto.Teardown) {
 	}
 }
 
-// releaseLocal releases whatever the connection holds on link l for the
+// releaseLocalLocked releases whatever the connection holds on link l for the
 // given channel kind; releases are idempotent (teardown sweeps may cross
 // rollbacks). Callers must hold r.mu.
-func (r *Router) releaseLocal(id lsdb.ConnID, kind proto.ChannelKind, l graph.LinkID) {
+func (r *Router) releaseLocalLocked(id lsdb.ConnID, kind proto.ChannelKind, l graph.LinkID) {
 	if kind == proto.Primary {
 		if r.db.HasPrimary(id, l) {
 			_ = r.db.ReleasePrimary(id, l)

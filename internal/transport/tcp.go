@@ -1,7 +1,7 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -12,7 +12,7 @@ import (
 
 // TCPMesh connects routers over TCP. Each endpoint listens on its own
 // address; outbound connections are dialed lazily and cached. Messages
-// are gob-encoded Envelopes.
+// are length-prefixed Envelopes in the proto wire format.
 type TCPMesh struct {
 	mu     sync.Mutex
 	addrs  map[graph.NodeID]string
@@ -21,7 +21,6 @@ type TCPMesh struct {
 
 // NewTCPMesh creates a mesh with a static node-to-address directory.
 func NewTCPMesh(addrs map[graph.NodeID]string) *TCPMesh {
-	proto.RegisterGob()
 	copied := make(map[graph.NodeID]string, len(addrs))
 	for n, a := range addrs {
 		copied[n] = a
@@ -84,7 +83,7 @@ func (m *TCPMesh) Close() error {
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	w    *bufio.Writer
 }
 
 type tcpEndpoint struct {
@@ -125,7 +124,7 @@ func (e *tcpEndpoint) Send(to graph.NodeID, msg proto.Message) error {
 		if err != nil {
 			return fmt.Errorf("transport: dial node %d: %w", to, err)
 		}
-		c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+		c = &tcpConn{conn: conn, w: bufio.NewWriter(conn)}
 		e.mu.Lock()
 		if e.closed {
 			e.mu.Unlock()
@@ -146,7 +145,11 @@ func (e *tcpEndpoint) Send(to graph.NodeID, msg proto.Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	env := proto.Envelope{From: e.node, To: to, Msg: msg}
-	if err := c.enc.Encode(&env); err != nil {
+	err := proto.WriteFrame(c.w, env)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	if err != nil {
 		// Drop the broken connection; the next Send redials.
 		e.mu.Lock()
 		if e.conns[to] == c {
@@ -218,10 +221,10 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		e.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	r := bufio.NewReader(conn)
 	for {
-		var env proto.Envelope
-		if err := dec.Decode(&env); err != nil {
+		env, err := proto.ReadFrame(r)
+		if err != nil {
 			return
 		}
 		select {

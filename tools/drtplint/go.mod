@@ -1,0 +1,3 @@
+module github.com/rtcl/drtp/tools/drtplint
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that drtplint needs. The repo's
+// main module is stdlib-only and the build environment is hermetic, so the
+// x/tools multichecker cannot be vendored; this package provides the same
+// Analyzer/Pass shape on top of go/ast and go/types, close enough that the
+// checkers could be ported to the real framework by changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path ("" for ad-hoc fixture packages;
+	// fixture paths are their directory below testdata/src).
+	Path string
+	Fset *token.FileSet
+	// Files are the parsed source files, with comments.
+	Files []*ast.File
+	// Pkg and TypesInfo hold the type-checked form. Type checking is
+	// error-tolerant: both are non-nil even for packages with type errors,
+	// but objects may be missing (analyzers must tolerate nil lookups).
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far, in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// ignoreDirective matches both the staticcheck-style and the tool-specific
+// spelling:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//	//drtplint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// A directive suppresses matching diagnostics reported on its own line or
+// on the line directly below it. The justification is mandatory.
+var ignoreDirective = regexp.MustCompile(`^//(?:drtp)?lint:ignore\s+(\S+)\s+(.+)$`)
+
+// ignoreEntry is one parsed ignore directive.
+type ignoreEntry struct {
+	file     string
+	line     int
+	checks   []string
+	used     bool
+	badEmpty bool
+}
+
+// Suppressions indexes a package's ignore directives.
+type Suppressions struct {
+	entries []*ignoreEntry
+}
+
+// CollectSuppressions parses every ignore directive in the files.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				s.entries = append(s.entries, &ignoreEntry{
+					file:   pos.Filename,
+					line:   pos.Line,
+					checks: strings.Split(m[1], ","),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// Filter drops diagnostics of the named analyzer that are covered by a
+// directive, and marks the directives used.
+func (s *Suppressions) Filter(fset *token.FileSet, analyzer string, diags []Diagnostic) []Diagnostic {
+	if s == nil || len(s.entries) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, e := range s.entries {
+			if e.file != pos.Filename {
+				continue
+			}
+			if pos.Line != e.line && pos.Line != e.line+1 {
+				continue
+			}
+			for _, c := range e.checks {
+				if c == analyzer {
+					e.used = true
+					suppressed = true
+					break
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package checkers
+
+import (
+	"testing"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", Determinism, "experiments", "sim", "webserver")
+}
+
+func TestNilTracer(t *testing.T) {
+	analysistest.Run(t, "testdata", NilTracer, "telemetry", "consumer")
+}
+
+func TestProtoRoundTrip(t *testing.T) {
+	analysistest.Run(t, "testdata", ProtoRoundTrip, "proto")
+}
+
+func TestCVClone(t *testing.T) {
+	analysistest.Run(t, "testdata", CVClone, "cvuser")
+}
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", LockGuard, "lockfix")
+}

@@ -1,0 +1,158 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+)
+
+// vectorMutators are the bitvec.Vector methods that mutate in place.
+var vectorMutators = map[string]bool{
+	"Set": true, "Clear": true, "Or": true, "Reset": true,
+}
+
+// CVClone flags the aliasing bug class behind conflict-vector corruption:
+// a *bitvec.Vector or LSET slice ([]graph.LinkID) received as a parameter
+// that is mutated in place and returned, or stored into a longer-lived
+// location (struct field, map or slice element) without Clone/copy, and
+// methods that hand out internal vector/LSET state by returning a field
+// directly.
+var CVClone = &analysis.Analyzer{
+	Name: "cvclone",
+	Doc: "flags bitvec.Vector/APLV/CV values stored or returned after " +
+		"in-place mutation, or aliased into long-lived state, without Clone",
+	Run: runCVClone,
+}
+
+// aliasKind classifies an expression's type for this analyzer.
+func aliasKind(t types.Type) string {
+	switch {
+	case isNamed(t, "bitvec", "Vector"):
+		return "bitvec.Vector"
+	case isSliceOfNamed(t, "graph", "LinkID"):
+		return "LSET slice"
+	default:
+		return ""
+	}
+}
+
+func runCVClone(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, fd := range funcDecls(file) {
+			checkCVCloneFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCVCloneFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Collect aliased parameters: vectors and LSET slices the caller owns.
+	params := make(map[types.Object]string) // obj -> kind
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if k := aliasKind(obj.Type()); k != "" {
+					params[obj] = k
+				}
+			}
+		}
+	}
+
+	// Which vector parameters does the body mutate in place?
+	mutated := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !vectorMutators[sel.Sel.Name] {
+			return true
+		}
+		if !isNamed(info.TypeOf(sel.X), "bitvec", "Vector") {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if _, isParam := params[obj]; isParam {
+					mutated[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	recv := recvIdent(fd)
+	var robj types.Object
+	if recv != nil {
+		robj = info.Defs[recv]
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				res = ast.Unparen(res)
+				// Returning a mutated input aliases caller state.
+				if id, ok := res.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && mutated[obj] {
+						pass.Reportf(n.Pos(),
+							"returns parameter %s after in-place mutation; Clone before mutating or return a fresh vector",
+							id.Name)
+					}
+					continue
+				}
+				// Returning internal state (recv.field) hands out an alias.
+				if sel, ok := res.(*ast.SelectorExpr); ok && robj != nil {
+					if isIdentFor(info, sel.X, robj) && fieldObjOf(info, sel) != nil {
+						if k := aliasKind(info.TypeOf(sel)); k != "" {
+							pass.Reportf(n.Pos(),
+								"returns internal %s field %s directly; return a Clone/copy to prevent aliasing",
+								k, sel.Sel.Name)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing an aliased parameter into a field/map/slice element
+			// keeps caller-owned memory alive in long-lived state.
+			for i, rhs := range n.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				obj := info.Uses[id]
+				kind, isParam := "", false
+				if obj != nil {
+					kind, isParam = params[obj], true
+					if kind == "" {
+						isParam = false
+					}
+				}
+				if !isParam {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					if fieldObjOf(info, lhs) != nil {
+						pass.Reportf(n.Pos(),
+							"stores %s parameter %s into a struct field without Clone/copy; the caller still aliases it",
+							kind, id.Name)
+					}
+				case *ast.IndexExpr:
+					pass.Reportf(n.Pos(),
+						"stores %s parameter %s into a map/slice element without Clone/copy; the caller still aliases it",
+						kind, id.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,350 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+)
+
+// guardedRE matches a "guarded by <mutex>" field annotation, e.g.
+//
+//	// conns holds active connections; guarded by mu.
+var guardedRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// LockGuard enforces "guarded by <mu>" field annotations: within every
+// method of the annotated struct, an access to a guarded field must occur
+// while the named mutex is held (between <recv>.<mu>.Lock/RLock and the
+// matching Unlock, or under a deferred Unlock). Methods whose name ends
+// in "Locked" are exempt by convention — their contract is that the
+// caller already holds the lock. Constructors (free functions) are not
+// checked: the value is not yet shared.
+var LockGuard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "flags accesses to 'guarded by mu' fields outside the mutex's " +
+		"critical section",
+	Run: runLockGuard,
+}
+
+// guardedStruct records one annotated struct.
+type guardedStruct struct {
+	name   string
+	fields map[string]string // guarded field -> mutex field
+}
+
+func runLockGuard(pass *analysis.Pass) error {
+	structs := collectGuardedStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, fd := range funcDecls(file) {
+			name := recvTypeName(fd)
+			gs := structs[name]
+			if gs == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkLockedAccesses(pass, fd, gs)
+		}
+	}
+	return nil
+}
+
+// collectGuardedStructs finds structs with guarded-by annotations and
+// validates that the named mutex is a sync.Mutex/RWMutex field.
+func collectGuardedStructs(pass *analysis.Pass) map[string]*guardedStruct {
+	out := make(map[string]*guardedStruct)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				gs := &guardedStruct{name: ts.Name.Name, fields: make(map[string]string)}
+				fieldNames := make(map[string]ast.Expr)
+				for _, f := range st.Fields.List {
+					for _, n := range f.Names {
+						fieldNames[n.Name] = f.Type
+					}
+				}
+				for _, f := range st.Fields.List {
+					mu := guardAnnotation(f)
+					if mu == "" {
+						continue
+					}
+					muType, ok := fieldNames[mu]
+					if !ok {
+						pass.Reportf(f.Pos(), "guarded by %s: struct %s has no field %s", mu, ts.Name.Name, mu)
+						continue
+					}
+					if !isMutexType(pass.TypesInfo, muType) {
+						pass.Reportf(f.Pos(), "guarded by %s: field %s is not a sync.Mutex or sync.RWMutex", mu, mu)
+						continue
+					}
+					for _, n := range f.Names {
+						gs.fields[n.Name] = mu
+					}
+				}
+				if len(gs.fields) > 0 {
+					out[ts.Name.Name] = gs
+				}
+			}
+		}
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment.
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether the field type is sync.Mutex or
+// sync.RWMutex (directly; embedded/pointer mutexes are out of scope).
+func isMutexType(info *types.Info, t ast.Expr) bool {
+	tt := info.TypeOf(t)
+	return isNamed(tt, "sync", "Mutex") || isNamed(tt, "sync", "RWMutex")
+}
+
+// lockState tracks which receiver mutexes are held at a point in the
+// statement walk.
+type lockState struct {
+	held map[string]bool
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make(map[string]bool, len(s.held))}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+// checkLockedAccesses walks the method body tracking Lock/Unlock calls on
+// the receiver's mutex fields and reports guarded-field accesses made
+// while the governing mutex is not held. The tracking is deliberately
+// simple: statements are visited in order, and lock-state changes inside
+// a branch or loop do not escape it — which matches the code style this
+// repo enforces (Lock / defer Unlock at the top of each method, or a
+// single straight-line critical section).
+func checkLockedAccesses(pass *analysis.Pass, fd *ast.FuncDecl, gs *guardedStruct) {
+	recv := recvIdent(fd)
+	if recv == nil {
+		return
+	}
+	robj := pass.TypesInfo.Defs[recv]
+	if robj == nil {
+		return
+	}
+	w := &lockWalker{pass: pass, recv: robj, gs: gs}
+	w.stmts(fd.Body.List, &lockState{held: make(map[string]bool)})
+}
+
+type lockWalker struct {
+	pass *analysis.Pass
+	recv types.Object
+	gs   *guardedStruct
+}
+
+// stmts processes statements in order, mutating state as Lock/Unlock
+// calls appear.
+func (w *lockWalker) stmts(list []ast.Stmt, state *lockState) {
+	for _, stmt := range list {
+		w.stmt(stmt, state)
+	}
+}
+
+func (w *lockWalker) stmt(stmt ast.Stmt, state *lockState) {
+	switch s := stmt.(type) {
+	case nil:
+		return
+	case *ast.ExprStmt:
+		if mu, op := w.mutexCall(s.X); mu != "" {
+			switch op {
+			case "Lock", "RLock":
+				state.held[mu] = true
+			case "Unlock", "RUnlock":
+				state.held[mu] = false
+			}
+			return
+		}
+		w.expr(s.X, state)
+	case *ast.DeferStmt:
+		if mu, op := w.mutexCall(s.Call); mu != "" && (op == "Unlock" || op == "RUnlock") {
+			return // defer mu.Unlock(): the lock stays held to function end
+		}
+		w.expr(s.Call, state)
+	case *ast.GoStmt:
+		// A goroutine body runs at an unknown time; check it with no lock
+		// held regardless of the current state.
+		w.expr(s.Call, &lockState{held: make(map[string]bool)})
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, state)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, state)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					w.expr(v, state)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, state)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, state)
+	case *ast.SendStmt:
+		w.expr(s.Chan, state)
+		w.expr(s.Value, state)
+	case *ast.BlockStmt:
+		w.stmts(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		w.expr(s.Cond, state)
+		w.stmts(s.Body.List, state.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, state.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, state)
+		}
+		inner := state.clone()
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+		w.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, state)
+		w.stmts(s.Body.List, state.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, state)
+		}
+		w.caseClauses(s.Body, state)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state)
+		}
+		w.stmt(s.Assign, state)
+		w.caseClauses(s.Body, state)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := state.clone()
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, inner)
+				}
+				w.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, state)
+	}
+}
+
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, state *lockState) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			inner := state.clone()
+			for _, e := range cc.List {
+				w.expr(e, inner)
+			}
+			w.stmts(cc.Body, inner)
+		}
+	}
+}
+
+// expr reports guarded-field accesses inside an expression, evaluated
+// under the given lock state. Function literals are skipped: their
+// execution time is unknown, so they are out of scope for this linear
+// analysis.
+func (w *lockWalker) expr(e ast.Expr, state *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isIdentFor(w.pass.TypesInfo, sel.X, w.recv) {
+			return true
+		}
+		mu, guarded := w.gs.fields[sel.Sel.Name]
+		if !guarded || state.held[mu] {
+			return true
+		}
+		w.pass.Reportf(sel.Pos(),
+			"access to field %s (guarded by %s) outside %s critical section",
+			sel.Sel.Name, mu, mu)
+		return true
+	})
+}
+
+// mutexCall matches recv.<mu>.Lock/RLock/Unlock/RUnlock() and returns the
+// mutex field name and the operation.
+func (w *lockWalker) mutexCall(e ast.Expr) (mu, op string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || !isIdentFor(w.pass.TypesInfo, inner.X, w.recv) {
+		return "", ""
+	}
+	return inner.Sel.Name, sel.Sel.Name
+}

@@ -1,0 +1,269 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+)
+
+// nilSafeTypes are the telemetry instruments documented as nil-safe: a
+// nil pointer is a valid no-op instance, so hot paths stay instrumented
+// unconditionally. Every exported pointer-receiver method on these types
+// must guard the receiver before touching its fields.
+var nilSafeTypes = map[string]bool{
+	"Tracer": true, "Registry": true,
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+// valueBanTypes are the instruments that must never be used by value:
+// their methods' nil checks only work through a pointer, and Tracer holds
+// sync/atomic state that must not be copied.
+var valueBanTypes = map[string]bool{"Tracer": true, "Registry": true}
+
+// NilTracer enforces the telemetry nil-safety contract in both
+// directions: inside the telemetry package, every exported
+// pointer-receiver method of a nil-safe instrument must begin with a nil
+// guard (or never touch receiver fields); everywhere, Tracer and Registry
+// must be handled as pointers — value declarations, value composite
+// literals and explicit dereferences are flagged.
+var NilTracer = &analysis.Analyzer{
+	Name: "niltracer",
+	Doc: "enforces nil-safe telemetry: receiver nil guards inside the " +
+		"telemetry package, pointer-only Tracer/Registry usage elsewhere",
+	Run: runNilTracer,
+}
+
+func runNilTracer(pass *analysis.Pass) error {
+	inTelemetry := pass.Pkg != nil && pass.Pkg.Name() == "telemetry"
+	for _, file := range pass.Files {
+		if inTelemetry {
+			for _, fd := range funcDecls(file) {
+				checkNilGuard(pass, fd)
+			}
+		}
+		checkValueUsage(pass, file)
+	}
+	return nil
+}
+
+// --- rule 1: receiver guards inside package telemetry ------------------
+
+// checkNilGuard verifies that an exported pointer-receiver method on a
+// nil-safe instrument guards the receiver before any field access.
+func checkNilGuard(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := recvIdent(fd)
+	if recv == nil || !fd.Name.IsExported() {
+		return
+	}
+	robj := pass.TypesInfo.Defs[recv]
+	if robj == nil {
+		return
+	}
+	rt := robj.Type()
+	if _, isPtr := types.Unalias(rt).(*types.Pointer); !isPtr {
+		return
+	}
+	n := namedType(rt)
+	if n == nil || !nilSafeTypes[n.Obj().Name()] {
+		return
+	}
+	if !accessesReceiverFields(pass.TypesInfo, fd.Body, robj) {
+		return // methods that never deref the receiver are trivially nil-safe
+	}
+	if len(fd.Body.List) > 0 && isNilGuard(pass.TypesInfo, fd.Body.List[0], robj) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported method (*%s).%s accesses receiver fields without a leading nil guard; "+
+			"a nil receiver must be a no-op", n.Obj().Name(), fd.Name.Name)
+}
+
+// accessesReceiverFields reports whether the body selects a struct field
+// through the receiver.
+func accessesReceiverFields(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		if isIdentFor(info, sel.X, recv) && fieldObjOf(info, sel) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNilGuard recognizes the accepted leading guard shapes:
+//
+//	if x == nil { return ... }
+//	if !x.M(...) { return ... }     (M is itself a checked nil-safe method)
+//	if x.M(...) == k { return ... } (ditto)
+//	if x != nil { ... }             (whole body wrapped)
+//	return x != nil && ...          (the Enabled shape)
+//	return x == nil || ...
+//
+// The guard condition must not itself select receiver fields: a method
+// call on the receiver is fine (it re-enters a checked method), a field
+// read is not.
+func isNilGuard(info *types.Info, stmt ast.Stmt, recv types.Object) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil || !condIsNilSafe(info, s.Cond, recv) {
+			return false
+		}
+		if isRecvNilCheck(info, s.Cond, recv, token.NEQ) {
+			return true // if x != nil { ... } wraps the body
+		}
+		// Early-return guard: the if body must terminate.
+		return endsInReturn(s.Body)
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		b, ok := ast.Unparen(s.Results[0]).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if b.Op == token.LAND && isRecvNilCheck(info, b.X, recv, token.NEQ) {
+			return true
+		}
+		if b.Op == token.LOR && isRecvNilCheck(info, b.X, recv, token.EQL) {
+			return true
+		}
+	}
+	return false
+}
+
+// condIsNilSafe reports whether the condition mentions the receiver and
+// only touches it via nil comparisons or method calls (no field reads).
+func condIsNilSafe(info *types.Info, cond ast.Expr, recv types.Object) bool {
+	if !usesObject(info, cond, recv) {
+		return false
+	}
+	safe := true
+	ast.Inspect(cond, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return safe
+		}
+		if isIdentFor(info, sel.X, recv) && fieldObjOf(info, sel) != nil {
+			safe = false
+		}
+		return safe
+	})
+	return safe
+}
+
+// isRecvNilCheck matches `recv <op> nil` (or reversed).
+func isRecvNilCheck(info *types.Info, e ast.Expr, recv types.Object, op token.Token) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return false
+	}
+	isNilIdent := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isIdentFor(info, b.X, recv) && isNilIdent(b.Y)) ||
+		(isIdentFor(info, b.Y, recv) && isNilIdent(b.X))
+}
+
+// endsInReturn reports whether the block's last statement terminates the
+// function.
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// --- rule 2: pointer-only usage everywhere -----------------------------
+
+// checkValueUsage flags value-typed Tracer/Registry declarations, value
+// composite literals and explicit dereferences.
+func checkValueUsage(pass *analysis.Pass, file *ast.File) {
+	// Collect composite literals that appear under a & (legitimate).
+	addressed := make(map[ast.Expr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			addressed[ast.Unparen(u.X)] = true
+		}
+		return true
+	})
+
+	banned := func(t types.Type) (string, bool) {
+		// The ban is on non-pointer usage, so look at t directly.
+		n, ok := types.Unalias(t).(*types.Named)
+		if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Name() != "telemetry" {
+			return "", false
+		}
+		if valueBanTypes[n.Obj().Name()] {
+			return n.Obj().Name(), true
+		}
+		return "", false
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Field:
+			// struct fields, params, results
+			if t := pass.TypesInfo.TypeOf(n.Type); t != nil {
+				if name, ok := banned(t); ok {
+					pass.Reportf(n.Pos(),
+						"telemetry.%s used by value; declare *telemetry.%s so the nil no-op contract applies",
+						name, name)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if t := pass.TypesInfo.TypeOf(n.Type); t != nil {
+					if name, ok := banned(t); ok {
+						pass.Reportf(n.Pos(),
+							"telemetry.%s declared by value; use *telemetry.%s", name, name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if addressed[ast.Node(n).(ast.Expr)] {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if name, ok := banned(t); ok {
+					pass.Reportf(n.Pos(),
+						"telemetry.%s composite literal by value; take its address (&telemetry.%s{...})",
+						name, name)
+				}
+			}
+		case *ast.StarExpr:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok || !tv.IsValue() {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if p, ok := types.Unalias(t).(*types.Pointer); ok {
+					if name, ok := banned(p.Elem()); ok {
+						pass.Reportf(n.Pos(),
+							"dereference copies telemetry.%s and defeats its nil guard; keep the pointer", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

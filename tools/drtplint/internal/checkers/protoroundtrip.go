@@ -1,0 +1,155 @@
+package checkers
+
+import (
+	"go/ast"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+)
+
+// ProtoRoundTrip cross-checks every packet struct in the proto package
+// against its hand-written wire codec: a struct that implements the
+// Message interface (a Kind() method) must have MarshalBinary and
+// UnmarshalBinary methods, and every exported field must appear in both
+// bodies — a field written to the wire but never read back (or decoded
+// but never encoded) is exactly the silent-corruption bug class this
+// analyzer exists for.
+var ProtoRoundTrip = &analysis.Analyzer{
+	Name: "protoroundtrip",
+	Doc: "verifies that every exported field of each proto packet struct " +
+		"is covered by both MarshalBinary and UnmarshalBinary",
+	Run: runProtoRoundTrip,
+}
+
+func runProtoRoundTrip(pass *analysis.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Name() != "proto" {
+		return nil
+	}
+
+	// structDecl records one struct type and its method bodies of interest.
+	type structDecl struct {
+		spec      *ast.TypeSpec
+		st        *ast.StructType
+		hasKind   bool
+		marshal   *ast.FuncDecl
+		unmarshal *ast.FuncDecl
+	}
+	decls := make(map[string]*structDecl)
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					decls[ts.Name.Name] = &structDecl{spec: ts, st: st}
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, fd := range funcDecls(file) {
+			name := recvTypeName(fd)
+			sd := decls[name]
+			if sd == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Kind":
+				sd.hasKind = true
+			case "MarshalBinary":
+				sd.marshal = fd
+			case "UnmarshalBinary":
+				sd.unmarshal = fd
+			}
+		}
+	}
+
+	for name, sd := range decls {
+		if sd.hasKind && (sd.marshal == nil || sd.unmarshal == nil) {
+			pass.Reportf(sd.spec.Pos(),
+				"packet struct %s implements Message but lacks a MarshalBinary/UnmarshalBinary wire codec", name)
+			continue
+		}
+		if sd.marshal == nil || sd.unmarshal == nil {
+			continue // not a wire struct
+		}
+		enc := fieldMentions(pass, sd.marshal)
+		dec := fieldMentions(pass, sd.unmarshal)
+		for _, field := range sd.st.Fields.List {
+			for _, fname := range field.Names {
+				if !fname.IsExported() {
+					continue
+				}
+				e, d := enc[fname.Name], dec[fname.Name]
+				switch {
+				case !e && !d:
+					pass.Reportf(fname.Pos(),
+						"field %s.%s is not covered by the wire codec (missing from MarshalBinary and UnmarshalBinary)",
+						name, fname.Name)
+				case e && !d:
+					pass.Reportf(fname.Pos(),
+						"field %s.%s is encoded by MarshalBinary but never decoded by UnmarshalBinary",
+						name, fname.Name)
+				case !e && d:
+					pass.Reportf(fname.Pos(),
+						"field %s.%s is decoded by UnmarshalBinary but never encoded by MarshalBinary",
+						name, fname.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the bare receiver type name of a method ("" for
+// functions).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// fieldMentions collects the names of receiver fields mentioned anywhere
+// in the method body (reads and writes alike: in a marshal body a mention
+// is an encode, in an unmarshal body a decode).
+func fieldMentions(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	recv := recvIdent(fd)
+	if recv == nil {
+		return out
+	}
+	robj := pass.TypesInfo.Defs[recv]
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if robj != nil && !isIdentFor(pass.TypesInfo, sel.X, robj) {
+			return true
+		}
+		if robj == nil {
+			// Degraded mode (type errors): match on receiver name text.
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || id.Name != recv.Name {
+				return true
+			}
+		}
+		out[sel.Sel.Name] = true
+		return true
+	})
+	return out
+}

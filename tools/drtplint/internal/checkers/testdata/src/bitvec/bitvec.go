@@ -1,0 +1,41 @@
+// Package bitvec is a support fixture: a miniature of the repo's conflict
+// vector with the same mutator and Clone method set.
+package bitvec
+
+// Vector is a fixed-width bit set.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed vector of n bits.
+func New(n int) *Vector {
+	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Set sets bit i in place.
+func (v *Vector) Set(i int) { v.words[i>>6] |= 1 << (i & 63) }
+
+// Clear clears bit i in place.
+func (v *Vector) Clear(i int) { v.words[i>>6] &^= 1 << (i & 63) }
+
+// Or folds o into v in place.
+func (v *Vector) Or(o *Vector) {
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+}
+
+// Reset zeroes the vector in place.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}

@@ -1,0 +1,29 @@
+// Package consumer exercises niltracer's pointer-only rule: Tracer and
+// Registry must never be used by value.
+package consumer
+
+import "telemetry"
+
+// Server mixes a banned value field with a correct pointer field.
+type Server struct {
+	tr telemetry.Tracer // want "telemetry.Tracer used by value"
+	ok *telemetry.Tracer
+}
+
+var global telemetry.Registry // want "telemetry.Registry declared by value"
+
+// Use takes a Tracer by value, severing the nil no-op contract.
+func Use(t telemetry.Tracer) { // want "telemetry.Tracer used by value"
+	_ = t
+}
+
+// Good builds an addressed literal: allowed.
+func Good() *telemetry.Tracer {
+	return &telemetry.Tracer{}
+}
+
+// Deref copies the instrument out of its pointer.
+func Deref(p *telemetry.Tracer) {
+	v := *p // want "dereference copies telemetry.Tracer"
+	_ = v
+}

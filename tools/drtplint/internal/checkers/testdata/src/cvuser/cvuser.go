@@ -1,0 +1,57 @@
+// Package cvuser is the cvclone fixture: conflict-vector and LSET
+// aliasing in both violating and compliant forms.
+package cvuser
+
+import (
+	"bitvec"
+	"graph"
+)
+
+// State owns a conflict vector and an LSET.
+type State struct {
+	cv   *bitvec.Vector
+	lset []graph.LinkID
+}
+
+// MergeBad mutates its input in place and returns it.
+func MergeBad(a, b *bitvec.Vector) *bitvec.Vector {
+	a.Or(b)
+	return a // want "returns parameter a after in-place mutation"
+}
+
+// MergeGood clones before mutating.
+func MergeGood(a, b *bitvec.Vector) *bitvec.Vector {
+	out := a.Clone()
+	out.Or(b)
+	return out
+}
+
+// CV hands out internal vector state.
+func (s *State) CV() *bitvec.Vector {
+	return s.cv // want "returns internal bitvec.Vector field cv directly"
+}
+
+// LSET hands out the internal LSET slice.
+func (s *State) LSET() []graph.LinkID {
+	return s.lset // want "returns internal LSET slice field lset directly"
+}
+
+// CVCopy is the safe accessor.
+func (s *State) CVCopy() *bitvec.Vector {
+	return s.cv.Clone()
+}
+
+// SetCV stores the caller's vector without cloning.
+func (s *State) SetCV(v *bitvec.Vector) {
+	s.cv = v // want "stores bitvec.Vector parameter v into a struct field without Clone/copy"
+}
+
+// SetCVGood clones before storing.
+func (s *State) SetCVGood(v *bitvec.Vector) {
+	s.cv = v.Clone()
+}
+
+// Cache stores a caller-owned vector into a map element.
+func Cache(m map[int]*bitvec.Vector, k int, v *bitvec.Vector) {
+	m[k] = v // want "stores bitvec.Vector parameter v into a map/slice element"
+}

@@ -1,0 +1,8 @@
+// Package graph is a support fixture mirroring the repo's graph IDs.
+package graph
+
+// NodeID identifies a node.
+type NodeID int
+
+// LinkID identifies a directed link; []LinkID is an LSET.
+type LinkID int

@@ -1,0 +1,88 @@
+// Package proto is the protoroundtrip fixture: packet structs whose
+// hand-written codecs are complete (Hello), lopsided (Broken), or absent
+// (Naked).
+package proto
+
+// Hello is fully covered by its wire codec: no diagnostics.
+type Hello struct {
+	From int
+	Seq  uint64
+}
+
+func (h *Hello) Kind() string { return "hello" }
+
+func (h *Hello) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = appendUvarint(buf, uint64(h.From))
+	buf = appendUvarint(buf, h.Seq)
+	return buf, nil
+}
+
+func (h *Hello) UnmarshalBinary(data []byte) error {
+	var v uint64
+	v, data = readUvarint(data)
+	h.From = int(v)
+	h.Seq, data = readUvarint(data)
+	_ = data
+	return nil
+}
+
+// Broken has one field per lopsided-coverage failure mode.
+type Broken struct {
+	A int
+	B int // want "field Broken.B is encoded by MarshalBinary but never decoded"
+	C int // want "field Broken.C is decoded by UnmarshalBinary but never encoded"
+	D int // want "field Broken.D is not covered by the wire codec"
+}
+
+func (b *Broken) Kind() string { return "broken" }
+
+func (b *Broken) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = appendUvarint(buf, uint64(b.A))
+	buf = appendUvarint(buf, uint64(b.B))
+	return buf, nil
+}
+
+func (b *Broken) UnmarshalBinary(data []byte) error {
+	var v uint64
+	v, data = readUvarint(data)
+	b.A = int(v)
+	v, data = readUvarint(data)
+	b.C = int(v)
+	_ = data
+	return nil
+}
+
+// Naked implements Message but has no codec at all.
+type Naked struct { // want "implements Message but lacks a MarshalBinary/UnmarshalBinary wire codec"
+	X int
+}
+
+func (n *Naked) Kind() string { return "naked" }
+
+// plain is not a Message and not a wire struct: ignored.
+type plain struct {
+	Y int
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func readUvarint(b []byte) (uint64, []byte) {
+	var v uint64
+	var shift uint
+	for i, c := range b {
+		if c < 0x80 {
+			return v | uint64(c)<<shift, b[i+1:]
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, nil
+}

@@ -1,0 +1,24 @@
+// Package sim is a passing fixture for the determinism analyzer: it is
+// inside the domain but every pattern is deterministic.
+package sim
+
+import "sort"
+
+// Ordered collects map keys and sorts before returning.
+func Ordered(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Sum folds over a map: order-independent, no published order.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,8 @@
+// Package webserver is outside the deterministic simulation domain:
+// wall-clock reads here are legitimate and must not be flagged.
+package webserver
+
+import "time"
+
+// Now timestamps a live request.
+func Now() int64 { return time.Now().Unix() }

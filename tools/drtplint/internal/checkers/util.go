@@ -1,0 +1,118 @@
+// Package checkers implements drtplint's five domain analyzers. They
+// encode repo invariants by *shape*, matching types by package name and
+// type name rather than full import path so the same analyzers run
+// against both the real tree and self-contained analysistest fixtures.
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// namedType unwraps t to its named type, looking through pointers and
+// aliases; nil when t is not (a pointer to) a named type.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t is (a pointer to) the named type pkgName.name.
+func isNamed(t types.Type, pkgName, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == pkgName && n.Obj().Name() == name
+}
+
+// isSliceOfNamed reports whether t is a slice whose element is the named
+// type pkgName.name.
+func isSliceOfNamed(t types.Type, pkgName, name string) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := types.Unalias(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamed(s.Elem(), pkgName, name)
+}
+
+// recvIdent returns the receiver identifier of a method declaration, or
+// nil for functions and anonymous receivers.
+func recvIdent(fd *ast.FuncDecl) *ast.Ident {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	id := fd.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// usesObject reports whether expr mentions the given object.
+func usesObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isIdentFor reports whether e (possibly parenthesized) is an identifier
+// resolving to obj.
+func isIdentFor(info *types.Info, e ast.Expr, obj types.Object) bool {
+	e = ast.Unparen(e)
+	id, ok := e.(*ast.Ident)
+	return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+}
+
+// pkgNameOf resolves a selector base identifier to the imported package it
+// names, or "" when it is not a package qualifier.
+func pkgNameOf(info *types.Info, e ast.Expr) string {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// fieldObjOf returns the struct-field object a selector expression reads,
+// or nil when sel is not a field access.
+func fieldObjOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		// Qualified identifiers (pkg.Var) also appear as selectors.
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// funcDecls yields every function declaration with a body in the file.
+func funcDecls(file *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Command drtplint is the repo's domain-specific static analysis suite.
+// It runs five analyzers that enforce invariants the generic toolchain
+// cannot know about: simulation determinism, nil-safe telemetry, wire
+// codec round-trip coverage, conflict-vector aliasing, and mutex guard
+// annotations.
+//
+// Usage:
+//
+//	drtplint [-only name[,name]] [packages...]
+//
+// Packages are import paths inside the github.com/rtcl/drtp module
+// ("./..."-style patterns are expanded by make lint). With no arguments
+// it lints every package under the module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+	"github.com/rtcl/drtp/tools/drtplint/internal/checkers"
+)
+
+var analyzers = []*analysis.Analyzer{
+	checkers.Determinism,
+	checkers.NilTracer,
+	checkers.ProtoRoundTrip,
+	checkers.CVClone,
+	checkers.LockGuard,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: drtplint [-only name,...] [import paths]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active := analyzers
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		active = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "drtplint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			active = append(active, a)
+		}
+	}
+
+	loader, err := analysis.NewLoaderFromCwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drtplint: %v\n", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = true
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		paths, err = modulePackages(loader)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drtplint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.LoadPath(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drtplint: load %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		for _, a := range active {
+			diags, err := loader.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drtplint: %s: %s: %v\n", path, a.Name, err)
+				exit = 1
+				continue
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// modulePackages walks the module root and returns every import path that
+// contains Go files, skipping vendor-ish and tool directories.
+func modulePackages(l *analysis.Loader) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "tools") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(l.ModuleDir, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					out = append(out, l.ModulePath)
+				} else {
+					out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
