@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/rtcl/drtp/internal/faultinject"
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
 	"github.com/rtcl/drtp/internal/router"
@@ -62,6 +63,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		scheme   = fs.String("scheme", "dlsr", "backup routing scheme: dlsr|plsr")
 		metrics  = fs.String("metrics", "", "serve /metrics and /healthz on this address (e.g. :9090)")
 		trace    = fs.String("trace", "", "append protocol events as JSONL to this file")
+		chaos    = fs.String("chaos", "", "chaos schedule JSON applied to this node's outbound signalling (times are seconds since start)")
+		retries  = fs.Int("retries", 3, "signalling attempt budget per round trip (1 disables retransmission)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,18 +107,37 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	defer stopSignals()
 
 	mesh := transport.NewTCPMesh(addrs)
-	ep, err := mesh.Attach(graph.NodeID(*node))
+	var attacher interface {
+		Attach(graph.NodeID) (transport.Endpoint, error)
+	} = mesh
+	if *chaos != "" {
+		sched, err := faultinject.Load(*chaos)
+		if err != nil {
+			return err
+		}
+		// Schedule windows are interpreted as seconds since process start;
+		// delays use the same unit.
+		start := time.Now()
+		attacher = faultinject.New(sched, mesh,
+			faultinject.WithClock(func() float64 { return time.Since(start).Seconds() }),
+			faultinject.WithDelayUnit(time.Second),
+			faultinject.WithTracer(tracer))
+		fmt.Fprintf(out, "drtpnode: chaos schedule %s armed (seed %d)\n", *chaos, sched.Seed)
+	}
+	ep, err := attacher.Attach(graph.NodeID(*node))
 	if err != nil {
 		return err
 	}
 	r, err := router.New(router.Config{
-		Node:      graph.NodeID(*node),
-		Graph:     g,
-		Capacity:  *capacity,
-		UnitBW:    *unitBW,
-		Scheme:    backup,
-		Telemetry: tracer,
-		Metrics:   reg,
+		Node:        graph.NodeID(*node),
+		Graph:       g,
+		Capacity:    *capacity,
+		UnitBW:      *unitBW,
+		Scheme:      backup,
+		RetryLimit:  *retries,
+		NbrRecovery: *chaos != "",
+		Telemetry:   tracer,
+		Metrics:     reg,
 	}, ep)
 	if err != nil {
 		_ = ep.Close()

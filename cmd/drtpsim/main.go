@@ -23,6 +23,7 @@ import (
 
 	drtpcore "github.com/rtcl/drtp/internal/drtp"
 	"github.com/rtcl/drtp/internal/experiments"
+	"github.com/rtcl/drtp/internal/faultinject"
 	"github.com/rtcl/drtp/internal/metrics"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/sim"
@@ -39,20 +40,21 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("drtpsim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1|fig4|fig5|acceptance|overhead|ablation|multibackup|availability|qos|topologies|replay|all")
-		degree   = fs.Float64("degree", 3, "average node degree E (3 or 4)")
-		seed     = fs.Int64("seed", 1, "master seed for topology and scenarios")
-		lambda   = fs.Float64("lambda", 0.5, "arrival rate for single-point experiments (overhead)")
-		quick    = fs.Bool("quick", false, "scaled-down parameters for a fast run")
-		csvOut   = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		duration = fs.Float64("duration", 0, "override run length in minutes")
-		reps     = fs.Int("reps", 1, "replications per cell (mean±sd over seeds)")
-		plot     = fs.Bool("plot", false, "render fig4/fig5 as ASCII charts too")
-		scenFile = fs.String("scenario", "", "scenario file for -exp replay (see scenariogen)")
-		trace    = fs.String("trace", "", "write protocol events as JSONL to this file")
-		metrSum  = fs.Bool("metrics-summary", false, "print aggregated event counters after the experiment")
-		cpuProf  = fs.String("pprof", "", "write a CPU profile of the experiment to this file")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0),
+		exp       = fs.String("exp", "all", "experiment: table1|fig4|fig5|acceptance|overhead|ablation|multibackup|availability|qos|topologies|replay|chaos|all")
+		degree    = fs.Float64("degree", 3, "average node degree E (3 or 4)")
+		seed      = fs.Int64("seed", 1, "master seed for topology and scenarios")
+		lambda    = fs.Float64("lambda", 0.5, "arrival rate for single-point experiments (overhead)")
+		quick     = fs.Bool("quick", false, "scaled-down parameters for a fast run")
+		csvOut    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		duration  = fs.Float64("duration", 0, "override run length in minutes")
+		reps      = fs.Int("reps", 1, "replications per cell (mean±sd over seeds)")
+		plot      = fs.Bool("plot", false, "render fig4/fig5 as ASCII charts too")
+		scenFile  = fs.String("scenario", "", "scenario file for -exp replay (see scenariogen)")
+		chaosSpec = fs.String("chaos", "", "chaos schedule JSON applied to every run (fault-injection; see README)")
+		trace     = fs.String("trace", "", "write protocol events as JSONL to this file")
+		metrSum   = fs.Bool("metrics-summary", false, "print aggregated event counters after the experiment")
+		cpuProf   = fs.String("pprof", "", "write a CPU profile of the experiment to this file")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0),
 			"goroutines evaluating experiment cells concurrently (output is identical at any count)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +75,13 @@ func run(args []string, w io.Writer) error {
 	if *duration > 0 {
 		p.Duration = *duration
 		p.Warmup = *duration * 0.4
+	}
+	if *chaosSpec != "" {
+		sched, err := faultinject.Load(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		p.Chaos = sched
 	}
 
 	var (
@@ -171,6 +180,16 @@ func run(args []string, w io.Writer) error {
 			return render(ts.Table())
 		case "replay":
 			return replayScenario(p, *scenFile, *seed, w, *csvOut)
+		case "chaos":
+			cp := experiments.ChaosParams{Params: p, Lambda: *lambda, Schedule: p.Chaos}
+			if cp.Schedule == nil {
+				cp.Schedule = experiments.DefaultChaosSchedule(*seed)
+			}
+			c, err := experiments.RunChaos(cp)
+			if err != nil {
+				return err
+			}
+			return render(c.Table())
 		case "qos":
 			q, err := experiments.RunQoS(p, *lambda)
 			if err != nil {
@@ -322,6 +341,7 @@ func replayScenario(p experiments.Params, path string, seed int64, w io.Writer, 
 			EvalInterval: p.EvalInterval,
 			ManagerOpts:  spec.ManagerOpts,
 			Telemetry:    p.Telemetry,
+			Chaos:        p.Chaos,
 		})
 		if err != nil {
 			return err

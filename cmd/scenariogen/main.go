@@ -12,6 +12,8 @@ import (
 	"io"
 	"os"
 
+	"github.com/rtcl/drtp/internal/experiments"
+	"github.com/rtcl/drtp/internal/faultinject"
 	"github.com/rtcl/drtp/internal/scenario"
 )
 
@@ -33,6 +35,8 @@ func run(args []string, w io.Writer) error {
 		hotFrac  = fs.Float64("hotfrac", 0.5, "share of requests to hot destinations (NT)")
 		seed     = fs.Int64("seed", 1, "generator seed")
 		out      = fs.String("out", "", "output file (default stdout)")
+		chaos    = fs.String("chaos", "", "bundle this chaos schedule JSON into the scenario")
+		defChaos = fs.Bool("default-chaos", false, "bundle the default chaos schedule (10% signalling loss, one crash, one partition)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +63,16 @@ func run(args []string, w io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	switch {
+	case *chaos != "":
+		sched, err := faultinject.Load(*chaos)
+		if err != nil {
+			return err
+		}
+		sc.Chaos = sched
+	case *defChaos:
+		sc.Chaos = experiments.DefaultChaosSchedule(*seed)
 	}
 	fmt.Fprintf(os.Stderr, "scenariogen: %d arrivals over %.0f minutes (%s)\n",
 		sc.NumArrivals(), *duration, pat)

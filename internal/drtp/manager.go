@@ -59,6 +59,12 @@ type Stats struct {
 	// BackupRegisterFailures counts backups whose register packet was
 	// rejected mid-path.
 	BackupRegisterFailures int64
+	// SignalRetries counts retransmitted signalling round trips under
+	// WithSignalFaults.
+	SignalRetries int64
+	// SignalTimeouts counts signalling round trips lost on every attempt
+	// of their retry budget under WithSignalFaults.
+	SignalTimeouts int64
 }
 
 // AcceptRatio returns Accepted/Requests, or 0 when no requests were made.
@@ -84,6 +90,9 @@ type Manager struct {
 	// the instrumented paths cost a nil check each.
 	tracer     *telemetry.Tracer
 	schemeName string
+	// signal, when non-nil, makes signalling round trips lossy (see
+	// WithSignalFaults).
+	signal *signalFaults
 }
 
 // ManagerOption configures a Manager.
@@ -215,6 +224,12 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 		m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-backup")
 		return nil, ErrNoBackup
 	}
+	// The primary-setup round trip travels before any resource is held, so
+	// losing it rejects the request without leaking reservations.
+	if !m.signalOK(trace, req.ID, "setup") {
+		m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "signal-timeout")
+		return nil, ErrSignalTimeout
+	}
 
 	db := m.net.DB()
 	reserved := make([]graph.LinkID, 0, route.Primary.Hops())
@@ -243,6 +258,11 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 
 	for _, backup := range route.Backups {
 		if backup.Empty() {
+			continue
+		}
+		if !m.signalOK(trace, req.ID, "setup") {
+			m.stats.BackupRegisterFailures++
+			m.tracer.BackupRegister(m.schemeName, trace, int64(req.ID), backup.Hops(), "signal-timeout")
 			continue
 		}
 		if m.registerBackup(req.ID, backup, route.Primary, conn.Backups) {

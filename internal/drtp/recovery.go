@@ -144,6 +144,11 @@ func (m *Manager) switchConnection(c *Connection, out *RecoveryOutcome) bool {
 		if !m.pathAlive(backup) {
 			continue
 		}
+		// The activation round trip can be lost under signal faults; the
+		// backup then stays registered and the next one is tried.
+		if !m.signalOK(c.trace, c.ID, "activate") {
+			continue
+		}
 		if !m.promoteBackup(c, backup) {
 			continue
 		}

@@ -1,0 +1,109 @@
+package drtp_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/telemetry"
+)
+
+// signalRun establishes a batch of connections under a lossy signalling
+// model and reports the per-connection outcome string plus final stats.
+func signalRun(t *testing.T, seed int64) ([]string, drtp.Stats, []telemetry.Event) {
+	t.Helper()
+	net := thetaNetwork(t, 10)
+	primary := pathOf(t, net, 0, 1)
+	backup := pathOf(t, net, 0, 2, 1)
+	routes := map[drtp.ConnID]drtp.Route{}
+	for id := drtp.ConnID(1); id <= 8; id++ {
+		routes[id] = drtp.WithBackup(primary, backup)
+	}
+	buf := telemetry.NewBuffer()
+	mgr := drtp.NewManager(net, fixedScheme{routes: routes},
+		drtp.WithSignalFaults(0.4, 2, seed),
+		drtp.WithTelemetry(telemetry.NewTracer(buf)))
+	var outcomes []string
+	for id := drtp.ConnID(1); id <= 8; id++ {
+		_, err := mgr.Establish(drtp.Request{ID: id, Src: 0, Dst: 1})
+		outcomes = append(outcomes, fmt.Sprint(err))
+		if err == nil {
+			if rerr := mgr.Release(id); rerr != nil {
+				t.Fatal(rerr)
+			}
+		} else if !errors.Is(err, drtp.ErrSignalTimeout) && !errors.Is(err, drtp.ErrNoBackup) {
+			// ErrNoBackup is the clean outcome when every backup
+			// registration lost its signalling exchange.
+			t.Fatalf("conn %d: unexpected error class: %v", id, err)
+		}
+	}
+	return outcomes, mgr.Stats(), buf.Events()
+}
+
+func TestSignalFaultsDeterministicAndClean(t *testing.T) {
+	out1, st1, ev1 := signalRun(t, 77)
+	out2, st2, ev2 := signalRun(t, 77)
+	if fmt.Sprint(out1) != fmt.Sprint(out2) {
+		t.Fatalf("same seed, different outcomes:\n%v\n%v", out1, out2)
+	}
+	if st1 != st2 {
+		t.Fatalf("same seed, different stats:\n%+v\n%+v", st1, st2)
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("same seed, different event counts: %d vs %d", len(ev1), len(ev2))
+	}
+	if st1.SignalTimeouts == 0 {
+		t.Fatal("40% drop with 2 retries never timed out across 8 establishments")
+	}
+	if st1.SignalRetries == 0 {
+		t.Fatal("no retries recorded under 40% drop")
+	}
+
+	// A signalling timeout on setup rejects before reserving, and the
+	// tracer names the reason.
+	var rejects int
+	for _, e := range ev1 {
+		if e.Kind == telemetry.EvConnReject && e.Reason == "signal-timeout" {
+			rejects++
+		}
+	}
+	if rejects == 0 {
+		t.Fatal("no signal-timeout rejections in telemetry")
+	}
+
+	out3, _, _ := signalRun(t, 78)
+	if fmt.Sprint(out1) == fmt.Sprint(out3) {
+		t.Log("seeds 77 and 78 coincided; acceptable but unusual")
+	}
+}
+
+// TestSignalFaultsLeakFree checks that a run mixing accepted and
+// signal-rejected establishments, all released, leaves every link fully
+// free: the pre-reserve rejection point can't leak bandwidth.
+func TestSignalFaultsLeakFree(t *testing.T) {
+	net := thetaNetwork(t, 10)
+	primary := pathOf(t, net, 0, 1)
+	backup := pathOf(t, net, 0, 2, 1)
+	routes := map[drtp.ConnID]drtp.Route{}
+	for id := drtp.ConnID(1); id <= 12; id++ {
+		routes[id] = drtp.WithBackup(primary, backup)
+	}
+	mgr := drtp.NewManager(net, fixedScheme{routes: routes},
+		drtp.WithSignalFaults(0.3, 2, 5))
+	for id := drtp.ConnID(1); id <= 12; id++ {
+		if _, err := mgr.Establish(drtp.Request{ID: id, Src: 0, Dst: 1}); err == nil {
+			if err := mgr.Release(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db := net.DB()
+	for l := 0; l < db.NumLinks(); l++ {
+		id := graph.LinkID(l)
+		if db.FreeBW(id) != db.Capacity(id) {
+			t.Fatalf("link %d not fully free after all releases", l)
+		}
+	}
+}

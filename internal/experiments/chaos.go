@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/faultinject"
+	"github.com/rtcl/drtp/internal/metrics"
+	"github.com/rtcl/drtp/internal/scenario"
+	"github.com/rtcl/drtp/internal/sim"
+)
+
+// ChaosParams extends the evaluation parameters with a fault-injection
+// schedule for dependability runs.
+type ChaosParams struct {
+	Params
+	// Lambda is the per-node request arrival rate for the run.
+	Lambda float64
+	// Schedule is the chaos script applied to every scheme's run; nil
+	// falls back to Params.Chaos.
+	Schedule *faultinject.Schedule
+}
+
+// ChaosRow is one scheme's measurement under the chaos schedule.
+type ChaosRow struct {
+	Scheme string
+	Result *sim.Result
+}
+
+// Chaos compares the paper's schemes under an identical fault-injection
+// schedule: lossy signalling (with retries), node crashes, partitions and
+// edge faults. Every affected connection must reach a terminal state —
+// switched, re-routed or dropped — so the run terminates; the per-scheme
+// split is the dependability comparison.
+type Chaos struct {
+	Params ChaosParams
+	Rows   []ChaosRow
+}
+
+// DefaultChaosSchedule returns a moderate chaos script: 10% signalling
+// loss for the whole run, one node crash with restart, and one partition
+// that heals. Times are scenario minutes.
+func DefaultChaosSchedule(seed int64) *faultinject.Schedule {
+	return &faultinject.Schedule{
+		Seed:       seed,
+		TimeUnit:   "minutes",
+		Signal:     &faultinject.SignalFaults{Drop: 0.1, Retries: 3},
+		Crashes:    []faultinject.CrashEvent{{Node: 3, At: 200, Restart: 230}},
+		Partitions: []faultinject.Partition{{Group: []int{0, 1, 2}, At: 260, Heal: 290}},
+	}
+}
+
+// RunChaos runs the dependability comparison across the paper's three
+// schemes, replaying the identical traffic scenario and chaos schedule
+// for each.
+func RunChaos(p ChaosParams) (*Chaos, error) {
+	p.setDefaults()
+	sched := p.Schedule
+	if sched == nil {
+		sched = p.Chaos
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("experiments: chaos run needs a schedule")
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := p.Topology()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := p.generateScenario(scenario.UT, p.Lambda)
+	if err != nil {
+		return nil, err
+	}
+
+	specs := PaperSchemes()
+	out := &Chaos{Params: p}
+	results := make([]*sim.Result, len(specs))
+	flushes := make([]func(), len(specs))
+	err = runParallel(p.workerCount(), len(specs), func(i int) error {
+		spec := specs[i]
+		net, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
+		if err != nil {
+			return err
+		}
+		tracer, flush := cellTracer(p.Telemetry)
+		res, err := sim.Run(net, spec.New(p.cellSeed("scheme/"+spec.Name)), sc, sim.Config{
+			Warmup:      p.Warmup,
+			ManagerOpts: spec.ManagerOpts,
+			Telemetry:   tracer,
+			Chaos:       sched,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: chaos %s: %w", spec.Name, err)
+		}
+		results[i] = res
+		flushes[i] = flush
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		flushes[i]()
+		out.Rows = append(out.Rows, ChaosRow{Scheme: spec.Name, Result: results[i]})
+	}
+	return out, nil
+}
+
+// Table renders per-scheme dependability under the chaos schedule.
+func (c *Chaos) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Dependability under chaos (E=%.0f, lambda=%.2f, seed=%d)",
+			c.Params.Degree, c.Params.Lambda, c.Params.Seed),
+		"scheme", "availability", "accepted", "affected", "switched", "dropped",
+		"sigRetries", "sigTimeouts")
+	for _, r := range c.Rows {
+		t.AddRow(r.Scheme, r.Result.Availability, r.Result.Stats.Accepted,
+			r.Result.FailureAffected, r.Result.Switched, r.Result.Dropped,
+			r.Result.Stats.SignalRetries, r.Result.Stats.SignalTimeouts)
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/telemetry"
+)
+
+func tinyChaosParams() ChaosParams {
+	return ChaosParams{
+		Params:   tinyParams(),
+		Lambda:   0.3,
+		Schedule: DefaultChaosSchedule(3),
+	}
+}
+
+func TestRunChaosProducesAllSchemes(t *testing.T) {
+	c, err := RunChaos(tinyChaosParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per scheme", len(c.Rows))
+	}
+	for _, r := range c.Rows {
+		if r.Result == nil || r.Result.Stats.Accepted == 0 {
+			t.Fatalf("scheme %s: empty result", r.Scheme)
+		}
+		if r.Result.Stats.SignalRetries == 0 {
+			t.Fatalf("scheme %s: chaos signalling produced no retries", r.Scheme)
+		}
+	}
+	var rendered bytes.Buffer
+	if err := c.Table().Render(&rendered); err != nil || rendered.Len() == 0 {
+		t.Fatalf("table render: %v (%d bytes)", err, rendered.Len())
+	}
+}
+
+func TestRunChaosNeedsSchedule(t *testing.T) {
+	p := tinyChaosParams()
+	p.Schedule = nil
+	if _, err := RunChaos(p); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	// Params.Chaos is the fallback when ChaosParams.Schedule is unset.
+	p.Chaos = DefaultChaosSchedule(3)
+	if _, err := RunChaos(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelChaosDeterminism is the acceptance criterion for the chaos
+// layer's engine integration: the same seed and schedule produce
+// byte-identical JSONL telemetry at any worker count.
+func TestParallelChaosDeterminism(t *testing.T) {
+	run := func(workers int) (*Chaos, []byte) {
+		p := tinyChaosParams()
+		p.Workers = workers
+		var jsonl bytes.Buffer
+		sink := telemetry.NewJSONL(&jsonl)
+		p.Telemetry = telemetry.NewTracer(sink)
+		c, err := RunChaos(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return c, jsonl.Bytes()
+	}
+	serial, sj := run(1)
+	parallel, pj := run(8)
+	if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+		t.Fatalf("chaos rows differ between workers=1 and workers=8:\n%+v\n%+v",
+			serial.Rows, parallel.Rows)
+	}
+	if len(sj) == 0 {
+		t.Fatal("chaos run emitted no telemetry")
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("JSONL telemetry differs between workers=1 (%d bytes) and workers=8 (%d bytes)",
+			len(sj), len(pj))
+	}
+}

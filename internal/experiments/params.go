@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/faultinject"
 	"github.com/rtcl/drtp/internal/flood"
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
@@ -64,6 +65,11 @@ type Params struct {
 	// forwards to this tracer in deterministic cell order, so one tracer
 	// safely observes a whole sweep.
 	Telemetry *telemetry.Tracer
+	// Chaos, when non-nil, applies the fault-injection schedule to every
+	// cell run (see sim.Config.Chaos). The schedule seed, not the worker
+	// assignment, drives its randomness, so results stay bit-identical at
+	// any worker count.
+	Chaos *faultinject.Schedule
 }
 
 // DefaultParams returns the paper's evaluation setting for the given
@@ -163,6 +169,7 @@ func runCell(p Params, g *graph.Graph, spec SchemeSpec, sc *scenario.Scenario) (
 		EvalInterval: p.EvalInterval,
 		ManagerOpts:  spec.ManagerOpts,
 		Telemetry:    p.Telemetry,
+		Chaos:        p.Chaos,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)

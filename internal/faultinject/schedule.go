@@ -1,0 +1,334 @@
+// Package faultinject is the deterministic chaos layer: a seeded,
+// scriptable fault schedule applied to any transport.Transport, plus the
+// translation of node crashes, network partitions and edge faults into
+// the simulator's destructive failure timeline.
+//
+// A Schedule is declarative JSON (see Parse) and every random decision is
+// drawn from an rng.Split-derived stream, so a chaos run is a pure
+// function of (seed, schedule, workload) — bit-reproducible and
+// shrinkable, the same discipline as the experiment engine. The package
+// is part of drtplint's determinism domain: it never reads the wall
+// clock (callers inject a clock) and never draws from the global rand.
+package faultinject
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/rng"
+)
+
+// SignalFaults models lossy signalling round trips for the centralized
+// drtp.Manager (which has no packet transport to inject into): each
+// round trip is lost with probability Drop and retried up to Retries
+// attempts before the operation is reported failed.
+type SignalFaults struct {
+	// Drop is the per-attempt loss probability in [0,1).
+	Drop float64 `json:"drop"`
+	// Retries is the total attempt budget per round trip (default 3).
+	Retries int `json:"retries,omitempty"`
+}
+
+// LinkRule applies per-message faults to packets sent from one node to
+// another. From/To of -1 match any node. A rule is active inside
+// [Start, End); End of 0 means forever.
+type LinkRule struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Drop, Dup and Reorder are per-message probabilities in [0,1].
+	Drop    float64 `json:"drop,omitempty"`
+	Dup     float64 `json:"dup,omitempty"`
+	Reorder float64 `json:"reorder,omitempty"`
+	// Delay holds each matched message back by this many time units
+	// (see Schedule.TimeUnit) before delivery, escaping FIFO order.
+	Delay float64 `json:"delay,omitempty"`
+	// Hello extends the rule to hello keep-alives. The default exempts
+	// them so loss exercises signalling timeouts rather than tripping the
+	// hello-based failure detector.
+	Hello bool    `json:"hello,omitempty"`
+	Start float64 `json:"start,omitempty"`
+	End   float64 `json:"end,omitempty"`
+}
+
+// matches reports whether the rule applies to a message from->to at t.
+func (r *LinkRule) matches(from, to graph.NodeID, t float64) bool {
+	if r.From >= 0 && graph.NodeID(r.From) != from {
+		return false
+	}
+	if r.To >= 0 && graph.NodeID(r.To) != to {
+		return false
+	}
+	if t < r.Start {
+		return false
+	}
+	return r.End <= 0 || t < r.End
+}
+
+// CrashEvent takes a node down at At: every message to or from it is
+// dropped (hellos included, so neighbors detect the failure) until
+// Restart. Restart of 0 means the node never comes back.
+type CrashEvent struct {
+	Node    int     `json:"node"`
+	At      float64 `json:"at"`
+	Restart float64 `json:"restart,omitempty"`
+}
+
+// Partition splits the network at At: messages between Group and the
+// rest of the nodes are dropped (hellos included) until Heal. Heal of 0
+// means the partition never heals.
+type Partition struct {
+	Group []int   `json:"group"`
+	At    float64 `json:"at"`
+	Heal  float64 `json:"heal,omitempty"`
+}
+
+// contains reports whether the partition group includes node n.
+func (p *Partition) contains(n graph.NodeID) bool {
+	for _, g := range p.Group {
+		if graph.NodeID(g) == n {
+			return true
+		}
+	}
+	return false
+}
+
+// severs reports whether the partition separates a from b at time t.
+func (p *Partition) severs(a, b graph.NodeID, t float64) bool {
+	if t < p.At || (p.Heal > 0 && t >= p.Heal) {
+		return false
+	}
+	return p.contains(a) != p.contains(b)
+}
+
+// EdgeFault fails the data-plane edge between two nodes at At, repaired
+// at Repair (0 = never). Unlike crashes and partitions it does not touch
+// the signalling transport: it feeds the simulator's destructive
+// failure timeline (see EdgeWindows).
+type EdgeFault struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	At     float64 `json:"at"`
+	Repair float64 `json:"repair,omitempty"`
+}
+
+// Schedule is a complete declarative chaos script.
+type Schedule struct {
+	// Seed drives every random decision; all streams are rng.Split
+	// derivations of it.
+	Seed int64 `json:"seed"`
+	// TimeUnit documents the unit of the At/Start/Restart/... fields
+	// ("minutes" for simulator schedules, "seconds" for live drtpnode
+	// deployments). Informative only.
+	TimeUnit   string        `json:"time_unit,omitempty"`
+	Signal     *SignalFaults `json:"signal,omitempty"`
+	Links      []LinkRule    `json:"links,omitempty"`
+	Crashes    []CrashEvent  `json:"crashes,omitempty"`
+	Partitions []Partition   `json:"partitions,omitempty"`
+	Edges      []EdgeFault   `json:"edges,omitempty"`
+}
+
+// Validate checks rates, node IDs and time windows.
+func (s *Schedule) Validate() error {
+	if s.Signal != nil {
+		if s.Signal.Drop < 0 || s.Signal.Drop >= 1 {
+			return fmt.Errorf("faultinject: signal drop %g out of [0,1)", s.Signal.Drop)
+		}
+		if s.Signal.Retries < 0 {
+			return fmt.Errorf("faultinject: negative signal retries %d", s.Signal.Retries)
+		}
+	}
+	for i, r := range s.Links {
+		if r.From < -1 || r.To < -1 {
+			return fmt.Errorf("faultinject: links[%d]: node below -1", i)
+		}
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"drop", r.Drop}, {"dup", r.Dup}, {"reorder", r.Reorder}} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("faultinject: links[%d]: %s %g out of [0,1]", i, p.name, p.v)
+			}
+		}
+		if r.Delay < 0 {
+			return fmt.Errorf("faultinject: links[%d]: negative delay %g", i, r.Delay)
+		}
+		if r.Start < 0 || (r.End != 0 && r.End <= r.Start) {
+			return fmt.Errorf("faultinject: links[%d]: window [%g,%g) invalid", i, r.Start, r.End)
+		}
+	}
+	for i, c := range s.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("faultinject: crashes[%d]: negative node %d", i, c.Node)
+		}
+		if c.At < 0 || (c.Restart != 0 && c.Restart <= c.At) {
+			return fmt.Errorf("faultinject: crashes[%d]: window [%g,%g) invalid", i, c.At, c.Restart)
+		}
+	}
+	for i, p := range s.Partitions {
+		if len(p.Group) == 0 {
+			return fmt.Errorf("faultinject: partitions[%d]: empty group", i)
+		}
+		for _, n := range p.Group {
+			if n < 0 {
+				return fmt.Errorf("faultinject: partitions[%d]: negative node %d", i, n)
+			}
+		}
+		if p.At < 0 || (p.Heal != 0 && p.Heal <= p.At) {
+			return fmt.Errorf("faultinject: partitions[%d]: window [%g,%g) invalid", i, p.At, p.Heal)
+		}
+	}
+	for i, e := range s.Edges {
+		if e.From < 0 || e.To < 0 || e.From == e.To {
+			return fmt.Errorf("faultinject: edges[%d]: bad endpoints %d-%d", i, e.From, e.To)
+		}
+		if e.At < 0 || (e.Repair != 0 && e.Repair <= e.At) {
+			return fmt.Errorf("faultinject: edges[%d]: window [%g,%g) invalid", i, e.At, e.Repair)
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a JSON schedule. Unknown fields are
+// rejected so spec typos fail loudly instead of silently injecting
+// nothing.
+func Parse(data []byte) (*Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faultinject: parse schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a schedule file.
+func Load(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: %w", err)
+	}
+	return Parse(data)
+}
+
+// Encode renders the schedule as indented JSON.
+func (s *Schedule) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Split derives a labeled child stream from the schedule seed; a pure
+// function of (Seed, label) regardless of call order.
+func (s *Schedule) Split(label string) *rng.Source {
+	return rng.New(s.Seed).Split(label)
+}
+
+// crashed reports whether node n is down at time t.
+func (s *Schedule) crashed(n graph.NodeID, t float64) bool {
+	for i := range s.Crashes {
+		c := &s.Crashes[i]
+		if graph.NodeID(c.Node) != n {
+			continue
+		}
+		if t >= c.At && (c.Restart == 0 || t < c.Restart) {
+			return true
+		}
+	}
+	return false
+}
+
+// partitioned reports whether a and b are on opposite sides of an active
+// partition at time t.
+func (s *Schedule) partitioned(a, b graph.NodeID, t float64) bool {
+	for i := range s.Partitions {
+		if s.Partitions[i].severs(a, b, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// match returns the first link rule applying to a message from->to at t.
+func (s *Schedule) match(from, to graph.NodeID, t float64) *LinkRule {
+	for i := range s.Links {
+		if s.Links[i].matches(from, to, t) {
+			return &s.Links[i]
+		}
+	}
+	return nil
+}
+
+// EdgeWindow is one data-plane outage derived from the schedule: the
+// edge goes down at At and comes back at Repair (0 = never). Action
+// names the originating fault class for telemetry ("edge-fail",
+// "crash", "partition").
+type EdgeWindow struct {
+	Edge   graph.EdgeID
+	At     float64
+	Repair float64
+	Action string
+}
+
+// EdgeWindows resolves the schedule's crashes, partitions and edge
+// faults into concrete edge outages on g: a crash takes down every edge
+// incident to the node, a partition every edge crossing the cut. The
+// result is sorted (At, Edge, Action) so downstream timelines are
+// deterministic. Windows for nodes or edges absent from g are skipped.
+func (s *Schedule) EdgeWindows(g *graph.Graph) []EdgeWindow {
+	var out []EdgeWindow
+	edgeOf := func(u, v graph.NodeID) (graph.EdgeID, bool) {
+		l, ok := g.LinkBetween(u, v)
+		if !ok {
+			return graph.InvalidEdge, false
+		}
+		return g.Link(l).Edge, true
+	}
+	for _, e := range s.Edges {
+		if e.From >= g.NumNodes() || e.To >= g.NumNodes() {
+			continue
+		}
+		if id, ok := edgeOf(graph.NodeID(e.From), graph.NodeID(e.To)); ok {
+			out = append(out, EdgeWindow{Edge: id, At: e.At, Repair: e.Repair, Action: "edge-fail"})
+		}
+	}
+	for _, c := range s.Crashes {
+		if c.Node >= g.NumNodes() {
+			continue
+		}
+		n := graph.NodeID(c.Node)
+		for _, nbr := range g.Neighbors(n) {
+			if id, ok := edgeOf(n, nbr); ok {
+				out = append(out, EdgeWindow{Edge: id, At: c.At, Repair: c.Restart, Action: "crash"})
+			}
+		}
+	}
+	for _, p := range s.Partitions {
+		in := make(map[graph.NodeID]bool, len(p.Group))
+		for _, n := range p.Group {
+			in[graph.NodeID(n)] = true
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			fwd, _ := g.EdgeLinks(graph.EdgeID(e))
+			l := g.Link(fwd)
+			if in[l.From] != in[l.To] {
+				out = append(out, EdgeWindow{Edge: graph.EdgeID(e), At: p.At, Repair: p.Heal, Action: "partition"})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		return a.Action < b.Action
+	})
+	return out
+}

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/topology"
+)
+
+const sampleSpec = `{
+  "seed": 42,
+  "time_unit": "minutes",
+  "signal": {"drop": 0.1, "retries": 3},
+  "links": [
+    {"from": 0, "to": 1, "drop": 0.2, "dup": 0.1, "start": 10, "end": 50},
+    {"from": -1, "to": -1, "reorder": 0.05, "delay": 2, "hello": true}
+  ],
+  "crashes": [{"node": 2, "at": 100, "restart": 120}],
+  "partitions": [{"group": [0, 1], "at": 200, "heal": 220}],
+  "edges": [{"from": 1, "to": 2, "at": 30, "repair": 60}]
+}`
+
+func TestParseAndEncodeRoundTrip(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || s.Signal.Drop != 0.1 || len(s.Links) != 2 {
+		t.Fatalf("parsed schedule = %+v", s)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the schedule:\n%+v\n%+v", s, back)
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	_, err := Parse([]byte(`{"seed": 1, "linx": []}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"signal drop 1", `{"signal": {"drop": 1.0}}`},
+		{"drop above 1", `{"links": [{"from": 0, "to": 1, "drop": 1.5}]}`},
+		{"negative delay", `{"links": [{"from": 0, "to": 1, "delay": -1}]}`},
+		{"inverted window", `{"links": [{"from": 0, "to": 1, "start": 5, "end": 3}]}`},
+		{"negative node", `{"crashes": [{"node": -1, "at": 0}]}`},
+		{"restart before crash", `{"crashes": [{"node": 1, "at": 10, "restart": 5}]}`},
+		{"empty group", `{"partitions": [{"group": [], "at": 0}]}`},
+		{"self edge", `{"edges": [{"from": 1, "to": 1, "at": 0}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.spec)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestScheduleWindows(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.crashed(2, 99) || !s.crashed(2, 100) || !s.crashed(2, 119) || s.crashed(2, 120) {
+		t.Fatal("crash window wrong")
+	}
+	if s.partitioned(0, 2, 199) || !s.partitioned(0, 2, 210) || s.partitioned(0, 1, 210) {
+		t.Fatal("partition cut wrong")
+	}
+	// The first matching rule wins; rule 0 is windowed, rule 1 is not.
+	if r := s.match(0, 1, 20); r == nil || r.Drop != 0.2 {
+		t.Fatalf("match(0,1,20) = %+v", r)
+	}
+	if r := s.match(0, 1, 60); r == nil || r.Drop != 0 || r.Reorder != 0.05 {
+		t.Fatalf("match(0,1,60) = %+v", r)
+	}
+	if r := s.match(5, 4, 0); r == nil || !r.Hello {
+		t.Fatalf("wildcard rule not matched: %+v", r)
+	}
+}
+
+func TestEdgeWindows(t *testing.T) {
+	// Square 0-1-2-3-0.
+	g, err := topology.FromEdgeList(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{
+		Edges:      []EdgeFault{{From: 1, To: 2, At: 30, Repair: 60}},
+		Crashes:    []CrashEvent{{Node: 0, At: 10, Restart: 20}},
+		Partitions: []Partition{{Group: []int{0, 1}, At: 40, Heal: 50}},
+	}
+	ws := s.EdgeWindows(g)
+	// Crash of node 0 takes its 2 incident edges, the partition cuts 2
+	// edges (1-2 and 3-0), the edge fault 1.
+	if len(ws) != 5 {
+		t.Fatalf("got %d windows: %+v", len(ws), ws)
+	}
+	for i := 1; i < len(ws); i++ {
+		a, b := ws[i-1], ws[i]
+		if a.At > b.At || (a.At == b.At && a.Edge > b.Edge) {
+			t.Fatalf("windows not sorted: %+v", ws)
+		}
+	}
+	counts := map[string]int{}
+	for _, w := range ws {
+		counts[w.Action]++
+	}
+	if counts["crash"] != 2 || counts["partition"] != 2 || counts["edge-fail"] != 1 {
+		t.Fatalf("action split = %v", counts)
+	}
+	// Out-of-range nodes are skipped, not fatal.
+	s2 := &Schedule{Crashes: []CrashEvent{{Node: 99, At: 1}}}
+	if ws := s2.EdgeWindows(g); len(ws) != 0 {
+		t.Fatalf("out-of-range crash produced windows: %+v", ws)
+	}
+}

@@ -101,6 +101,11 @@ type Setup struct {
 	// Trace is the connection's span context, propagated so every router
 	// on the path stamps its telemetry with the same trace ID.
 	Trace uint64
+	// Seq is the originator's signalling sequence number. Retransmissions
+	// of the same setup reuse the Seq, so hops that already reserved the
+	// channel recognise the duplicate and forward without re-reserving
+	// (at-least-once delivery with idempotent processing).
+	Seq uint64
 }
 
 // Kind implements Message.
@@ -115,6 +120,9 @@ type SetupResult struct {
 	// FailedHop is the route index whose reservation failed (when !OK);
 	// hops before it have already been released by the teardown sweep.
 	FailedHop int
+	// Seq echoes the Setup.Seq this result answers, so the source can
+	// discard results of superseded attempts.
+	Seq uint64
 }
 
 // Kind implements Message.
@@ -131,6 +139,8 @@ type Teardown struct {
 	UpTo    int
 	// Trace is the connection's span context (see Setup.Trace).
 	Trace uint64
+	// Seq is the originator's signalling sequence number (see Setup.Seq).
+	Seq uint64
 }
 
 // Kind implements Message.
@@ -158,6 +168,8 @@ type Activate struct {
 	Hop   int
 	// Trace is the connection's span context (see Setup.Trace).
 	Trace uint64
+	// Seq is the originator's signalling sequence number (see Setup.Seq).
+	Seq uint64
 }
 
 // Kind implements Message.
@@ -168,6 +180,9 @@ type ActivateResult struct {
 	Conn   lsdb.ConnID
 	OK     bool
 	Reason string
+	// Seq echoes the Activate.Seq this result answers (see
+	// SetupResult.Seq).
+	Seq uint64
 }
 
 // Kind implements Message.

@@ -320,6 +320,7 @@ func (s *Setup) MarshalBinary() ([]byte, error) {
 	b = appendInt(b, s.Hop)
 	b = appendLinks(b, s.PrimaryLSET)
 	b = binary.AppendUvarint(b, s.Trace)
+	b = binary.AppendUvarint(b, s.Seq)
 	return b, nil
 }
 
@@ -332,6 +333,7 @@ func (s *Setup) UnmarshalBinary(data []byte) error {
 	s.Hop = r.int("Setup.Hop")
 	s.PrimaryLSET = r.links("Setup.PrimaryLSET")
 	s.Trace = r.uvarint("Setup.Trace")
+	s.Seq = r.uvarint("Setup.Seq")
 	return r.finish()
 }
 
@@ -342,6 +344,7 @@ func (s *SetupResult) MarshalBinary() ([]byte, error) {
 	b = appendBool(b, s.OK)
 	b = appendString(b, s.Reason)
 	b = appendInt(b, s.FailedHop)
+	b = binary.AppendUvarint(b, s.Seq)
 	return b, nil
 }
 
@@ -353,6 +356,7 @@ func (s *SetupResult) UnmarshalBinary(data []byte) error {
 	s.OK = r.bool("SetupResult.OK")
 	s.Reason = r.string("SetupResult.Reason")
 	s.FailedHop = r.int("SetupResult.FailedHop")
+	s.Seq = r.uvarint("SetupResult.Seq")
 	return r.finish()
 }
 
@@ -364,6 +368,7 @@ func (t *Teardown) MarshalBinary() ([]byte, error) {
 	b = appendInt(b, t.Hop)
 	b = appendInt(b, t.UpTo)
 	b = binary.AppendUvarint(b, t.Trace)
+	b = binary.AppendUvarint(b, t.Seq)
 	return b, nil
 }
 
@@ -376,6 +381,7 @@ func (t *Teardown) UnmarshalBinary(data []byte) error {
 	t.Hop = r.int("Teardown.Hop")
 	t.UpTo = r.int("Teardown.UpTo")
 	t.Trace = r.uvarint("Teardown.Trace")
+	t.Seq = r.uvarint("Teardown.Seq")
 	return r.finish()
 }
 
@@ -402,6 +408,7 @@ func (a *Activate) MarshalBinary() ([]byte, error) {
 	b = appendNodes(b, a.Route)
 	b = appendInt(b, a.Hop)
 	b = binary.AppendUvarint(b, a.Trace)
+	b = binary.AppendUvarint(b, a.Seq)
 	return b, nil
 }
 
@@ -412,6 +419,7 @@ func (a *Activate) UnmarshalBinary(data []byte) error {
 	a.Route = r.nodes("Activate.Route")
 	a.Hop = r.int("Activate.Hop")
 	a.Trace = r.uvarint("Activate.Trace")
+	a.Seq = r.uvarint("Activate.Seq")
 	return r.finish()
 }
 
@@ -420,6 +428,7 @@ func (a *ActivateResult) MarshalBinary() ([]byte, error) {
 	b := appendInt(nil, int(a.Conn))
 	b = appendBool(b, a.OK)
 	b = appendString(b, a.Reason)
+	b = binary.AppendUvarint(b, a.Seq)
 	return b, nil
 }
 
@@ -429,6 +438,7 @@ func (a *ActivateResult) UnmarshalBinary(data []byte) error {
 	a.Conn = lsdb.ConnID(r.int("ActivateResult.Conn"))
 	a.OK = r.bool("ActivateResult.OK")
 	a.Reason = r.string("ActivateResult.Reason")
+	a.Seq = r.uvarint("ActivateResult.Seq")
 	return r.finish()
 }
 

@@ -29,12 +29,13 @@ func sampleMessages() []proto.Message {
 			Hop:         1,
 			PrimaryLSET: []graph.LinkID{2, 8, 13},
 			Trace:       0xdeadbeef,
+			Seq:         21,
 		},
-		proto.SetupResult{Conn: 42, Channel: proto.Primary, OK: false, Reason: "no bandwidth", FailedHop: 2},
-		proto.Teardown{Conn: 42, Channel: proto.Backup, Route: []graph.NodeID{5, 3, 0}, Hop: 0, UpTo: -1, Trace: 7},
+		proto.SetupResult{Conn: 42, Channel: proto.Primary, OK: false, Reason: "no bandwidth", FailedHop: 2, Seq: 21},
+		proto.Teardown{Conn: 42, Channel: proto.Backup, Route: []graph.NodeID{5, 3, 0}, Hop: 0, UpTo: -1, Trace: 7, Seq: 22},
 		proto.FailureReport{Link: 9, Conns: []lsdb.ConnID{1, 2, 3}, Traces: []uint64{11, 12, 13}},
-		proto.Activate{Conn: 8, Route: []graph.NodeID{1, 2}, Hop: 1, Trace: 99},
-		proto.ActivateResult{Conn: 8, OK: true},
+		proto.Activate{Conn: 8, Route: []graph.NodeID{1, 2}, Hop: 1, Trace: 99, Seq: 23},
+		proto.ActivateResult{Conn: 8, OK: true, Seq: 23},
 	}
 }
 

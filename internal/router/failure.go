@@ -9,14 +9,16 @@ import (
 	"github.com/rtcl/drtp/internal/proto"
 )
 
-// sendHellos emits keep-alives to all live neighbors.
+// sendHellos emits keep-alives to all live neighbors. With NbrRecovery,
+// hellos keep flowing to neighbors declared down so a healed partition or
+// restarted node can revive the adjacency.
 func (r *Router) sendHellos() {
 	r.mu.Lock()
 	r.helloSeq++
 	seq := r.helloSeq
 	var nbrs []graph.NodeID
 	for _, n := range r.g.Neighbors(r.cfg.Node) {
-		if !r.downNbr[n] {
+		if r.cfg.NbrRecovery || !r.downNbr[n] {
 			nbrs = append(nbrs, n)
 		}
 	}
@@ -26,12 +28,25 @@ func (r *Router) sendHellos() {
 	}
 }
 
-// handleHello refreshes the neighbor liveness timestamp.
+// handleHello refreshes the neighbor liveness timestamp. A hello from a
+// neighbor declared down is ignored by default (the paper's model: a
+// failed link stays failed); with NbrRecovery it revives the adjacency.
 func (r *Router) handleHello(from graph.NodeID) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.downNbr[from] {
-		r.lastHello[from] = time.Now()
+	recovered := false
+	if r.downNbr[from] {
+		if !r.cfg.NbrRecovery {
+			r.mu.Unlock()
+			return
+		}
+		delete(r.downNbr, from)
+		r.markDirtyLocked()
+		recovered = true
+	}
+	r.lastHello[from] = time.Now()
+	r.mu.Unlock()
+	if recovered {
+		r.log.Info("neighbor recovered", "neighbor", int(from))
 	}
 }
 
@@ -39,6 +54,70 @@ func (r *Router) handleHello(from graph.NodeID) {
 type failureReport struct {
 	src graph.NodeID
 	msg proto.FailureReport
+}
+
+// frRetry is one failure report awaiting retransmission: the report is
+// the protocol's recovery trigger, so a lost one would strand affected
+// connections on a failed primary. It is resent on hello ticks with
+// exponentially growing spacing until the attempt budget runs out; the
+// source's switch guards absorb duplicates.
+type frRetry struct {
+	src      graph.NodeID
+	msg      proto.FailureReport
+	attempts int
+	nextAt   time.Time
+	interval time.Duration
+}
+
+// sendFailureReports transmits reports and, when retries are enabled,
+// queues them for retransmission.
+func (r *Router) sendFailureReports(reports []failureReport) {
+	for _, rep := range reports {
+		r.send(rep.src, rep.msg)
+	}
+	if r.cfg.RetryLimit < 2 || len(reports) == 0 {
+		return
+	}
+	interval := 2 * r.cfg.HelloInterval
+	r.mu.Lock()
+	for _, rep := range reports {
+		r.frPending = append(r.frPending, frRetry{
+			src:      rep.src,
+			msg:      rep.msg,
+			attempts: r.cfg.RetryLimit - 1,
+			nextAt:   time.Now().Add(interval),
+			interval: interval,
+		})
+	}
+	r.mu.Unlock()
+}
+
+// resendFailureReports retransmits due pending reports; called from the
+// router loop on every hello tick.
+func (r *Router) resendFailureReports() {
+	now := time.Now()
+	r.mu.Lock()
+	var due []failureReport
+	kept := r.frPending[:0]
+	for _, f := range r.frPending {
+		if now.Before(f.nextAt) {
+			kept = append(kept, f)
+			continue
+		}
+		due = append(due, failureReport{src: f.src, msg: f.msg})
+		f.attempts--
+		if f.attempts > 0 {
+			f.interval *= 2
+			f.nextAt = now.Add(f.interval)
+			kept = append(kept, f)
+		}
+	}
+	r.frPending = kept
+	r.mu.Unlock()
+	for _, rep := range due {
+		r.tracer.Retry(r.schemeName, 0, -1, "failure-report")
+		r.send(rep.src, rep.msg)
+	}
 }
 
 // declareDownLocked marks the adjacency to nbr failed and collects the
@@ -96,9 +175,8 @@ func (r *Router) checkNeighbors() {
 	}
 	r.mu.Unlock()
 
-	for _, rep := range reports {
-		r.send(rep.src, rep.msg)
-	}
+	r.sendFailureReports(reports)
+	r.resendFailureReports()
 }
 
 // FailLink simulates an administrative link failure towards a neighbor.
@@ -109,9 +187,7 @@ func (r *Router) FailLink(nbr graph.NodeID) {
 	r.mu.Lock()
 	reports := r.declareDownLocked(nbr)
 	r.mu.Unlock()
-	for _, rep := range reports {
-		r.send(rep.src, rep.msg)
-	}
+	r.sendFailureReports(reports)
 }
 
 // handleFailureReport switches affected connections to their backups.
@@ -132,8 +208,16 @@ func (r *Router) handleFailureReport(m proto.FailureReport) {
 func (r *Router) switchToBackup(id lsdb.ConnID, failedLink int, trace uint64) {
 	r.mu.Lock()
 	c, ok := r.conns[id]
-	if !ok || c.info.Switched || c.info.Dead || c.switching {
+	if !ok {
 		r.mu.Unlock()
+		return
+	}
+	if c.info.Switched || c.info.Dead || c.switching {
+		// A duplicate or retransmitted failure report for a connection
+		// already being (or done being) recovered.
+		tr := c.trace
+		r.mu.Unlock()
+		r.tracer.DedupHit(tr, int64(id), int(r.cfg.Node), "failure-report")
 		return
 	}
 	c.switching = true
@@ -159,9 +243,10 @@ func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, trace uint64, oldPrim
 	for i, backup := range backups {
 		if !r.activateBackup(id, backup, trace) {
 			// Release the failed attempt's registrations and any hops
-			// already converted to primary bandwidth.
-			r.teardownChannel(id, proto.Backup, backup, -1, trace)
-			r.teardownChannel(id, proto.Primary, backup, -1, trace)
+			// already converted to primary bandwidth. Recovery runs in a
+			// possibly-degraded network, so the sweeps are retransmitted.
+			r.teardownChannel(id, proto.Backup, backup, -1, trace, true)
+			r.teardownChannel(id, proto.Primary, backup, -1, trace, true)
 			continue
 		}
 		r.mu.Lock()
@@ -185,7 +270,7 @@ func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, trace uint64, oldPrim
 		r.tracer.BackupActivate(r.schemeName, trace, int64(id), failedLink, "switch")
 		// Resource reconfiguration: release what the failed primary still
 		// holds on surviving links.
-		r.teardownChannel(id, proto.Primary, oldPrimary, -1, trace)
+		r.teardownChannel(id, proto.Primary, oldPrimary, -1, trace, true)
 		return
 	}
 
@@ -200,14 +285,16 @@ func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, trace uint64, oldPrim
 	r.mu.Unlock()
 	r.log.Error("connection lost", "conn", int64(id), "backupsTried", len(backups))
 	r.tracer.ActivationDenied(r.schemeName, trace, int64(id), failedLink, "dropped")
-	r.teardownChannel(id, proto.Primary, oldPrimary, -1, trace)
+	r.teardownChannel(id, proto.Primary, oldPrimary, -1, trace, true)
 }
 
-// activateBackup runs one activation round trip.
+// activateBackup runs one activation round trip, retransmitting timed-out
+// attempts under the same backoff-and-dedup discipline as setupChannel.
 func (r *Router) activateBackup(id lsdb.ConnID, backup graph.Path, trace uint64) bool {
 	ch := make(chan proto.ActivateResult, 1)
 	r.mu.Lock()
-	r.pendingAct[id] = ch
+	seq := r.nextSeqLocked()
+	r.pendingAct[id] = pendingActivation{ch: ch, seq: seq}
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
@@ -215,42 +302,85 @@ func (r *Router) activateBackup(id lsdb.ConnID, backup graph.Path, trace uint64)
 		r.mu.Unlock()
 	}()
 
-	r.send(r.cfg.Node, proto.Activate{
+	msg := proto.Activate{
 		Conn:  id,
 		Route: backup.Nodes(r.g),
 		Hop:   0,
 		Trace: trace,
-	})
-	select {
-	case res := <-ch:
-		return res.OK
-	case <-time.After(r.cfg.SetupTimeout):
-		return false
-	case <-r.stop:
-		return false
+		Seq:   seq,
 	}
+	attempts := r.cfg.RetryLimit
+	if attempts < 1 {
+		attempts = 1
+	}
+	deadline := time.Now().Add(r.cfg.SetupTimeout)
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			r.tracer.Retry(r.schemeName, trace, int64(id), "activate")
+		}
+		r.send(r.cfg.Node, msg)
+		timer := time.NewTimer(r.attemptTimeout(a, attempts, time.Until(deadline)))
+		select {
+		case res := <-ch:
+			timer.Stop()
+			return res.OK
+		case <-timer.C:
+		case <-r.stop:
+			timer.Stop()
+			return false
+		}
+	}
+	return false
 }
 
 // handleActivate converts one hop of a backup into primary bandwidth.
+// Like handleSetup it is idempotent: duplicates replay the recorded
+// outcome, and activates arriving after the connection's teardown are
+// discarded.
 func (r *Router) handleActivate(m proto.Activate) {
 	i := m.Hop
 	if i < 0 || i >= len(m.Route) || m.Route[i] != r.cfg.Node {
 		return
 	}
 	origin := m.Route[0]
+	key := dedupKey{kind: sigActivate, conn: m.Conn, seq: m.Seq, hop: i}
+
+	r.mu.Lock()
+	if r.entombedLocked(m.Conn, m.Seq) {
+		r.mu.Unlock()
+		r.tracer.DedupHit(m.Trace, int64(m.Conn), int(r.cfg.Node), "stale-activate")
+		return
+	}
+	if rec, dup := r.seenSig[key]; dup {
+		r.mu.Unlock()
+		r.tracer.DedupHit(m.Trace, int64(m.Conn), int(r.cfg.Node), "activate")
+		switch {
+		case !rec.ok:
+			r.send(origin, proto.ActivateResult{Conn: m.Conn, Reason: rec.reason, Seq: m.Seq})
+		case i == len(m.Route)-1:
+			r.send(origin, proto.ActivateResult{Conn: m.Conn, OK: true, Seq: m.Seq})
+		default:
+			m.Hop++
+			r.send(m.Route[i+1], m)
+		}
+		return
+	}
 	if i == len(m.Route)-1 {
+		r.recordSeenLocked(key, dedupRec{ok: true})
+		r.mu.Unlock()
 		r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), -1, "activate")
-		r.send(origin, proto.ActivateResult{Conn: m.Conn, OK: true})
+		r.send(origin, proto.ActivateResult{Conn: m.Conn, OK: true, Seq: m.Seq})
 		return
 	}
 	next := m.Route[i+1]
 	l, ok := r.g.LinkBetween(r.cfg.Node, next)
 	if !ok {
-		r.send(origin, proto.ActivateResult{Conn: m.Conn, Reason: "no link"})
+		r.recordSeenLocked(key, dedupRec{ok: false, reason: "no link"})
+		r.mu.Unlock()
+		r.send(origin, proto.ActivateResult{Conn: m.Conn, Reason: "no link", Seq: m.Seq})
 		return
 	}
 
-	r.mu.Lock()
 	var err error
 	switch {
 	case r.downNbr[next]:
@@ -268,11 +398,14 @@ func (r *Router) handleActivate(m proto.Activate) {
 	}
 	if err == nil {
 		r.markDirtyLocked()
+		r.recordSeenLocked(key, dedupRec{ok: true})
+	} else {
+		r.recordSeenLocked(key, dedupRec{ok: false, reason: err.Error()})
 	}
 	r.mu.Unlock()
 
 	if err != nil {
-		r.send(origin, proto.ActivateResult{Conn: m.Conn, Reason: err.Error()})
+		r.send(origin, proto.ActivateResult{Conn: m.Conn, Reason: err.Error(), Seq: m.Seq})
 		return
 	}
 	r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), int(l), "activate")
@@ -280,15 +413,21 @@ func (r *Router) handleActivate(m proto.Activate) {
 	r.send(next, m)
 }
 
-// handleActivateResult completes a pending activation.
+// handleActivateResult completes a pending activation, dropping straggler
+// replies from superseded round trips.
 func (r *Router) handleActivateResult(m proto.ActivateResult) {
 	r.mu.Lock()
-	ch := r.pendingAct[m.Conn]
+	p, ok := r.pendingAct[m.Conn]
 	r.mu.Unlock()
-	if ch != nil {
-		select {
-		case ch <- m:
-		default:
-		}
+	if !ok {
+		return
+	}
+	if m.Seq != p.seq {
+		r.tracer.DedupHit(0, int64(m.Conn), int(r.cfg.Node), "stale-activate-result")
+		return
+	}
+	select {
+	case p.ch <- m:
+	default:
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
 	"github.com/rtcl/drtp/internal/proto"
+	"github.com/rtcl/drtp/internal/rng"
 	"github.com/rtcl/drtp/internal/telemetry"
 	"github.com/rtcl/drtp/internal/transport"
 )
@@ -85,6 +86,22 @@ type Config struct {
 	// SetupTimeout bounds how long Establish and Release wait for
 	// signalling round trips (default 5s).
 	SetupTimeout time.Duration
+	// RetryLimit is the total attempt budget for each signalling round
+	// trip (setup, activate): a timed-out attempt is retransmitted with
+	// jittered exponential backoff, all attempts sharing the SetupTimeout
+	// budget, so the caller-visible deadline is unchanged (default 3;
+	// 1 disables retries). Retransmissions reuse the attempt's sequence
+	// number and are absorbed by per-hop dedup, giving at-least-once
+	// delivery with idempotent processing.
+	RetryLimit int
+	// RetrySeed seeds the per-router backoff-jitter stream; the node ID
+	// is mixed in so routers sharing a seed still jitter independently.
+	RetrySeed int64
+	// NbrRecovery, when true, lets hellos from a neighbor previously
+	// declared failed revive the adjacency (crash-restart and
+	// partition-heal support). Off by default: a failed link then stays
+	// down, matching the paper's single-failure recovery model.
+	NbrRecovery bool
 	// Logger receives protocol events (establishments, failures, channel
 	// switches) with the node ID attached. Nil discards them.
 	Logger *slog.Logger
@@ -113,6 +130,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.SetupTimeout == 0 {
 		c.SetupTimeout = 5 * time.Second
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 3
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -173,6 +193,50 @@ type pendingKey struct {
 	channel proto.ChannelKind
 }
 
+// pendingSetup pairs a setup's result channel with the sequence number it
+// was sent under, so stale results from superseded attempts are ignored.
+type pendingSetup struct {
+	ch  chan proto.SetupResult
+	seq uint64
+}
+
+// pendingActivation is the activation counterpart of pendingSetup.
+type pendingActivation struct {
+	ch  chan proto.ActivateResult
+	seq uint64
+}
+
+// Signalling kinds for dedup keys.
+const (
+	sigSetup uint8 = iota + 1
+	sigTeardown
+	sigActivate
+)
+
+// Bounds for the dedup structures: FIFO eviction keeps memory constant on
+// long runs while comfortably outlasting any in-flight retransmission.
+const (
+	maxSeenSig    = 8192
+	maxTombstones = 4096
+)
+
+// dedupKey identifies one hop-level processing of one signalling message;
+// a retransmission maps to the same key.
+type dedupKey struct {
+	kind    uint8
+	conn    lsdb.ConnID
+	channel proto.ChannelKind
+	seq     uint64
+	hop     int
+}
+
+// dedupRec remembers the outcome of the first processing so a duplicate
+// replays the same reply (or re-forward) without touching state again.
+type dedupRec struct {
+	ok     bool
+	reason string
+}
+
 // Router is one DRTP node.
 type Router struct {
 	cfg Config
@@ -190,9 +254,24 @@ type Router struct {
 	// dirty marks the local view changed since the last advert; guarded by mu.
 	dirty bool
 	// pending holds per-setup result channels; guarded by mu.
-	pending map[pendingKey]chan proto.SetupResult
+	pending map[pendingKey]pendingSetup
 	// pendingAct holds per-activation result channels; guarded by mu.
-	pendingAct map[lsdb.ConnID]chan proto.ActivateResult
+	pendingAct map[lsdb.ConnID]pendingActivation
+	// sigSeq numbers signalling round trips originated here; guarded by mu.
+	sigSeq uint64
+	// seenSig dedups hop-level signalling processing (at-least-once
+	// delivery, idempotent handling); FIFO-bounded; guarded by mu.
+	seenSig   map[dedupKey]dedupRec
+	seenOrder []dedupKey
+	// tombstones records, per connection, the highest teardown sequence
+	// processed here, so stale setups and activates that a reordering
+	// transport delivers after the teardown cannot resurrect reservations;
+	// FIFO-bounded; guarded by mu.
+	tombstones map[lsdb.ConnID]uint64
+	tombOrder  []lsdb.ConnID
+	// frPending holds failure reports awaiting retransmission (resent on
+	// hello ticks with exponential spacing); guarded by mu.
+	frPending []frRetry
 	// conns records connections originated here; guarded by mu.
 	conns map[lsdb.ConnID]*conn
 	// transitPrim maps outgoing links to transit reservations; guarded by mu.
@@ -213,6 +292,11 @@ type Router struct {
 	// method on them is nil-safe).
 	mEstablishSeconds *telemetry.Histogram
 	mActiveConns      *telemetry.Gauge
+
+	// retryRNG jitters retransmission backoff; guarded by retryMu (drawn
+	// from Establish/switch goroutines, not the router loop).
+	retryMu  sync.Mutex
+	retryRNG *rng.Source
 
 	stop chan struct{}
 	done chan struct{}
@@ -239,8 +323,10 @@ func New(cfg Config, ep transport.Endpoint) (*Router, error) {
 		db:          db,
 		view:        make([]linkView, cfg.Graph.NumLinks()),
 		seqSeen:     make(map[graph.NodeID]uint64),
-		pending:     make(map[pendingKey]chan proto.SetupResult),
-		pendingAct:  make(map[lsdb.ConnID]chan proto.ActivateResult),
+		pending:     make(map[pendingKey]pendingSetup),
+		pendingAct:  make(map[lsdb.ConnID]pendingActivation),
+		seenSig:     make(map[dedupKey]dedupRec),
+		tombstones:  make(map[lsdb.ConnID]uint64),
 		conns:       make(map[lsdb.ConnID]*conn),
 		transitPrim: make(map[graph.LinkID]map[lsdb.ConnID]transitRec),
 		lastHello:   make(map[graph.NodeID]time.Time),
@@ -251,6 +337,9 @@ func New(cfg Config, ep transport.Endpoint) (*Router, error) {
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	// New(seed).Split(label) is a pure function of (seed, label), so
+	// routers sharing RetrySeed still draw independent jitter streams.
+	r.retryRNG = rng.New(cfg.RetrySeed).Split(fmt.Sprintf("retry/%d", int(cfg.Node)))
 	if cfg.Metrics != nil {
 		r.mEstablishSeconds = cfg.Metrics.Histogram("drtp_router_establish_seconds",
 			"Latency of successful DR-connection establishments.", nil)
@@ -373,4 +462,80 @@ func (r *Router) dispatch(env proto.Envelope) {
 // send transmits best-effort; signalling losses surface as timeouts.
 func (r *Router) send(to graph.NodeID, msg proto.Message) {
 	_ = r.ep.Send(to, msg)
+}
+
+// nextSeqLocked issues the next signalling sequence number. Sequence
+// numbers are router-global and monotonic, so a connection's teardown
+// always outranks its setup and any later reuse of the connection ID
+// starts above existing tombstones.
+func (r *Router) nextSeqLocked() uint64 {
+	r.sigSeq++
+	return r.sigSeq
+}
+
+// recordSeenLocked stores the outcome of a first processing, evicting the
+// oldest record when the dedup window is full.
+func (r *Router) recordSeenLocked(k dedupKey, rec dedupRec) {
+	if _, dup := r.seenSig[k]; dup {
+		r.seenSig[k] = rec
+		return
+	}
+	if len(r.seenOrder) >= maxSeenSig {
+		old := r.seenOrder[0]
+		r.seenOrder = r.seenOrder[1:]
+		delete(r.seenSig, old)
+	}
+	r.seenSig[k] = rec
+	r.seenOrder = append(r.seenOrder, k)
+}
+
+// recordTombstoneLocked raises the connection's teardown high-water mark.
+func (r *Router) recordTombstoneLocked(id lsdb.ConnID, seq uint64) {
+	if old, ok := r.tombstones[id]; ok {
+		if seq > old {
+			r.tombstones[id] = seq
+		}
+		return
+	}
+	if len(r.tombOrder) >= maxTombstones {
+		old := r.tombOrder[0]
+		r.tombOrder = r.tombOrder[1:]
+		delete(r.tombstones, old)
+	}
+	r.tombstones[id] = seq
+	r.tombOrder = append(r.tombOrder, id)
+}
+
+// entombedLocked reports whether a message with the given sequence is
+// stale relative to the connection's processed teardowns.
+func (r *Router) entombedLocked(id lsdb.ConnID, seq uint64) bool {
+	ts, ok := r.tombstones[id]
+	return ok && seq <= ts
+}
+
+// attemptTimeout returns how long attempt (0-based, of attempts total)
+// waits for a reply: the SetupTimeout budget is split across attempts in
+// 1:2:4:... proportion with ±20% jitter, clamped to the remaining budget;
+// the final attempt absorbs whatever remains so the caller-visible
+// deadline stays at SetupTimeout.
+func (r *Router) attemptTimeout(attempt, attempts int, remaining time.Duration) time.Duration {
+	if remaining <= 0 {
+		return 0
+	}
+	if attempt >= attempts-1 {
+		return remaining
+	}
+	share := float64(r.cfg.SetupTimeout) *
+		float64(uint64(1)<<attempt) / float64(uint64(1)<<attempts-1)
+	r.retryMu.Lock()
+	jitter := 0.8 + 0.4*r.retryRNG.Float64()
+	r.retryMu.Unlock()
+	d := time.Duration(share * jitter)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > remaining {
+		d = remaining
+	}
+	return d
 }

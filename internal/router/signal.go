@@ -1,6 +1,7 @@
 package router
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -91,7 +92,9 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 		}
 	}
 	if len(backups) == 0 {
-		r.teardownChannel(id, proto.Primary, primary, -1, trace)
+		// Retransmit the rollback sweep only when the backup failure was a
+		// timeout: the signalling path is then known lossy.
+		r.teardownChannel(id, proto.Primary, primary, -1, trace, errors.Is(firstErr, ErrTimeout))
 		r.tracer.ConnReject(r.schemeName, trace, int64(id), "no-backup")
 		if firstErr != nil {
 			return ConnInfo{}, fmt.Errorf("%w: %v", ErrNoBackup, firstErr)
@@ -158,20 +161,24 @@ func (r *Router) Release(id lsdb.ConnID) error {
 	// bandwidth (the activated backup after a switch); backupPaths only
 	// the still-registered backup channels.
 	_ = info
-	r.teardownChannel(id, proto.Primary, primary, -1, trace)
+	r.teardownChannel(id, proto.Primary, primary, -1, trace, false)
 	for _, b := range backups {
-		r.teardownChannel(id, proto.Backup, b, -1, trace)
+		r.teardownChannel(id, proto.Backup, b, -1, trace, false)
 	}
 	r.tracer.ConnTeardown(r.schemeName, trace, int64(id))
 	return nil
 }
 
-// setupChannel runs one hop-by-hop setup and waits for the result.
+// setupChannel runs one hop-by-hop setup round trip, retransmitting timed
+// out attempts with jittered exponential backoff. All attempts share the
+// SetupTimeout budget and the same sequence number, so the caller-visible
+// deadline is unchanged and duplicates are absorbed by per-hop dedup.
 func (r *Router) setupChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, lset []graph.LinkID, trace uint64) error {
 	key := pendingKey{conn: id, channel: kind}
 	ch := make(chan proto.SetupResult, 1)
 	r.mu.Lock()
-	r.pending[key] = ch
+	seq := r.nextSeqLocked()
+	r.pending[key] = pendingSetup{ch: ch, seq: seq}
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
@@ -179,33 +186,55 @@ func (r *Router) setupChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph
 		r.mu.Unlock()
 	}()
 
-	r.send(r.cfg.Node, proto.Setup{
+	msg := proto.Setup{
 		Conn:        id,
 		Channel:     kind,
 		Route:       path.Nodes(r.g),
 		Hop:         0,
 		PrimaryLSET: lset,
 		Trace:       trace,
-	})
-	select {
-	case res := <-ch:
-		if !res.OK {
-			// Roll back the hops reserved before the failure.
-			r.teardownChannel(id, kind, path, res.FailedHop, trace)
-			return fmt.Errorf("router: %s setup rejected at hop %d: %s", kind, res.FailedHop, res.Reason)
-		}
-		return nil
-	case <-time.After(r.cfg.SetupTimeout):
-		r.teardownChannel(id, kind, path, -1, trace)
-		return ErrTimeout
-	case <-r.stop:
-		return ErrClosed
+		Seq:         seq,
 	}
+	attempts := r.cfg.RetryLimit
+	if attempts < 1 {
+		attempts = 1
+	}
+	deadline := time.Now().Add(r.cfg.SetupTimeout)
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			r.tracer.Retry(r.schemeName, trace, int64(id), "setup")
+		}
+		r.send(r.cfg.Node, msg)
+		timer := time.NewTimer(r.attemptTimeout(a, attempts, time.Until(deadline)))
+		select {
+		case res := <-ch:
+			timer.Stop()
+			if !res.OK {
+				// The reply is definitive, so roll back the hops reserved
+				// before the failure without blind retransmission.
+				r.teardownChannel(id, kind, path, res.FailedHop, trace, false)
+				return fmt.Errorf("router: %s setup rejected at hop %d: %s", kind, res.FailedHop, res.Reason)
+			}
+			return nil
+		case <-timer.C:
+		case <-r.stop:
+			timer.Stop()
+			return ErrClosed
+		}
+	}
+	// Every attempt timed out: sweep the whole route. Stragglers of the
+	// final attempt trail this teardown in per-pair FIFO order, and a
+	// transport that reorders past it is covered by the teardown tombstone.
+	r.teardownChannel(id, kind, path, -1, trace, true)
+	return ErrTimeout
 }
 
 // teardownChannel releases a channel's reservations along a route. upTo
-// bounds the number of out-links released (-1 = all).
-func (r *Router) teardownChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, upTo int, trace uint64) {
+// bounds the number of out-links released (-1 = all). With retry set the
+// sweep is retransmitted on a backoff schedule: teardown has no reply to
+// arm a retry on, so callers pass retry only when loss was already
+// observed; dedup absorbs the duplicates on hops the original reached.
+func (r *Router) teardownChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, upTo int, trace uint64, retry bool) {
 	nodes := path.Nodes(r.g)
 	if len(nodes) < 2 {
 		return
@@ -216,39 +245,93 @@ func (r *Router) teardownChannel(id lsdb.ConnID, kind proto.ChannelKind, path gr
 	if upTo == 0 {
 		return
 	}
-	r.send(r.cfg.Node, proto.Teardown{
+	r.mu.Lock()
+	seq := r.nextSeqLocked()
+	r.mu.Unlock()
+	msg := proto.Teardown{
 		Conn:    id,
 		Channel: kind,
 		Route:   nodes,
 		Hop:     0,
 		UpTo:    upTo,
 		Trace:   trace,
-	})
+		Seq:     seq,
+	}
+	r.send(r.cfg.Node, msg)
+	if !retry || r.cfg.RetryLimit < 2 {
+		return
+	}
+	for a := 1; a < r.cfg.RetryLimit; a++ {
+		delay := time.Duration(float64(r.cfg.SetupTimeout) *
+			float64(uint64(1)<<a) / float64(uint64(1)<<r.cfg.RetryLimit))
+		time.AfterFunc(delay, func() {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return
+			}
+			r.tracer.Retry(r.schemeName, trace, int64(id), "teardown")
+			r.send(r.cfg.Node, msg)
+		})
+	}
 }
 
-// handleSetup processes one hop of a channel setup.
+// handleSetup processes one hop of a channel setup. Processing is
+// idempotent: a retransmission replays the first attempt's outcome (reply
+// or forward) without touching reservation state, and a setup arriving
+// after the connection's teardown (reordering transport) is discarded.
 func (r *Router) handleSetup(m proto.Setup) {
 	i := m.Hop
 	if i < 0 || i >= len(m.Route) || m.Route[i] != r.cfg.Node {
 		return
 	}
 	origin := m.Route[0]
+	key := dedupKey{kind: sigSetup, conn: m.Conn, channel: m.Channel, seq: m.Seq, hop: i}
+
+	r.mu.Lock()
+	if r.entombedLocked(m.Conn, m.Seq) {
+		r.mu.Unlock()
+		r.tracer.DedupHit(m.Trace, int64(m.Conn), int(r.cfg.Node), "stale-setup")
+		return
+	}
+	if rec, dup := r.seenSig[key]; dup {
+		r.mu.Unlock()
+		r.tracer.DedupHit(m.Trace, int64(m.Conn), int(r.cfg.Node), "setup")
+		// Replay the recorded outcome: the retransmission still needs the
+		// reply (or forward) its lost predecessor never produced.
+		switch {
+		case !rec.ok:
+			r.send(origin, proto.SetupResult{
+				Conn: m.Conn, Channel: m.Channel, FailedHop: i, Reason: rec.reason, Seq: m.Seq,
+			})
+		case i == len(m.Route)-1:
+			r.send(origin, proto.SetupResult{Conn: m.Conn, Channel: m.Channel, OK: true, Seq: m.Seq})
+		default:
+			m.Hop++
+			r.send(m.Route[i+1], m)
+		}
+		return
+	}
 	if i == len(m.Route)-1 {
+		r.recordSeenLocked(key, dedupRec{ok: true})
+		r.mu.Unlock()
 		r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), -1, m.Channel.String())
-		r.send(origin, proto.SetupResult{Conn: m.Conn, Channel: m.Channel, OK: true})
+		r.send(origin, proto.SetupResult{Conn: m.Conn, Channel: m.Channel, OK: true, Seq: m.Seq})
 		return
 	}
 	next := m.Route[i+1]
 	l, ok := r.g.LinkBetween(r.cfg.Node, next)
 	if !ok {
+		reason := fmt.Sprintf("no link %d->%d", r.cfg.Node, next)
+		r.recordSeenLocked(key, dedupRec{ok: false, reason: reason})
+		r.mu.Unlock()
 		r.send(origin, proto.SetupResult{
-			Conn: m.Conn, Channel: m.Channel, FailedHop: i,
-			Reason: fmt.Sprintf("no link %d->%d", r.cfg.Node, next),
+			Conn: m.Conn, Channel: m.Channel, FailedHop: i, Reason: reason, Seq: m.Seq,
 		})
 		return
 	}
 
-	r.mu.Lock()
 	var err error
 	switch {
 	case r.downNbr[next]:
@@ -265,12 +348,15 @@ func (r *Router) handleSetup(m proto.Setup) {
 	}
 	if err == nil {
 		r.markDirtyLocked()
+		r.recordSeenLocked(key, dedupRec{ok: true})
+	} else {
+		r.recordSeenLocked(key, dedupRec{ok: false, reason: err.Error()})
 	}
 	r.mu.Unlock()
 
 	if err != nil {
 		r.send(origin, proto.SetupResult{
-			Conn: m.Conn, Channel: m.Channel, FailedHop: i, Reason: err.Error(),
+			Conn: m.Conn, Channel: m.Channel, FailedHop: i, Reason: err.Error(), Seq: m.Seq,
 		})
 		return
 	}
@@ -279,32 +365,55 @@ func (r *Router) handleSetup(m proto.Setup) {
 	r.send(next, m)
 }
 
-// handleSetupResult completes a pending setup round trip.
+// handleSetupResult completes a pending setup round trip; replies whose
+// sequence does not match the pending attempt are stragglers from a
+// superseded round trip and are dropped.
 func (r *Router) handleSetupResult(m proto.SetupResult) {
 	r.mu.Lock()
-	ch := r.pending[pendingKey{conn: m.Conn, channel: m.Channel}]
+	p, ok := r.pending[pendingKey{conn: m.Conn, channel: m.Channel}]
 	r.mu.Unlock()
-	if ch != nil {
-		select {
-		case ch <- m:
-		default:
-		}
+	if !ok {
+		return
+	}
+	if m.Seq != p.seq {
+		r.tracer.DedupHit(0, int64(m.Conn), int(r.cfg.Node), "stale-setup-result")
+		return
+	}
+	select {
+	case p.ch <- m:
+	default:
 	}
 }
 
-// handleTeardown releases one hop and forwards the sweep.
+// handleTeardown releases one hop and forwards the sweep. The release is
+// deduped, but even a duplicate keeps forwarding: a retransmitted sweep
+// must still reach hops the lost original never visited. Every teardown
+// raises the connection's tombstone so late-arriving setups and activates
+// cannot resurrect swept reservations.
 func (r *Router) handleTeardown(m proto.Teardown) {
 	i := m.Hop
 	if i < 0 || i >= len(m.Route)-1 || m.Route[i] != r.cfg.Node || i >= m.UpTo {
 		return
 	}
 	next := m.Route[i+1]
-	if l, ok := r.g.LinkBetween(r.cfg.Node, next); ok {
-		r.mu.Lock()
-		r.releaseLocalLocked(m.Conn, m.Channel, l)
-		r.markDirtyLocked()
-		r.mu.Unlock()
-		r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), int(l), "teardown")
+	key := dedupKey{kind: sigTeardown, conn: m.Conn, channel: m.Channel, seq: m.Seq, hop: i}
+	released := graph.LinkID(-1)
+	r.mu.Lock()
+	r.recordTombstoneLocked(m.Conn, m.Seq)
+	_, dup := r.seenSig[key]
+	if !dup {
+		r.recordSeenLocked(key, dedupRec{ok: true})
+		if l, ok := r.g.LinkBetween(r.cfg.Node, next); ok {
+			r.releaseLocalLocked(m.Conn, m.Channel, l)
+			r.markDirtyLocked()
+			released = l
+		}
+	}
+	r.mu.Unlock()
+	if dup {
+		r.tracer.DedupHit(m.Trace, int64(m.Conn), int(r.cfg.Node), "teardown")
+	} else if released >= 0 {
+		r.tracer.HopSignal(m.Trace, int64(m.Conn), int(r.cfg.Node), int(released), "teardown")
 	}
 	if i+1 < m.UpTo {
 		m.Hop++

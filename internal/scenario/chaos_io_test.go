@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/faultinject"
+)
+
+func TestWriteReadChaosRoundTrip(t *testing.T) {
+	sc, err := Generate(Config{Nodes: 10, Lambda: 0.3, Duration: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Chaos = &faultinject.Schedule{
+		Seed:     7,
+		TimeUnit: "minutes",
+		Signal:   &faultinject.SignalFaults{Drop: 0.1, Retries: 3},
+		Links:    []faultinject.LinkRule{{From: -1, To: -1, Drop: 0.05}},
+		Crashes:  []faultinject.CrashEvent{{Node: 2, At: 10, Restart: 15}},
+	}
+	var buf bytes.Buffer
+	if err := sc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc.Chaos, back.Chaos) {
+		t.Fatalf("chaos schedule changed in round trip:\n%+v\n%+v", sc.Chaos, back.Chaos)
+	}
+	if len(back.Events) != len(sc.Events) {
+		t.Fatalf("events: %d -> %d", len(sc.Events), len(back.Events))
+	}
+}
+
+func TestReadRejectsInvalidChaos(t *testing.T) {
+	// A header bundling an out-of-range drop rate must fail validation.
+	in := `{"config":{"nodes":4,"lambda":0.1,"duration":1,"seed":1},"chaos":{"signal":{"drop":2.0}},"numEvents":0}` + "\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("invalid chaos accepted: %v", err)
+	}
+}
+
+func TestWriteOmitsNilChaos(t *testing.T) {
+	sc, err := Generate(Config{Nodes: 4, Lambda: 0.1, Duration: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header, _, _ := strings.Cut(buf.String(), "\n")
+	if strings.Contains(header, "chaos") {
+		t.Fatalf("nil chaos serialized: %s", header)
+	}
+}

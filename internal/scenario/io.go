@@ -7,15 +7,17 @@ import (
 	"io"
 	"os"
 
+	"github.com/rtcl/drtp/internal/faultinject"
 	"github.com/rtcl/drtp/internal/graph"
 )
 
 // fileHeader is the first line of a scenario file: the generation config
 // and the hot-destination list.
 type fileHeader struct {
-	Config          Config `json:"config"`
-	HotDestinations []int  `json:"hotDestinations,omitempty"`
-	NumEvents       int    `json:"numEvents"`
+	Config          Config                `json:"config"`
+	HotDestinations []int                 `json:"hotDestinations,omitempty"`
+	Chaos           *faultinject.Schedule `json:"chaos,omitempty"`
+	NumEvents       int                   `json:"numEvents"`
 }
 
 // Write serializes the scenario as JSON lines: one header line followed by
@@ -23,7 +25,7 @@ type fileHeader struct {
 func (s *Scenario) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	header := fileHeader{Config: s.Config, NumEvents: len(s.Events)}
+	header := fileHeader{Config: s.Config, Chaos: s.Chaos, NumEvents: len(s.Events)}
 	for _, h := range s.HotDestinations {
 		header.HotDestinations = append(header.HotDestinations, int(h))
 	}
@@ -48,7 +50,12 @@ func Read(r io.Reader) (*Scenario, error) {
 	if header.NumEvents < 0 {
 		return nil, fmt.Errorf("scenario: negative event count %d", header.NumEvents)
 	}
-	s := &Scenario{Config: header.Config}
+	if header.Chaos != nil {
+		if err := header.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: chaos schedule: %w", err)
+		}
+	}
+	s := &Scenario{Config: header.Config, Chaos: header.Chaos}
 	for _, h := range header.HotDestinations {
 		s.HotDestinations = append(s.HotDestinations, graph.NodeID(h))
 	}

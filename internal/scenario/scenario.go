@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/rtcl/drtp/internal/faultinject"
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
 	"github.com/rtcl/drtp/internal/rng"
@@ -133,6 +134,10 @@ type Scenario struct {
 	Config Config `json:"config"`
 	// HotDestinations lists the NT hot nodes (empty under UT).
 	HotDestinations []graph.NodeID `json:"hotDestinations,omitempty"`
+	// Chaos optionally bundles a fault-injection schedule with the
+	// workload, so a destructive run replays both from one file. The
+	// simulator applies it unless overridden by its own config.
+	Chaos *faultinject.Schedule `json:"chaos,omitempty"`
 	// Events is sorted by time; arrivals and departures interleave.
 	Events []Event `json:"-"`
 }

@@ -1,0 +1,124 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/faultinject"
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/routing"
+	"github.com/rtcl/drtp/internal/sim"
+	"github.com/rtcl/drtp/internal/telemetry"
+)
+
+func chaosSchedule(g *graph.Graph) *faultinject.Schedule {
+	// The edge fault must name an edge the graph actually has; take the
+	// first one.
+	fwd, _ := g.EdgeLinks(0)
+	l := g.Link(fwd)
+	return &faultinject.Schedule{
+		Seed:       9,
+		TimeUnit:   "minutes",
+		Signal:     &faultinject.SignalFaults{Drop: 0.1, Retries: 3},
+		Crashes:    []faultinject.CrashEvent{{Node: 3, At: 50, Restart: 70}},
+		Partitions: []faultinject.Partition{{Group: []int{0, 1, 2}, At: 80, Heal: 95}},
+		Edges:      []faultinject.EdgeFault{{From: int(l.From), To: int(l.To), At: 60, Repair: 75}},
+	}
+}
+
+// TestRunWithChaosSchedule drives the simulator's destructive timeline
+// from a chaos schedule: edge faults, a crash (failing the node's
+// incident edges) and a partition (cutting the crossing edges), all with
+// repairs, plus lossy signalling with retries.
+func TestRunWithChaosSchedule(t *testing.T) {
+	net := smallNetwork(t)
+	sc := smallScenario(t, 0.3)
+	buf := telemetry.NewBuffer()
+	res, err := sim.Run(net, routing.NewDLSR(), sc, sim.Config{
+		Warmup:    40,
+		Chaos:     chaosSchedule(net.Graph()),
+		Telemetry: telemetry.NewTracer(buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailuresApplied == 0 {
+		t.Fatal("chaos schedule applied no failures")
+	}
+	if res.Switched+res.Dropped != res.FailureAffected {
+		t.Fatalf("switched %d + dropped %d != affected %d",
+			res.Switched, res.Dropped, res.FailureAffected)
+	}
+	if res.Stats.SignalRetries == 0 {
+		t.Fatal("10% signalling loss produced no retries")
+	}
+	// Everything is repaired or healed by the end of the schedule.
+	if got := net.NumFailedLinks(); got != 0 {
+		t.Fatalf("failed links at end = %d, want 0 (all windows heal)", got)
+	}
+	// The trace records each applied fault window with its action label.
+	actions := map[string]int{}
+	for _, e := range telemetry.BuildTrace(buf.Events()).Faults {
+		actions[e.Reason]++
+	}
+	for _, want := range []string{"crash", "partition", "edge-fail", "repair"} {
+		if actions[want] == 0 {
+			t.Fatalf("no %q fault event in trace; saw %v", want, actions)
+		}
+	}
+}
+
+// TestRunChaosFromScenario checks the fallback: a schedule bundled in
+// the scenario file applies when the config carries none, and an
+// explicit config schedule wins over the bundled one.
+func TestRunChaosFromScenario(t *testing.T) {
+	net := smallNetwork(t)
+	sc := smallScenario(t, 0.3)
+	sc.Chaos = chaosSchedule(net.Graph())
+	res, err := sim.Run(net, routing.NewDLSR(), sc, sim.Config{Warmup: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailuresApplied == 0 {
+		t.Fatal("scenario-bundled schedule ignored")
+	}
+
+	// An explicit quiet schedule overrides the scenario's destructive one.
+	quiet := &faultinject.Schedule{Seed: 1}
+	res2, err := sim.Run(smallNetwork(t), routing.NewDLSR(), sc, sim.Config{
+		Warmup: 40,
+		Chaos:  quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FailuresApplied != 0 {
+		t.Fatalf("config override ignored: %d failures applied", res2.FailuresApplied)
+	}
+}
+
+// TestRunChaosDeterministic replays the identical chaos run twice and
+// requires identical results and telemetry streams.
+func TestRunChaosDeterministic(t *testing.T) {
+	run := func() (*sim.Result, []telemetry.Event) {
+		buf := telemetry.NewBuffer()
+		net := smallNetwork(t)
+		res, err := sim.Run(net, routing.NewDLSR(), smallScenario(t, 0.3), sim.Config{
+			Warmup:    40,
+			Chaos:     chaosSchedule(net.Graph()),
+			Telemetry: telemetry.NewTracer(buf),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Events()
+	}
+	r1, e1 := run()
+	r2, e2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same schedule, different results:\n%+v\n%+v", r1, r2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("same schedule, different event streams: %d vs %d events", len(e1), len(e2))
+	}
+}

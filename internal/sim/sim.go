@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/faultinject"
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/telemetry"
@@ -56,6 +57,13 @@ type Config struct {
 	PairSeed    int64
 	// FailureSchedule lists destructive failures to apply during the run.
 	FailureSchedule []FailureEvent
+	// Chaos, when non-nil, applies a fault-injection schedule to the run:
+	// signal faults make the manager's signalling round trips lossy
+	// (seeded from the schedule), and the schedule's crashes, partitions
+	// and edge faults become destructive edge outages on the timeline,
+	// each emitting a fault-injected telemetry event. Falls back to the
+	// scenario's bundled schedule when nil.
+	Chaos *faultinject.Schedule
 	// QoSBound, when true, gives every request the delay bound
 	// MaxHops = minimum-hop-distance(src,dst) + QoSSlack, constraining
 	// both channels (the paper's end-to-end delay QoS).
@@ -147,7 +155,21 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 		return nil, errors.New("sim: negative warmup or eval interval")
 	}
 
+	chaos := cfg.Chaos
+	if chaos == nil {
+		chaos = sc.Chaos
+	}
+	if chaos != nil {
+		if err := chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+
 	opts := cfg.ManagerOpts
+	if chaos != nil && chaos.Signal != nil {
+		opts = append(append([]drtp.ManagerOption(nil), opts...),
+			drtp.WithSignalFaults(chaos.Signal.Drop, chaos.Signal.Retries, chaos.Seed))
+	}
 	if cfg.Telemetry != nil {
 		opts = append(append([]drtp.ManagerOption(nil), opts...), drtp.WithTelemetry(cfg.Telemetry))
 		// Schemes that generate their own traffic (bounded flooding)
@@ -247,6 +269,10 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 		traffic *scenario.Event
 		fail    bool
 		edge    graph.EdgeID
+		// action labels chaos-derived outages ("edge-fail", "crash",
+		// "partition") for fault-injected telemetry; empty for plain
+		// FailureSchedule entries.
+		action string
 	}
 	timeline := make([]timelineItem, 0, len(sc.Events)+2*len(cfg.FailureSchedule))
 	for i := range sc.Events {
@@ -258,8 +284,17 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 			timeline = append(timeline, timelineItem{time: f.Repair, edge: f.Edge})
 		}
 	}
+	if chaos != nil {
+		for _, w := range chaos.EdgeWindows(net.Graph()) {
+			timeline = append(timeline, timelineItem{time: w.At, fail: true, edge: w.Edge, action: w.Action})
+			if w.Repair > w.At {
+				timeline = append(timeline, timelineItem{time: w.Repair, edge: w.Edge, action: w.Action})
+			}
+		}
+	}
 	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].time < timeline[j].time })
 
+	downCount := make(map[graph.EdgeID]int)
 	for _, item := range timeline {
 		if item.time > end {
 			break
@@ -270,7 +305,21 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 			integrate(now)
 		}
 		if item.traffic == nil {
+			if item.action != "" && cfg.Telemetry.Enabled() {
+				fwd, _ := net.Graph().EdgeLinks(item.edge)
+				action := item.action
+				if !item.fail {
+					action = "repair"
+				}
+				cfg.Telemetry.FaultInjected(-1, int(fwd), -1, action)
+			}
 			if item.fail {
+				// downCount tolerates overlapping chaos windows on one edge:
+				// only the first fail applies, only the last repair restores.
+				downCount[item.edge]++
+				if downCount[item.edge] > 1 {
+					continue
+				}
 				rec := mgr.ApplyEdgeFailure(item.edge)
 				res.FailuresApplied++
 				res.FailureAffected += int64(rec.Affected)
@@ -278,6 +327,12 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 				res.Dropped += int64(rec.Dropped)
 				res.Reestablished += int64(rec.BackupsReestablished)
 			} else {
+				if downCount[item.edge] > 0 {
+					downCount[item.edge]--
+				}
+				if downCount[item.edge] > 0 {
+					continue
+				}
 				net.RestoreEdge(item.edge)
 			}
 			continue
@@ -296,7 +351,8 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 			}
 			conn, err := mgr.Establish(req)
 			if err != nil {
-				if !errors.Is(err, drtp.ErrNoRoute) && !errors.Is(err, drtp.ErrNoBackup) {
+				if !errors.Is(err, drtp.ErrNoRoute) && !errors.Is(err, drtp.ErrNoBackup) &&
+					!errors.Is(err, drtp.ErrSignalTimeout) {
 					return nil, fmt.Errorf("sim: establish %d: %w", ev.Conn, err)
 				}
 				continue

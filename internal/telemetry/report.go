@@ -29,6 +29,12 @@ type SchemeStats struct {
 	Switched int64 `json:"switched"`
 	Dropped  int64 `json:"dropped"`
 
+	// Retries counts signalling retransmissions and DedupHits the
+	// duplicate packets absorbed by the idempotent dedup layer, across
+	// this scheme's connection spans (chaos/lossy runs only).
+	Retries   int64 `json:"retries,omitempty"`
+	DedupHits int64 `json:"dedup_hits,omitempty"`
+
 	// FaultTolerance is EvalRecovered / EvalAffected (the paper's
 	// P_act-bk); NaN-free: 0 when nothing was affected.
 	FaultTolerance float64 `json:"fault_tolerance"`
@@ -118,6 +124,10 @@ type Report struct {
 	Disruption DisruptionStats  `json:"disruption"`
 	Links      []*LinkStat      `json:"links,omitempty"`
 	Occupancy  []*OccupancyStat `json:"occupancy,omitempty"`
+	// FaultsInjected counts chaos-layer fault events by action (drop,
+	// dup, reorder, delay, crash, partition, edge-fail, edge-repair);
+	// empty for fault-free traces.
+	FaultsInjected map[string]int64 `json:"faults_injected,omitempty"`
 }
 
 // DefaultDisruptionBounds are the histogram bucket upper bounds used by
@@ -185,8 +195,23 @@ func BuildReport(tr *Trace) *Report {
 						link(e.Link).EvalDenied += int64(e.N)
 					}
 				}
+			case EvRetry:
+				st.Retries += int64(e.N)
+			case EvDedupHit:
+				st.DedupHits += int64(e.N)
 			}
 		}
+	}
+
+	for _, e := range tr.Faults {
+		if rep.FaultsInjected == nil {
+			rep.FaultsInjected = map[string]int64{}
+		}
+		action := e.Reason
+		if action == "" {
+			action = "-"
+		}
+		rep.FaultsInjected[action] += int64(e.N)
 	}
 
 	var disruptions []float64

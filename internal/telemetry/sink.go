@@ -184,6 +184,9 @@ type MetricsSink struct {
 	events    *CounterVec
 	linkFails *Counter
 	cdpDrops  *CounterVec
+	retries   *CounterVec
+	dedupHits *Counter
+	faults    *CounterVec
 }
 
 // NewMetricsSink creates a sink aggregating into reg.
@@ -195,6 +198,12 @@ func NewMetricsSink(reg *Registry) *MetricsSink {
 			"Links declared failed."),
 		cdpDrops: reg.CounterVec("drtp_cdp_drops_total",
 			"Channel-discovery packets dropped, by discarding test.", "reason"),
+		retries: reg.CounterVec("drtp_signal_retries_total",
+			"Signalling round trips retransmitted, by operation.", "op"),
+		dedupHits: reg.Counter("drtp_signal_dedup_hits_total",
+			"Duplicate signalling packets absorbed by the dedup layer."),
+		faults: reg.CounterVec("drtp_faults_injected_total",
+			"Faults applied by the chaos layer, by action.", "action"),
 	}
 }
 
@@ -214,5 +223,19 @@ func (m *MetricsSink) Record(e Event) {
 			reason = "-"
 		}
 		m.cdpDrops.With(reason).Add(int64(e.N))
+	case EvRetry:
+		op := e.Reason
+		if op == "" {
+			op = "-"
+		}
+		m.retries.With(op).Add(int64(e.N))
+	case EvDedupHit:
+		m.dedupHits.Add(int64(e.N))
+	case EvFaultInjected:
+		action := e.Reason
+		if action == "" {
+			action = "-"
+		}
+		m.faults.With(action).Add(int64(e.N))
 	}
 }

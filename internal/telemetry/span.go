@@ -70,6 +70,9 @@ type Trace struct {
 	Recoveries []*RecoverySpan `json:"recoveries"`
 	// LinkStates keeps the raw occupancy samples for occupancy reports.
 	LinkStates []Event `json:"-"`
+	// Faults keeps the raw chaos-layer fault events (fault-injected) for
+	// the report's per-action tally; they carry no connection context.
+	Faults []Event `json:"-"`
 	// Total is the number of events consumed.
 	Total int `json:"total_events"`
 }
@@ -140,6 +143,16 @@ func BuildTrace(events []Event) *Trace {
 			tr.Recoveries = append(tr.Recoveries, r)
 			recByLink[e.Link] = r
 			lastRec = r
+			continue
+		case EvFaultInjected:
+			tr.Faults = append(tr.Faults, e)
+			continue
+		case EvRetry, EvDedupHit:
+			// Join an already-open span only: a duplicate absorbed after
+			// teardown must not resurrect the span as "pending".
+			if s := open[spanKey(e)]; s != nil {
+				s.observe(e)
+			}
 			continue
 		}
 		if e.Conn < 0 {

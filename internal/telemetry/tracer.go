@@ -57,6 +57,17 @@ const (
 	// units reserved, Mux = backups multiplexed on the spare pool) at an
 	// evaluation epoch.
 	EvLinkState
+	// EvRetry records one retransmission of a signalling round trip after
+	// a timeout (Reason names the retried operation: "setup", "activate",
+	// "teardown", "failure-report").
+	EvRetry
+	// EvDedupHit records a duplicate signalling packet absorbed by the
+	// idempotent dedup layer at a hop (Reason names the packet role).
+	EvDedupHit
+	// EvFaultInjected records one fault applied by the chaos layer
+	// (Reason names the action: "drop", "dup", "reorder", "delay",
+	// "crash", "partition", "edge-fail", "edge-repair").
+	EvFaultInjected
 )
 
 var kindNames = map[EventKind]string{
@@ -75,6 +86,9 @@ var kindNames = map[EventKind]string{
 	EvConnTeardown:     "conn-teardown",
 	EvHopSignal:        "hop-signal",
 	EvLinkState:        "link-state",
+	EvRetry:            "retry",
+	EvDedupHit:         "dedup-hit",
+	EvFaultInjected:    "fault-injected",
 }
 
 // String returns the kind's stable wire name.
@@ -443,4 +457,38 @@ func (t *Tracer) LinkState(scheme string, link, prime, spare, mux int) {
 	}
 	t.Emit(Event{Kind: EvLinkState, Conn: -1, Node: -1, Link: link, Hops: -1,
 		Prime: prime, Spare: spare, Mux: mux, Scheme: scheme})
+}
+
+// Retry records one retransmission of a signalling round trip for conn:
+// op names the retried operation ("setup", "activate", "teardown",
+// "failure-report").
+func (t *Tracer) Retry(scheme string, trace uint64, conn int64, op string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvRetry, Conn: conn, Node: -1, Link: -1, Hops: -1,
+		Trace: trace, Scheme: scheme, Reason: op})
+}
+
+// DedupHit records a duplicate signalling packet absorbed at node; role
+// names the packet ("primary", "backup", "activate", "teardown").
+func (t *Tracer) DedupHit(trace uint64, conn int64, node int, role string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvDedupHit, Conn: conn, Node: node, Link: -1, Hops: -1,
+		Trace: trace, Reason: role})
+}
+
+// FaultInjected records one fault applied by the chaos layer: action
+// names it ("drop", "dup", "reorder", "delay", "crash", "partition",
+// "edge-fail", "edge-repair"), node is the sending/affected node (-1
+// when not applicable), link the affected link or edge (-1 likewise),
+// and conn the affected connection when the faulted packet carries one.
+func (t *Tracer) FaultInjected(node, link int, conn int64, action string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvFaultInjected, Conn: conn, Node: node, Link: link,
+		Hops: -1, Reason: action})
 }

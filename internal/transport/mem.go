@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/rtcl/drtp/internal/graph"
@@ -18,8 +19,10 @@ type Mem struct {
 	endpoints map[graph.NodeID]*memEndpoint
 	closed    bool
 	dropRate  float64
-	dropRNG   *rng.Source
-	dropped   int64
+	dropSeed  int64
+	// droppedPrior accumulates the drop counts of endpoints replaced by a
+	// re-Attach, so Dropped never loses history.
+	droppedPrior int64
 }
 
 // NewMem creates an empty switchboard.
@@ -30,36 +33,27 @@ func NewMem() *Mem {
 // NewLossyMem creates a switchboard that silently drops each message with
 // the given probability (deterministic in seed). Hello keep-alives are
 // never dropped, so loss exercises signalling timeouts rather than false
-// failure detections.
+// failure detections. Each endpoint draws drop decisions from its own
+// rng.Split-derived stream, consumed in that endpoint's send order — so
+// the decision sequence is independent of how sends from different nodes
+// interleave (a shared stream would make drops scheduling-dependent).
 func NewLossyMem(dropRate float64, seed int64) *Mem {
 	m := NewMem()
 	m.dropRate = dropRate
-	m.dropRNG = rng.New(seed)
+	m.dropSeed = seed
 	return m
 }
 
-// Dropped returns the number of messages dropped so far.
+// Dropped returns the number of messages dropped so far, across all
+// endpoints (including endpoints since replaced by a re-Attach).
 func (m *Mem) Dropped() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.dropped
-}
-
-// shouldDrop decides the fate of one message.
-func (m *Mem) shouldDrop(msg proto.Message) bool {
-	if m.dropRate <= 0 {
-		return false
+	n := m.droppedPrior
+	for _, ep := range m.endpoints {
+		n += ep.droppedCount()
 	}
-	if _, isHello := msg.(proto.Hello); isHello {
-		return false
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.dropRNG.Float64() < m.dropRate {
-		m.dropped++
-		return true
-	}
-	return false
+	return n
 }
 
 // Attach creates the endpoint for a node. Attaching the same node twice
@@ -70,8 +64,11 @@ func (m *Mem) Attach(node graph.NodeID) (Endpoint, error) {
 	if m.closed {
 		return nil, ErrClosed
 	}
-	if old, ok := m.endpoints[node]; ok && !old.isClosed() {
-		return nil, ErrUnknownPeer
+	if old, ok := m.endpoints[node]; ok {
+		if !old.isClosed() {
+			return nil, ErrUnknownPeer
+		}
+		m.droppedPrior += old.droppedCount()
 	}
 	ep := &memEndpoint{
 		mem:  m,
@@ -79,6 +76,12 @@ func (m *Mem) Attach(node graph.NodeID) (Endpoint, error) {
 		out:  make(chan proto.Envelope),
 		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
+	}
+	if m.dropRate > 0 {
+		// New(seed).Split(label) is a pure function of (seed, label), so
+		// the endpoint's stream does not depend on Attach order, and a
+		// re-attached (restarted) node replays the same stream.
+		ep.dropRNG = rng.New(m.dropSeed).Split(fmt.Sprintf("drop/%d", node))
 	}
 	m.endpoints[node] = ep
 	go ep.pump()
@@ -115,9 +118,11 @@ type memEndpoint struct {
 	wake chan struct{}
 	done chan struct{}
 
-	mu     sync.Mutex
-	queue  []proto.Envelope
-	closed bool
+	mu      sync.Mutex
+	queue   []proto.Envelope
+	closed  bool
+	dropRNG *rng.Source // nil when the switchboard is lossless
+	dropped int64
 }
 
 var _ Endpoint = (*memEndpoint)(nil)
@@ -134,10 +139,34 @@ func (e *memEndpoint) Send(to graph.NodeID, msg proto.Message) error {
 	if !ok {
 		return ErrUnknownPeer
 	}
-	if e.mem.shouldDrop(msg) {
+	if e.shouldDrop(msg) {
 		return nil // lost in transit; the sender cannot tell
 	}
 	return dst.enqueue(proto.Envelope{From: e.node, To: to, Msg: msg})
+}
+
+// shouldDrop decides the fate of one outgoing message using this
+// endpoint's own stream, in this endpoint's send order.
+func (e *memEndpoint) shouldDrop(msg proto.Message) bool {
+	if e.dropRNG == nil {
+		return false
+	}
+	if _, isHello := msg.(proto.Hello); isHello {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dropRNG.Float64() < e.mem.dropRate {
+		e.dropped++
+		return true
+	}
+	return false
+}
+
+func (e *memEndpoint) droppedCount() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
 }
 
 // Recv implements Endpoint.

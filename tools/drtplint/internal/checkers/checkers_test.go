@@ -7,7 +7,7 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", Determinism, "experiments", "sim", "webserver")
+	analysistest.Run(t, "testdata", Determinism, "experiments", "sim", "webserver", "faultinject")
 }
 
 func TestNilTracer(t *testing.T) {

@@ -13,7 +13,9 @@ import (
 // bit-identical contract requires every one of these packages to draw
 // randomness from label-derived rng streams, never read the wall clock,
 // and never let Go's randomized map iteration order reach results or
-// telemetry. Live-protocol packages (router, transport, telemetry's wall
+// telemetry. The chaos layer (faultinject) is in the domain too: its
+// replayability contract hinges on the injected clock and label-split rng
+// streams. Live-protocol packages (router, transport, telemetry's wall
 // clock) are deliberately outside the domain.
 var determinismDomain = map[string]bool{
 	"experiments": true,
@@ -28,6 +30,7 @@ var determinismDomain = map[string]bool{
 	"graph":       true,
 	"metrics":     true,
 	"bitvec":      true,
+	"faultinject": true,
 }
 
 // globalRandFuncs are the math/rand package-level functions backed by the
