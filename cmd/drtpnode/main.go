@@ -1,20 +1,34 @@
-// Command drtpnode runs one DRTP router as a standalone process over TCP,
-// driven by a line-oriented console on stdin. Start one process per node
-// of a shared topology file and they form a live DRTP network: link-state
-// flooding, hop-by-hop channel setup, hello-based failure detection and
-// channel switching.
+// Command drtpnode runs one process of a live DRTP deployment over TCP,
+// driven by a line-oriented console on stdin. The -role flag selects
+// what the process is:
 //
-// Usage:
+//   - "all" (default): a standalone router, exactly the historical
+//     behavior; when -services is given it additionally runs the node
+//     agent so the process participates in the control plane.
+//   - "node": a router plus its control-plane agent (requires -services).
+//   - "routefinder": the route-finder service owning the network-wide
+//     link-state snapshot and answering route queries.
+//   - "setup": the setup coordinator driving hop-by-hop establishment,
+//     tenant admission quotas, heartbeat liveness and node drains.
+//
+// Start one router process per node of a shared topology file plus the
+// two services and they form a live DRTP network with centralized route
+// finding and setup coordination:
 //
 //	topogen -kind ring -nodes 3 -json > topo.json
-//	drtpnode -node 0 -topology topo.json -peers 0=:7100,1=:7101,2=:7102 &
-//	drtpnode -node 1 -topology topo.json -peers 0=:7100,1=:7101,2=:7102 &
-//	drtpnode -node 2 -topology topo.json -peers 0=:7100,1=:7101,2=:7102
+//	drtpnode -role routefinder -topology topo.json -peers ... -services rf=:7200,coord=:7201 &
+//	drtpnode -role setup -topology topo.json -peers ... -services rf=:7200,coord=:7201 &
+//	drtpnode -role node -node 0 -topology topo.json -peers 0=:7100,1=:7101,2=:7102 -services rf=:7200,coord=:7201 &
+//	...
 //
-// Console commands:
+// Console commands (availability depends on role):
 //
-//	establish <conn-id> <dst-node>   set up a DR-connection from this node
-//	release <conn-id>                terminate a connection
+//	establish <conn-id> <dst-node>   set up a DR-connection from this router
+//	release <conn-id>                terminate a locally-established connection
+//	request <conn-id> <dst-node>     establish via the setup coordinator
+//	crelease <conn-id>               release via the setup coordinator
+//	drain <node>                     gracefully drain a node via the coordinator
+//	ready                            print this process's readiness
 //	info <conn-id>                   show a connection's channels
 //	links                            show local link reservations
 //	fail <neighbor-node>             declare the adjacency failed
@@ -36,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/rtcl/drtp/internal/controlplane"
 	"github.com/rtcl/drtp/internal/faultinject"
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
@@ -55,16 +70,21 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("drtpnode", flag.ContinueOnError)
 	var (
-		node     = fs.Int("node", 0, "this router's node ID in the topology")
-		topoPath = fs.String("topology", "", "topology JSON file (see topogen -json)")
-		peers    = fs.String("peers", "", "comma-separated node=host:port directory for every node")
-		capacity = fs.Int("capacity", 40, "per-direction link bandwidth units")
-		unitBW   = fs.Int("unitbw", 1, "bandwidth units per DR-connection")
-		scheme   = fs.String("scheme", "dlsr", "backup routing scheme: dlsr|plsr")
-		metrics  = fs.String("metrics", "", "serve /metrics and /healthz on this address (e.g. :9090)")
-		trace    = fs.String("trace", "", "append protocol events as JSONL to this file")
-		chaos    = fs.String("chaos", "", "chaos schedule JSON applied to this node's outbound signalling (times are seconds since start)")
-		retries  = fs.Int("retries", 3, "signalling attempt budget per round trip (1 disables retransmission)")
+		role      = fs.String("role", "all", "process role: routefinder|setup|node|all")
+		node      = fs.Int("node", 0, "this router's node ID in the topology (node roles)")
+		topoPath  = fs.String("topology", "", "topology JSON file (see topogen -json)")
+		peers     = fs.String("peers", "", "comma-separated node=host:port directory for every node")
+		services  = fs.String("services", "", "control-plane directory rf=host:port,coord=host:port")
+		capacity  = fs.Int("capacity", 40, "per-direction link bandwidth units")
+		unitBW    = fs.Int("unitbw", 1, "bandwidth units per DR-connection")
+		scheme    = fs.String("scheme", "dlsr", "backup routing scheme: dlsr|plsr")
+		tenant    = fs.String("tenant", "default", "tenant for requests issued from this node's console")
+		quotas    = fs.String("quotas", "", `per-tenant admission quotas "tenant=conns:bw,..." (0 = unlimited; setup role)`)
+		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "control-plane heartbeat interval (setup and node roles)")
+		metrics   = fs.String("metrics", "", "serve /metrics, /healthz and /readyz on this address (e.g. :9090)")
+		trace     = fs.String("trace", "", "append protocol events as JSONL to this file")
+		chaos     = fs.String("chaos", "", "chaos schedule JSON applied to this node's outbound signalling (times are seconds since start)")
+		retries   = fs.Int("retries", 3, "signalling attempt budget per round trip (1 disables retransmission)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,11 +100,30 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	svc, err := parseServices(*services, g)
+	if err != nil {
+		return err
+	}
+	for n, a := range svc {
+		addrs[n] = a
+	}
+	tenantQuotas, err := parseQuotas(*quotas)
+	if err != nil {
+		return err
+	}
 	backup := router.DLSR
 	if *scheme == "plsr" {
 		backup = router.PLSR
 	} else if *scheme != "dlsr" {
 		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	switch *role {
+	case "all", "node", "routefinder", "setup":
+	default:
+		return fmt.Errorf("unknown role %q (want routefinder|setup|node|all)", *role)
+	}
+	if *role != "all" && len(svc) == 0 {
+		return fmt.Errorf("role %q requires -services rf=host:port,coord=host:port", *role)
 	}
 
 	reg := telemetry.NewRegistry()
@@ -102,14 +141,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	defer func() { _ = tracer.Close() }()
 
 	// SIGINT/SIGTERM shut the process down gracefully: the HTTP server
-	// drains in-flight scrapes, the router closes, and the trace flushes.
+	// drains in-flight scrapes, the runtime closes, and the trace flushes.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
 	mesh := transport.NewTCPMesh(addrs)
-	var attacher interface {
-		Attach(graph.NodeID) (transport.Endpoint, error)
-	} = mesh
+	var attacher controlplane.Attacher = mesh
 	if *chaos != "" {
 		sched, err := faultinject.Load(*chaos)
 		if err != nil {
@@ -124,48 +161,42 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			faultinject.WithTracer(tracer))
 		fmt.Fprintf(out, "drtpnode: chaos schedule %s armed (seed %d)\n", *chaos, sched.Seed)
 	}
-	ep, err := attacher.Attach(graph.NodeID(*node))
+
+	rt := roleRuntime{
+		graph:     g,
+		mesh:      mesh,
+		attacher:  attacher,
+		tracer:    tracer,
+		metrics:   reg,
+		node:      graph.NodeID(*node),
+		capacity:  *capacity,
+		unitBW:    *unitBW,
+		scheme:    backup,
+		retries:   *retries,
+		chaos:     *chaos != "",
+		tenant:    *tenant,
+		quotas:    tenantQuotas,
+		heartbeat: *heartbeat,
+		hasCtl:    len(svc) > 0,
+	}
+	env, err := rt.start(*role)
 	if err != nil {
 		return err
 	}
-	r, err := router.New(router.Config{
-		Node:        graph.NodeID(*node),
-		Graph:       g,
-		Capacity:    *capacity,
-		UnitBW:      *unitBW,
-		Scheme:      backup,
-		RetryLimit:  *retries,
-		NbrRecovery: *chaos != "",
-		Telemetry:   tracer,
-		Metrics:     reg,
-	}, ep)
-	if err != nil {
-		_ = ep.Close()
-		return err
-	}
-	defer r.Close()
+	defer env.close()
 
 	if *metrics != "" {
-		ln, err := net.Listen("tcp", *metrics)
+		shutdown, addr, err := serveMetrics(*metrics, reg, env.ready)
 		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
+			return err
 		}
-		srv := &http.Server{Handler: telemetry.Handler(reg)}
-		go func() { _ = srv.Serve(ln) }()
-		defer func() {
-			sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-			defer cancel()
-			_ = srv.Shutdown(sctx)
-		}()
-		fmt.Fprintf(out, "drtpnode: metrics on http://%s/metrics\n", ln.Addr())
+		defer shutdown()
+		fmt.Fprintf(out, "drtpnode: metrics on http://%s/metrics\n", addr)
 	}
-
-	addr, _ := mesh.Addr(graph.NodeID(*node))
-	fmt.Fprintf(out, "drtpnode: node %d listening on %s (%d nodes, %d links)\n",
-		*node, addr, g.NumNodes(), g.NumLinks())
+	fmt.Fprint(out, env.banner)
 
 	consoleDone := make(chan error, 1)
-	go func() { consoleDone <- console(r, g, in, out) }()
+	go func() { consoleDone <- consoleCtl(env, in, out) }()
 	select {
 	case err := <-consoleDone:
 		return err
@@ -173,6 +204,23 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		fmt.Fprintln(out, "drtpnode: signal received, shutting down")
 		return nil
 	}
+}
+
+// serveMetrics starts the observability endpoint and returns its
+// shutdown func and bound address.
+func serveMetrics(addr string, reg *telemetry.Registry, ready func() (bool, string)) (func(), string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: telemetry.HandlerWithReady(reg, ready)}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}
+	return shutdown, ln.Addr().String(), nil
 }
 
 // parsePeers parses "0=host:port,1=host:port,..." into the directory.
@@ -199,8 +247,79 @@ func parsePeers(spec string, nodes int) (map[graph.NodeID]string, error) {
 	return addrs, nil
 }
 
-// console reads commands until EOF or quit.
+// parseServices parses "rf=host:port,coord=host:port" into transport
+// directory entries at the control-plane service IDs. An empty spec
+// yields an empty map (no control plane).
+func parseServices(spec string, g *graph.Graph) (map[graph.NodeID]string, error) {
+	svc := make(map[graph.NodeID]string)
+	if strings.TrimSpace(spec) == "" {
+		return svc, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("bad service entry %q (want rf=host:port or coord=host:port)", part)
+		}
+		switch name {
+		case "rf", "routefinder":
+			svc[controlplane.RouteFinderID(g)] = addr
+		case "coord", "setup":
+			svc[controlplane.CoordinatorID(g)] = addr
+		default:
+			return nil, fmt.Errorf("unknown service %q (want rf or coord)", name)
+		}
+	}
+	if _, ok := svc[controlplane.RouteFinderID(g)]; !ok {
+		return nil, fmt.Errorf("service directory %q missing rf", spec)
+	}
+	if _, ok := svc[controlplane.CoordinatorID(g)]; !ok {
+		return nil, fmt.Errorf("service directory %q missing coord", spec)
+	}
+	return svc, nil
+}
+
+// parseQuotas parses `tenant=conns:bw,...` into admission quotas; 0
+// means unlimited on that axis.
+func parseQuotas(spec string) (map[string]controlplane.Quota, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	quotas := make(map[string]controlplane.Quota)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tenant, limits, ok := strings.Cut(part, "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("bad quota entry %q (want tenant=conns:bw)", part)
+		}
+		connsStr, bwStr, ok := strings.Cut(limits, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad quota limits %q (want conns:bw)", limits)
+		}
+		conns, err1 := strconv.Atoi(connsStr)
+		bw, err2 := strconv.Atoi(bwStr)
+		if err1 != nil || err2 != nil || conns < 0 || bw < 0 {
+			return nil, fmt.Errorf("bad quota limits %q (want non-negative conns:bw)", limits)
+		}
+		quotas[tenant] = controlplane.Quota{MaxConns: conns, MaxBandwidth: bw}
+	}
+	return quotas, nil
+}
+
+// console reads router commands until EOF or quit; kept for the legacy
+// router-only surface (role "all" without services).
 func console(r *router.Router, g *graph.Graph, in io.Reader, out io.Writer) error {
+	return consoleCtl(&consoleEnv{r: r, g: g}, in, out)
+}
+
+// consoleCtl reads commands for any role until EOF or quit.
+func consoleCtl(env *consoleEnv, in io.Reader, out io.Writer) error {
 	scanner := bufio.NewScanner(in)
 	fmt.Fprint(out, "> ")
 	for scanner.Scan() {
@@ -209,17 +328,37 @@ func console(r *router.Router, g *graph.Graph, in io.Reader, out io.Writer) erro
 			return nil
 		}
 		if line != "" {
-			execute(r, g, line, out)
+			executeCtl(env, line, out)
 		}
 		fmt.Fprint(out, "> ")
 	}
 	return scanner.Err()
 }
 
-// execute runs one console command against the router.
+// execute runs one router console command; kept for the legacy surface.
 func execute(r *router.Router, g *graph.Graph, line string, out io.Writer) {
+	executeCtl(&consoleEnv{r: r, g: g}, line, out)
+}
+
+// executeCtl runs one console command against whatever the process
+// hosts: router commands need a router, coordinator-backed commands an
+// agent, and ready works everywhere.
+func executeCtl(env *consoleEnv, line string, out io.Writer) {
 	fields := strings.Fields(line)
-	switch fields[0] {
+	cmd := fields[0]
+	switch cmd {
+	case "establish", "release", "info", "links", "fail":
+		if env.r == nil {
+			fmt.Fprintf(out, "error: %q needs a router role\n", cmd)
+			return
+		}
+	case "request", "crelease", "drain":
+		if env.a == nil {
+			fmt.Fprintf(out, "error: %q needs a node role with -services\n", cmd)
+			return
+		}
+	}
+	switch cmd {
 	case "establish":
 		if len(fields) != 3 {
 			fmt.Fprintln(out, "usage: establish <conn-id> <dst-node>")
@@ -227,11 +366,11 @@ func execute(r *router.Router, g *graph.Graph, line string, out io.Writer) {
 		}
 		id, err1 := strconv.ParseInt(fields[1], 10, 64)
 		dst, err2 := strconv.Atoi(fields[2])
-		if err1 != nil || err2 != nil || dst < 0 || dst >= g.NumNodes() {
+		if err1 != nil || err2 != nil || dst < 0 || dst >= env.g.NumNodes() {
 			fmt.Fprintln(out, "error: bad arguments")
 			return
 		}
-		info, err := r.Establish(lsdb.ConnID(id), graph.NodeID(dst))
+		info, err := env.r.Establish(lsdb.ConnID(id), graph.NodeID(dst))
 		if err != nil {
 			fmt.Fprintf(out, "error: %v\n", err)
 			return
@@ -247,11 +386,82 @@ func execute(r *router.Router, g *graph.Graph, line string, out io.Writer) {
 			fmt.Fprintln(out, "error: bad connection id")
 			return
 		}
-		if err := r.Release(lsdb.ConnID(id)); err != nil {
+		if err := env.r.Release(lsdb.ConnID(id)); err != nil {
 			fmt.Fprintf(out, "error: %v\n", err)
 			return
 		}
 		fmt.Fprintf(out, "released %d\n", id)
+	case "request":
+		if len(fields) != 3 {
+			fmt.Fprintln(out, "usage: request <conn-id> <dst-node>")
+			return
+		}
+		id, err1 := strconv.ParseInt(fields[1], 10, 64)
+		dst, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || dst < 0 || dst >= env.g.NumNodes() {
+			fmt.Fprintln(out, "error: bad arguments")
+			return
+		}
+		reply, err := env.a.Request(lsdb.ConnID(id), graph.NodeID(dst))
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		if !reply.OK {
+			fmt.Fprintf(out, "rejected %d: %s\n", id, reply.Reason)
+			return
+		}
+		fmt.Fprintf(out, "requested %d: primary %v backups %v\n", id, reply.Primary, reply.Backups)
+	case "crelease":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: crelease <conn-id>")
+			return
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(out, "error: bad connection id")
+			return
+		}
+		reply, err := env.a.ReleaseConn(lsdb.ConnID(id))
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		if !reply.OK {
+			fmt.Fprintf(out, "release rejected %d: %s\n", id, reply.Reason)
+			return
+		}
+		fmt.Fprintf(out, "released %d via coordinator\n", id)
+	case "drain":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: drain <node>")
+			return
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 || n >= env.g.NumNodes() {
+			fmt.Fprintln(out, "error: bad node")
+			return
+		}
+		reply, err := env.a.DrainNode(graph.NodeID(n))
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			return
+		}
+		if !reply.OK {
+			fmt.Fprintf(out, "drain rejected: %s\n", reply.Reason)
+			return
+		}
+		fmt.Fprintf(out, "drained node %d: migrated %d dropped %d\n", n, reply.Migrated, reply.Dropped)
+	case "ready":
+		ok, reason := true, ""
+		if env.ready != nil {
+			ok, reason = env.ready()
+		}
+		if ok {
+			fmt.Fprintln(out, "ready")
+		} else {
+			fmt.Fprintf(out, "not ready: %s\n", reason)
+		}
 	case "info":
 		if len(fields) != 2 {
 			fmt.Fprintln(out, "usage: info <conn-id>")
@@ -262,7 +472,7 @@ func execute(r *router.Router, g *graph.Graph, line string, out io.Writer) {
 			fmt.Fprintln(out, "error: bad connection id")
 			return
 		}
-		info, ok := r.Conn(lsdb.ConnID(id))
+		info, ok := env.r.Conn(lsdb.ConnID(id))
 		if !ok {
 			fmt.Fprintf(out, "connection %d not found\n", id)
 			return
@@ -270,9 +480,9 @@ func execute(r *router.Router, g *graph.Graph, line string, out io.Writer) {
 		fmt.Fprintf(out, "conn %d: %d -> %d primary %v backup %v switched=%v dead=%v\n",
 			info.ID, info.Src, info.Dst, info.Primary, info.Backup, info.Switched, info.Dead)
 	case "links":
-		db := r.DB()
-		for _, l := range g.Out(r.Node()) {
-			link := g.Link(l)
+		db := env.r.DB()
+		for _, l := range env.g.Out(env.r.Node()) {
+			link := env.g.Link(l)
 			fmt.Fprintf(out, "L%d %d->%d: prime=%d spare=%d backups=%d norm=%d\n",
 				l, link.From, link.To, db.PrimeBW(l), db.SpareBW(l),
 				db.NumBackupsOn(l), db.APLVNorm(l))
@@ -283,13 +493,13 @@ func execute(r *router.Router, g *graph.Graph, line string, out io.Writer) {
 			return
 		}
 		nbr, err := strconv.Atoi(fields[1])
-		if err != nil || nbr < 0 || nbr >= g.NumNodes() {
+		if err != nil || nbr < 0 || nbr >= env.g.NumNodes() {
 			fmt.Fprintln(out, "error: bad neighbor")
 			return
 		}
-		r.FailLink(graph.NodeID(nbr))
+		env.r.FailLink(graph.NodeID(nbr))
 		fmt.Fprintf(out, "declared link to %d failed\n", nbr)
 	default:
-		fmt.Fprintf(out, "unknown command %q (establish|release|info|links|fail|quit)\n", fields[0])
+		fmt.Fprintf(out, "unknown command %q (establish|release|request|crelease|drain|ready|info|links|fail|quit)\n", cmd)
 	}
 }

@@ -1,0 +1,137 @@
+package controlplane_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rtcl/drtp/internal/controlplane"
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/telemetry"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+// tcpAttacher builds a loopback TCP mesh covering every topology node
+// plus the two service IDs, so the whole control plane runs over real
+// sockets.
+func tcpAttacher(g *graph.Graph) *transport.TCPMesh {
+	addrs := make(map[graph.NodeID]string, g.NumNodes()+2)
+	for n := 0; n < g.NumNodes(); n++ {
+		addrs[graph.NodeID(n)] = "127.0.0.1:0"
+	}
+	addrs[controlplane.RouteFinderID(g)] = "127.0.0.1:0"
+	addrs[controlplane.CoordinatorID(g)] = "127.0.0.1:0"
+	return transport.NewTCPMesh(addrs)
+}
+
+// TestControlPlaneOverTCP runs the full establish/fail/drain cycle over
+// loopback TCP: the same wire format and transport the multi-process
+// deployment uses.
+func TestControlPlaneOverTCP(t *testing.T) {
+	ring := telemetry.NewRing(1 << 12)
+	g := trident(t)
+	mesh := tcpAttacher(g)
+	defer mesh.Close()
+	d := deploy(t, deployConfig(g, ring), mesh)
+
+	reply, err := d.Node(0).Agent.Request(1, 1)
+	if err != nil || !reply.OK {
+		t.Fatalf("establish over TCP: err=%v reason=%s", err, reply.Reason)
+	}
+	mid := reply.Primary[1]
+
+	// Abrupt peer death over TCP: sends to the dead node fail at the
+	// socket layer; the heartbeat detector must still drive recovery.
+	_ = d.Node(mid).Router.Close()
+	waitFor(t, "backup activation over TCP", func() bool {
+		info, ok := d.Node(0).Router.Conn(1)
+		return ok && info.Switched && !info.Dead
+	})
+
+	// The rest of the deployment keeps admitting.
+	fresh, err := d.Node(0).Agent.Request(2, 1)
+	if err != nil || !fresh.OK {
+		t.Fatalf("post-failure establish over TCP: err=%v reason=%s", err, fresh.Reason)
+	}
+	if contains(fresh.Primary, mid) {
+		t.Fatalf("new primary %v transits dead node %d", fresh.Primary, mid)
+	}
+	if rel, err := d.Node(0).Agent.ReleaseConn(2); err != nil || !rel.OK {
+		t.Fatalf("release over TCP: err=%v reason=%s", err, rel.Reason)
+	}
+}
+
+// BenchmarkEstablishThroughput measures end-to-end connection setup
+// throughput (request -> route query -> hop-by-hop establishment ->
+// reply, then release) with N concurrent clients over loopback TCP.
+func BenchmarkEstablishThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			g, err := tridentGraph()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := controlplane.DeployConfig{
+				Graph:             g,
+				Capacity:          1 << 20,
+				UnitBW:            1,
+				HeartbeatInterval: 50 * time.Millisecond,
+				HeartbeatMiss:     100, // liveness off the hot path
+				RPCTimeout:        5 * time.Second,
+				RetryLimit:        3,
+			}
+			cfg.Router.HelloInterval = time.Second
+			cfg.Router.HelloMiss = 100
+			cfg.Router.LSInterval = 50 * time.Millisecond
+			mesh := tcpAttacher(g)
+			defer mesh.Close()
+			d, err := controlplane.Deploy(cfg, mesh)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			if err := d.WaitSynced(10 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+
+			var next atomic.Int64
+			var failed atomic.Int64
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			per := b.N / clients
+			if per == 0 {
+				per = 1
+			}
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					agent := d.Node(0).Agent
+					for i := 0; i < per; i++ {
+						id := lsdb.ConnID(next.Add(1))
+						reply, err := agent.Request(id, 1)
+						if err != nil || !reply.OK {
+							failed.Add(1)
+							continue
+						}
+						if _, err := agent.ReleaseConn(id); err != nil {
+							failed.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			total := int64(clients) * int64(per)
+			if f := failed.Load(); f > 0 {
+				b.Fatalf("%d/%d establishments failed", f, total)
+			}
+			b.ReportMetric(float64(total)/elapsed.Seconds(), "conns/s")
+		})
+	}
+}

@@ -1,0 +1,49 @@
+// Package controlplane promotes DRTP connection management into a
+// deployable service tier above the per-node routers: a route-finder
+// service that owns a mirrored link-state snapshot and answers
+// primary+backup route queries, a setup coordinator that drives
+// hop-by-hop establishment and teardown through the routers'
+// retry/backoff signalling while enforcing per-tenant admission quotas,
+// and a node registry with heartbeat liveness, graceful drain and
+// connection migration.
+//
+// Services speak the internal/proto control messages over the same
+// transport (in-memory switchboard or TCP mesh) as the data-plane
+// signalling, and are addressed with node IDs just past the topology:
+// RouteFinderID(g) and CoordinatorID(g). Control messages never index
+// the graph with these IDs, so topologies stay untouched.
+//
+// Liveness is layered: the coordinator detects a dead node runtime by
+// missed heartbeats and broadcasts proto.NodeDown; agents adjacent to
+// the dead node declare their shared links failed, which floods
+// link-state deaths through the routers and activates backup channels
+// for affected connections — the paper's failure recovery, triggered
+// from the control plane. All messaging is at-least-once with
+// idempotent processing (sequence-numbered commands, replayed replies),
+// so the tier tolerates the same lossy, partitioned transports the
+// routers do.
+package controlplane
+
+import (
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+// RouteFinderID is the transport address of the route-finder service
+// for a topology: the first node ID past the graph.
+func RouteFinderID(g *graph.Graph) graph.NodeID {
+	return graph.NodeID(g.NumNodes())
+}
+
+// CoordinatorID is the transport address of the setup coordinator for a
+// topology: the second node ID past the graph.
+func CoordinatorID(g *graph.Graph) graph.NodeID {
+	return graph.NodeID(g.NumNodes() + 1)
+}
+
+// Attacher abstracts the transport constructor shared by the in-memory
+// switchboard, the TCP mesh and the fault injector, so deployments and
+// chaos tests wire the control plane over any of them.
+type Attacher interface {
+	Attach(node graph.NodeID) (transport.Endpoint, error)
+}

@@ -1,0 +1,370 @@
+package controlplane_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rtcl/drtp/internal/controlplane"
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/router"
+	"github.com/rtcl/drtp/internal/telemetry"
+	"github.com/rtcl/drtp/internal/topology"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+// trident is the 5-node fixture with three node-disjoint 2-hop routes
+// 0 -> 1 (via 2, via 3, via 4) and no direct link, so every route
+// transits a middle node.
+func trident(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := tridentGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func tridentGraph() (*graph.Graph, error) {
+	return topology.FromEdgeList(5, [][2]int{{0, 2}, {2, 1}, {0, 3}, {3, 1}, {0, 4}, {4, 1}})
+}
+
+// deployConfig returns fast-timer settings for tests; the hello detector
+// is deliberately slowed so failure detection under test is driven by
+// the control plane's heartbeats, not the routers' own hellos.
+func deployConfig(g *graph.Graph, ring *telemetry.Ring) controlplane.DeployConfig {
+	return controlplane.DeployConfig{
+		Graph:             g,
+		Capacity:          10,
+		UnitBW:            1,
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatMiss:     3,
+		RPCTimeout:        2 * time.Second,
+		RetryLimit:        3,
+		Telemetry:         telemetry.NewTracer(ring),
+		Router: router.Config{
+			HelloInterval: 250 * time.Millisecond,
+			HelloMiss:     20,
+			LSInterval:    20 * time.Millisecond,
+			SetupTimeout:  2 * time.Second,
+		},
+	}
+}
+
+func deploy(t *testing.T, cfg controlplane.DeployConfig, at controlplane.Attacher) *controlplane.Deployment {
+	t.Helper()
+	d, err := controlplane.Deploy(cfg, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if err := d.WaitSynced(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func contains(nodes []graph.NodeID, n graph.NodeID) bool {
+	for _, x := range nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEstablishAndReleaseViaCoordinator(t *testing.T) {
+	ring := telemetry.NewRing(1 << 12)
+	g := trident(t)
+	d := deploy(t, deployConfig(g, ring), transport.NewMem())
+
+	reply, err := d.Node(0).Agent.Request(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.OK {
+		t.Fatalf("establish rejected: %s", reply.Reason)
+	}
+	if len(reply.Primary) != 3 || reply.Primary[0] != 0 || reply.Primary[2] != 1 {
+		t.Fatalf("primary = %v", reply.Primary)
+	}
+	if len(reply.Backups) == 0 {
+		t.Fatal("no backups in reply")
+	}
+	// The source router holds the connection, established along the
+	// commanded routes.
+	info, ok := d.Node(0).Router.Conn(1)
+	if !ok {
+		t.Fatal("router has no connection record")
+	}
+	if info.Primary[1] != reply.Primary[1] {
+		t.Fatalf("router primary %v != reply primary %v", info.Primary, reply.Primary)
+	}
+	// The coordinator tracks the admission.
+	if got := d.Coord.TenantConns("default"); got != 1 {
+		t.Fatalf("tenant usage = %d, want 1", got)
+	}
+	if _, _, ok := d.Coord.Conn(1); !ok {
+		t.Fatal("coordinator has no connection record")
+	}
+
+	// A duplicate request (client retry) replays the established routes.
+	again, err := d.Node(0).Agent.Request(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.OK || len(again.Primary) != len(reply.Primary) {
+		t.Fatalf("duplicate request: ok=%v primary=%v", again.OK, again.Primary)
+	}
+
+	rel, err := d.Node(0).Agent.ReleaseConn(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.OK {
+		t.Fatalf("release failed: %s", rel.Reason)
+	}
+	if _, ok := d.Node(0).Router.Conn(1); ok {
+		t.Fatal("router still holds released connection")
+	}
+	if got := d.Coord.TenantConns("default"); got != 0 {
+		t.Fatalf("tenant usage after release = %d, want 0", got)
+	}
+	if ring.Count(telemetry.EvNodeJoin) < 5 {
+		t.Fatalf("node-join events = %d, want >= 5", ring.Count(telemetry.EvNodeJoin))
+	}
+}
+
+func TestQuotaRejection(t *testing.T) {
+	ring := telemetry.NewRing(1 << 12)
+	g := trident(t)
+	cfg := deployConfig(g, ring)
+	cfg.Quotas = map[string]controlplane.Quota{
+		"acme": {MaxConns: 2},
+		"thin": {MaxBandwidth: 1}, // one UnitBW worth
+	}
+	cfg.Tenants = map[graph.NodeID]string{0: "acme", 3: "thin"}
+	d := deploy(t, cfg, transport.NewMem())
+
+	for id := 1; id <= 2; id++ {
+		reply, err := d.Node(0).Agent.Request(lsdb.ConnID(id), 1)
+		if err != nil || !reply.OK {
+			t.Fatalf("conn %d: err=%v reason=%s", id, err, reply.Reason)
+		}
+	}
+	reply, err := d.Node(0).Agent.Request(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.OK || reply.Reason != "quota-conns" {
+		t.Fatalf("third conn: ok=%v reason=%q, want quota-conns reject", reply.OK, reply.Reason)
+	}
+
+	// Bandwidth quota: the "thin" tenant affords exactly one unit.
+	reply, err = d.Node(3).Agent.Request(10, 1)
+	if err != nil || !reply.OK {
+		t.Fatalf("thin conn: err=%v reason=%s", err, reply.Reason)
+	}
+	reply, err = d.Node(3).Agent.Request(11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.OK || reply.Reason != "quota-bandwidth" {
+		t.Fatalf("thin second conn: ok=%v reason=%q, want quota-bandwidth reject", reply.OK, reply.Reason)
+	}
+
+	if ring.Count(telemetry.EvAdmissionReject) < 2 {
+		t.Fatalf("admission-reject events = %d, want >= 2", ring.Count(telemetry.EvAdmissionReject))
+	}
+
+	// Releasing frees quota for a new admission.
+	if rel, err := d.Node(0).Agent.ReleaseConn(1); err != nil || !rel.OK {
+		t.Fatalf("release: err=%v reason=%s", err, rel.Reason)
+	}
+	reply, err = d.Node(0).Agent.Request(3, 1)
+	if err != nil || !reply.OK {
+		t.Fatalf("post-release conn: err=%v reason=%s", err, reply.Reason)
+	}
+}
+
+func TestDrainMigratesConnections(t *testing.T) {
+	ring := telemetry.NewRing(1 << 12)
+	g := trident(t)
+	d := deploy(t, deployConfig(g, ring), transport.NewMem())
+
+	reply, err := d.Node(0).Agent.Request(1, 1)
+	if err != nil || !reply.OK {
+		t.Fatalf("establish: err=%v reason=%s", err, reply.Reason)
+	}
+	mid := reply.Primary[1] // the node the primary transits
+
+	// A connection originated at the middle node is not re-routable.
+	if r2, err := d.Node(mid).Agent.Request(2, 1); err != nil || !r2.OK {
+		t.Fatalf("terminal establish: err=%v reason=%s", err, r2.Reason)
+	}
+
+	dr, err := d.Node(0).Agent.DrainNode(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.OK {
+		t.Fatalf("drain failed: %s", dr.Reason)
+	}
+	if dr.Migrated != 1 || dr.Dropped != 1 {
+		t.Fatalf("drain migrated=%d dropped=%d, want 1/1", dr.Migrated, dr.Dropped)
+	}
+
+	// The migrated connection survived under the same ID on routes that
+	// avoid the drained node.
+	info, ok := d.Node(0).Router.Conn(1)
+	if !ok {
+		t.Fatal("migrated connection gone from source router")
+	}
+	if contains(info.Primary, mid) {
+		t.Fatalf("migrated primary %v still transits drained node %d", info.Primary, mid)
+	}
+	for _, b := range info.Backups {
+		if contains(b, mid) {
+			t.Fatalf("migrated backup %v still transits drained node %d", b, mid)
+		}
+	}
+	primary, _, ok := d.Coord.Conn(1)
+	if !ok || contains(primary, mid) {
+		t.Fatalf("coordinator record: ok=%v primary=%v", ok, primary)
+	}
+	// The terminal connection was released everywhere.
+	if _, ok := d.Node(mid).Router.Conn(2); ok {
+		t.Fatal("terminal connection still on drained node's router")
+	}
+
+	// Drain state: agent unready, route finder excludes the node, new
+	// requests from it are rejected at admission.
+	waitFor(t, "drained node unready", func() bool {
+		ok, reason := d.Node(mid).Ready()
+		return !ok && reason == "draining"
+	})
+	if !d.RF.Excluded(mid) {
+		t.Fatal("route finder does not exclude drained node")
+	}
+	rej, err := d.Node(mid).Agent.Request(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej.OK || rej.Reason != "src-draining" {
+		t.Fatalf("request from draining node: ok=%v reason=%q", rej.OK, rej.Reason)
+	}
+
+	// Draining an already-drained node reports cleanly.
+	again, err := d.Node(0).Agent.DrainNode(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.OK || again.Reason != "already-drained" {
+		t.Fatalf("second drain: ok=%v reason=%q", again.OK, again.Reason)
+	}
+
+	if ring.Count(telemetry.EvDrainStart) != 1 || ring.Count(telemetry.EvDrainDone) != 1 {
+		t.Fatalf("drain events: start=%d done=%d", ring.Count(telemetry.EvDrainStart), ring.Count(telemetry.EvDrainDone))
+	}
+
+	// The readiness probe surfaces the drain over HTTP.
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(telemetry.HandlerWithReady(reg, d.Node(mid).Ready))
+	defer srv.Close()
+	if code, body := httpGet(t, srv.URL+"/readyz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz = %d %q, want 503 draining", code, body)
+	}
+	if code, _ := httpGet(t, srv.URL+"/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	srvUp := httptest.NewServer(telemetry.HandlerWithReady(reg, d.Node(0).Ready))
+	defer srvUp.Close()
+	if code, _ := httpGet(t, srvUp.URL+"/readyz"); code != 200 {
+		t.Fatalf("healthy node /readyz = %d, want 200", code)
+	}
+}
+
+func TestHeartbeatMissPropagatesAsLinkDeath(t *testing.T) {
+	ring := telemetry.NewRing(1 << 12)
+	g := trident(t)
+	d := deploy(t, deployConfig(g, ring), transport.NewMem())
+
+	reply, err := d.Node(0).Agent.Request(1, 1)
+	if err != nil || !reply.OK {
+		t.Fatalf("establish: err=%v reason=%s", err, reply.Reason)
+	}
+	mid := reply.Primary[1]
+
+	// Kill the transit node's process abruptly (no graceful leave): its
+	// endpoint closes, heartbeats stop. The routers' own hello detector
+	// is configured an order of magnitude slower than the heartbeat
+	// detector, so recovery within the deadline below proves the
+	// control-plane path: heartbeat-miss -> NodeDown -> FailLink ->
+	// failure report -> backup activation.
+	start := time.Now()
+	_ = d.Node(mid).Router.Close()
+
+	waitFor(t, "backup activation after heartbeat miss", func() bool {
+		info, ok := d.Node(0).Router.Conn(1)
+		return ok && info.Switched && !info.Dead
+	})
+	elapsed := time.Since(start)
+
+	if n := ring.Count(telemetry.EvHeartbeatMiss); n < 1 {
+		t.Fatalf("heartbeat-miss events = %d, want >= 1", n)
+	}
+	if n := ring.Count(telemetry.EvNodeLeave); n < 1 {
+		t.Fatalf("node-leave events = %d, want >= 1", n)
+	}
+	if n := ring.Count(telemetry.EvBackupActivate); n < 1 {
+		t.Fatalf("backup-activate events = %d, want >= 1", n)
+	}
+	// The hello detector alone would have needed HelloMiss*HelloInterval
+	// = 5s; control-plane detection must beat it comfortably.
+	if elapsed >= 5*time.Second {
+		t.Fatalf("recovery took %v, not faster than hello detection", elapsed)
+	}
+	info, _ := d.Node(0).Router.Conn(1)
+	if contains(info.Primary, mid) {
+		t.Fatalf("recovered primary %v still uses dead node %d", info.Primary, mid)
+	}
+	// The route finder excludes the dead node from new routes.
+	waitFor(t, "route finder excludes dead node", func() bool { return d.RF.Excluded(mid) })
+	fresh, err := d.Node(0).Agent.Request(5, 1)
+	if err != nil || !fresh.OK {
+		t.Fatalf("post-failure establish: err=%v reason=%s", err, fresh.Reason)
+	}
+	if contains(fresh.Primary, mid) {
+		t.Fatalf("new primary %v routed through dead node %d", fresh.Primary, mid)
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}

@@ -1,0 +1,839 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/proto"
+	"github.com/rtcl/drtp/internal/telemetry"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+// Exported coordinator errors.
+var (
+	// ErrClosed indicates the service was closed mid-operation.
+	ErrClosed = errors.New("controlplane: closed")
+	// ErrTimeout indicates an internal RPC exhausted its retry budget.
+	ErrTimeout = errors.New("controlplane: rpc timeout")
+)
+
+// Quota bounds one tenant's admission. Zero fields are unlimited.
+type Quota struct {
+	// MaxConns caps the tenant's concurrent connections.
+	MaxConns int
+	// MaxBandwidth caps the tenant's total reserved primary bandwidth;
+	// every connection consumes the coordinator's UnitBW against it.
+	MaxBandwidth int
+}
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// Graph is the static topology shared with the routers.
+	Graph *graph.Graph
+	// RouteFinder is the route-finder service's transport address;
+	// zero selects RouteFinderID(Graph).
+	RouteFinder graph.NodeID
+	// UnitBW is the per-connection bandwidth charged against tenant
+	// quotas (default 1), matching the routers' unit.
+	UnitBW int
+	// HeartbeatInterval is the expected node heartbeat period and the
+	// coordinator's liveness check tick (default 25ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is how many silent intervals declare a node dead
+	// (default 2, the dependability bound in EXPERIMENTS.md X8).
+	HeartbeatMiss int
+	// RPCTimeout bounds one attempt of an internal round trip (route
+	// query, node command); default 2s.
+	RPCTimeout time.Duration
+	// RetryLimit is the attempt budget per internal round trip (default
+	// 3). Command retransmissions reuse their sequence number, so node
+	// agents dedup and replay results instead of re-executing.
+	RetryLimit int
+	// Quotas maps tenant names to their admission quotas; tenants not
+	// listed fall back to DefaultQuota.
+	Quotas map[string]Quota
+	// DefaultQuota applies to tenants absent from Quotas; the zero value
+	// admits without limits.
+	DefaultQuota Quota
+	// Logger receives service events; nil discards them.
+	Logger *slog.Logger
+	// Telemetry receives typed events (node-join, node-leave,
+	// heartbeat-miss, admission-reject, drain-start, drain-done); nil
+	// disables emission.
+	Telemetry *telemetry.Tracer
+}
+
+func (c *CoordinatorConfig) setDefaults() {
+	if c.UnitBW == 0 {
+		c.UnitBW = 1
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if c.HeartbeatMiss == 0 {
+		c.HeartbeatMiss = 2
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 2 * time.Second
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 3
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// nodeRec is the registry's record of one node runtime.
+type nodeRec struct {
+	registered bool
+	lastBeat   time.Time
+	draining   bool
+	down       bool
+	downReason string
+	// downcasts counts NodeDown broadcasts still owed for this death:
+	// the announcement is the recovery trigger, so over a lossy
+	// transport it is re-broadcast on later ticks until the budget is
+	// spent (agents dedup via their routers' down-neighbor state).
+	downcasts int
+}
+
+// connRec is the coordinator's record of one admitted connection.
+type connRec struct {
+	tenant  string
+	src     graph.NodeID
+	dst     graph.NodeID
+	primary []graph.NodeID
+	backups [][]graph.NodeID
+}
+
+// NodeState is a registry snapshot entry (see Coordinator.Nodes).
+type NodeState struct {
+	Node     graph.NodeID
+	Draining bool
+	Down     bool
+	Reason   string
+}
+
+// Coordinator is the control plane's setup service: it admits tenant
+// connection requests against per-tenant quotas, asks the route finder
+// for routes, commands source-node agents to establish or release them
+// through the routers' retry/backoff signalling, tracks node liveness
+// by heartbeat, and drains nodes by migrating their connections onto
+// routes that avoid them.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	ep     transport.Endpoint
+	log    *slog.Logger
+	tracer *telemetry.Tracer
+	rf     graph.NodeID
+
+	mu sync.Mutex
+	// nodes is the registry; guarded by mu.
+	nodes map[graph.NodeID]*nodeRec
+	// conns records admitted, established connections; guarded by mu.
+	conns map[lsdb.ConnID]*connRec
+	// pendingConns marks establishments in flight so duplicates from
+	// client retries attach to the original attempt; guarded by mu.
+	pendingConns map[lsdb.ConnID]bool
+	// usage counts connections per tenant, pending included; guarded by mu.
+	usage map[string]int
+	// drains marks nodes with a drain worker running; guarded by mu.
+	drains map[graph.NodeID]bool
+	// rpcID numbers route queries and node commands; guarded by mu.
+	rpcID uint64
+	// pendingRoute and pendingCmd route replies to waiting workers;
+	// guarded by mu.
+	pendingRoute map[uint64]chan proto.RouteReply
+	pendingCmd   map[uint64]chan proto.ConnCommandResult
+	// closed is set once Close begins; guarded by mu.
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup // request workers
+}
+
+// NewCoordinator creates and starts a coordinator on the endpoint
+// (conventionally attached at CoordinatorID(cfg.Graph)).
+func NewCoordinator(cfg CoordinatorConfig, ep transport.Endpoint) (*Coordinator, error) {
+	cfg.setDefaults()
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("controlplane: nil graph")
+	}
+	rf := cfg.RouteFinder
+	if rf == 0 {
+		rf = RouteFinderID(cfg.Graph)
+	}
+	c := &Coordinator{
+		cfg:          cfg,
+		ep:           ep,
+		log:          cfg.Logger.With("service", "coordinator"),
+		tracer:       cfg.Telemetry,
+		rf:           rf,
+		nodes:        make(map[graph.NodeID]*nodeRec),
+		conns:        make(map[lsdb.ConnID]*connRec),
+		pendingConns: make(map[lsdb.ConnID]bool),
+		usage:        make(map[string]int),
+		drains:       make(map[graph.NodeID]bool),
+		pendingRoute: make(map[uint64]chan proto.RouteReply),
+		pendingCmd:   make(map[uint64]chan proto.ConnCommandResult),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	go c.loop()
+	return c, nil
+}
+
+// Close stops the service and its endpoint.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	err := c.ep.Close()
+	<-c.done
+	c.wg.Wait()
+	return err
+}
+
+// Nodes snapshots the registry, ordered by node ID.
+func (c *Coordinator) Nodes() []NodeState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeState, 0, len(c.nodes))
+	for n := 0; n < c.cfg.Graph.NumNodes(); n++ {
+		rec, ok := c.nodes[graph.NodeID(n)]
+		if !ok || !rec.registered {
+			continue
+		}
+		out = append(out, NodeState{
+			Node: graph.NodeID(n), Draining: rec.draining,
+			Down: rec.down, Reason: rec.downReason,
+		})
+	}
+	return out
+}
+
+// TenantConns reports a tenant's current admission usage (established
+// plus in-flight connections).
+func (c *Coordinator) TenantConns(tenant string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usage[tenant]
+}
+
+// Conn reports the recorded routes of an admitted connection.
+func (c *Coordinator) Conn(id lsdb.ConnID) (primary []graph.NodeID, backups [][]graph.NodeID, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, found := c.conns[id]
+	if !found {
+		return nil, nil, false
+	}
+	return rec.primary, rec.backups, true
+}
+
+// loop is the coordinator's single dispatch goroutine: inbound control
+// messages plus the heartbeat liveness tick.
+func (c *Coordinator) loop() {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case env, ok := <-c.ep.Recv():
+			if !ok {
+				return
+			}
+			c.dispatch(env)
+		case <-tick.C:
+			c.checkHeartbeats()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+func (c *Coordinator) dispatch(env proto.Envelope) {
+	switch m := env.Msg.(type) {
+	case proto.Register:
+		c.handleRegister(env.From, m)
+	case proto.Heartbeat:
+		c.handleHeartbeat(m)
+	case proto.NodeDown:
+		c.handleLeave(m)
+	case proto.EstablishRequest:
+		c.handleEstablish(env.From, m)
+	case proto.ReleaseRequest:
+		c.handleRelease(env.From, m)
+	case proto.DrainRequest:
+		c.handleDrain(env.From, m)
+	case proto.RouteReply:
+		c.mu.Lock()
+		ch := c.pendingRoute[m.ID]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	case proto.ConnCommandResult:
+		c.mu.Lock()
+		ch := c.pendingCmd[m.Seq]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	}
+}
+
+// handleRegister admits a node runtime into the registry. Registration
+// is idempotent (lost acks are covered by the agent re-sending) and
+// revives a node previously declared dead.
+func (c *Coordinator) handleRegister(from graph.NodeID, m proto.Register) {
+	if int(m.Node) < 0 || int(m.Node) >= c.cfg.Graph.NumNodes() {
+		_ = c.ep.Send(from, proto.RegisterAck{Node: m.Node, Reason: "unknown-node"})
+		return
+	}
+	c.mu.Lock()
+	rec := c.nodes[m.Node]
+	if rec == nil {
+		rec = &nodeRec{}
+		c.nodes[m.Node] = rec
+	}
+	joined := !rec.registered || rec.down
+	rec.registered = true
+	rec.down = false
+	rec.downReason = ""
+	rec.lastBeat = time.Now()
+	c.mu.Unlock()
+	if joined {
+		c.log.Info("node joined", "node", int(m.Node), "seq", m.Seq)
+		c.tracer.NodeJoin(int(m.Node))
+	}
+	_ = c.ep.Send(from, proto.RegisterAck{Node: m.Node, OK: true})
+}
+
+// handleHeartbeat refreshes a node's liveness; a beat from a node
+// declared dead revives it (partition healed, process back).
+func (c *Coordinator) handleHeartbeat(m proto.Heartbeat) {
+	c.mu.Lock()
+	rec := c.nodes[m.Node]
+	if rec == nil || !rec.registered {
+		c.mu.Unlock()
+		return
+	}
+	rec.lastBeat = time.Now()
+	revived := rec.down
+	rec.down = false
+	rec.downReason = ""
+	if m.Draining {
+		// The agent's drain state survives a coordinator restart.
+		rec.draining = true
+	}
+	c.mu.Unlock()
+	if revived {
+		c.log.Info("node revived", "node", int(m.Node))
+		c.tracer.NodeJoin(int(m.Node))
+	}
+}
+
+// handleLeave processes a graceful departure announced by the agent.
+func (c *Coordinator) handleLeave(m proto.NodeDown) {
+	c.mu.Lock()
+	rec := c.nodes[m.Node]
+	if rec == nil || !rec.registered || rec.down {
+		c.mu.Unlock()
+		return
+	}
+	rec.down = true
+	rec.downReason = "leave"
+	rec.downcasts = c.cfg.RetryLimit - 1
+	c.mu.Unlock()
+	c.log.Info("node left", "node", int(m.Node))
+	c.tracer.NodeLeave(int(m.Node), "leave")
+	c.broadcastDown(m.Node, "leave")
+}
+
+// checkHeartbeats declares nodes silent for HeartbeatMiss intervals
+// dead and broadcasts their death so backups activate.
+func (c *Coordinator) checkHeartbeats() {
+	deadline := time.Duration(c.cfg.HeartbeatMiss) * c.cfg.HeartbeatInterval
+	now := time.Now()
+	type cast struct {
+		node   graph.NodeID
+		reason string
+	}
+	var dead []graph.NodeID
+	var rebroadcast []cast
+	c.mu.Lock()
+	for n, rec := range c.nodes {
+		if rec.registered && !rec.down && now.Sub(rec.lastBeat) > deadline {
+			rec.down = true
+			rec.downReason = "heartbeat-miss"
+			rec.downcasts = c.cfg.RetryLimit - 1
+			dead = append(dead, n)
+		} else if rec.down && rec.downcasts > 0 {
+			rec.downcasts--
+			rebroadcast = append(rebroadcast, cast{n, rec.downReason})
+		}
+	}
+	c.mu.Unlock()
+	for _, n := range dead {
+		c.log.Warn("node declared dead", "node", int(n), "reason", "heartbeat-miss")
+		c.tracer.HeartbeatMiss(int(n))
+		c.tracer.NodeLeave(int(n), "heartbeat-miss")
+		c.broadcastDown(n, "heartbeat-miss")
+	}
+	for _, b := range rebroadcast {
+		c.broadcastDown(b.node, b.reason)
+	}
+}
+
+// broadcastDown announces a death to the route finder and every live
+// node agent; agents adjacent to the dead node fail their shared links,
+// which floods link-state deaths and activates affected backups.
+func (c *Coordinator) broadcastDown(node graph.NodeID, reason string) {
+	msg := proto.NodeDown{Node: node, Reason: reason}
+	_ = c.ep.Send(c.rf, msg)
+	c.mu.Lock()
+	var live []graph.NodeID
+	for n, rec := range c.nodes {
+		if n != node && rec.registered && !rec.down {
+			live = append(live, n)
+		}
+	}
+	c.mu.Unlock()
+	for _, n := range live {
+		_ = c.ep.Send(n, msg)
+	}
+}
+
+// quotaFor resolves a tenant's quota.
+func (c *Coordinator) quotaFor(tenant string) Quota {
+	if q, ok := c.cfg.Quotas[tenant]; ok {
+		return q
+	}
+	return c.cfg.DefaultQuota
+}
+
+// excludedNodesLocked lists nodes new routes must avoid (draining or
+// dead). Callers must hold c.mu.
+func (c *Coordinator) excludedNodesLocked() []graph.NodeID {
+	var out []graph.NodeID
+	for n, rec := range c.nodes {
+		if rec.draining || rec.down {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// handleEstablish admits a tenant request and, when admitted, runs the
+// route-query/establish-command pipeline in a worker goroutine.
+// Duplicate requests replay the recorded outcome (established) or
+// attach to the in-flight attempt (pending), so client retries are
+// idempotent.
+func (c *Coordinator) handleEstablish(from graph.NodeID, m proto.EstablishRequest) {
+	reject := func(reason string) {
+		c.tracer.AdmissionReject(m.Tenant, int64(m.Conn), reason)
+		c.log.Info("establish rejected", "conn", int64(m.Conn), "tenant", m.Tenant, "reason", reason)
+		_ = c.ep.Send(from, proto.EstablishReply{Conn: m.Conn, Reason: reason})
+	}
+	c.mu.Lock()
+	if rec, dup := c.conns[m.Conn]; dup {
+		tenant := rec.tenant
+		reply := proto.EstablishReply{Conn: m.Conn, OK: true, Primary: rec.primary, Backups: rec.backups}
+		c.mu.Unlock()
+		if tenant != m.Tenant {
+			reject("conn-exists")
+			return
+		}
+		_ = c.ep.Send(from, reply)
+		return
+	}
+	if c.pendingConns[m.Conn] {
+		// The original attempt's worker will reply to the requester.
+		c.mu.Unlock()
+		return
+	}
+	srcRec := c.nodes[m.Src]
+	switch {
+	case int(m.Src) < 0 || int(m.Src) >= c.cfg.Graph.NumNodes():
+		c.mu.Unlock()
+		reject("unknown-src")
+		return
+	case srcRec == nil || !srcRec.registered:
+		c.mu.Unlock()
+		reject("src-unregistered")
+		return
+	case srcRec.down:
+		c.mu.Unlock()
+		reject("src-down")
+		return
+	case srcRec.draining:
+		c.mu.Unlock()
+		reject("src-draining")
+		return
+	}
+	q := c.quotaFor(m.Tenant)
+	used := c.usage[m.Tenant]
+	switch {
+	case q.MaxConns > 0 && used+1 > q.MaxConns:
+		c.mu.Unlock()
+		reject("quota-conns")
+		return
+	case q.MaxBandwidth > 0 && (used+1)*c.cfg.UnitBW > q.MaxBandwidth:
+		c.mu.Unlock()
+		reject("quota-bandwidth")
+		return
+	}
+	c.usage[m.Tenant]++
+	c.pendingConns[m.Conn] = true
+	exclude := c.excludedNodesLocked()
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.establishWorker(from, m, exclude)
+	}()
+}
+
+// establishWorker drives one admitted establishment to completion.
+func (c *Coordinator) establishWorker(from graph.NodeID, m proto.EstablishRequest, exclude []graph.NodeID) {
+	fail := func(reason string) {
+		c.mu.Lock()
+		delete(c.pendingConns, m.Conn)
+		c.usage[m.Tenant]--
+		c.mu.Unlock()
+		c.log.Info("establish failed", "conn", int64(m.Conn), "tenant", m.Tenant, "reason", reason)
+		_ = c.ep.Send(from, proto.EstablishReply{Conn: m.Conn, Reason: reason})
+	}
+	rr, err := c.queryRoute(m.Src, m.Dst, exclude)
+	if err != nil {
+		fail("route-query: " + err.Error())
+		return
+	}
+	if !rr.OK {
+		fail(rr.Reason)
+		return
+	}
+	res, err := c.command(m.Src, proto.ConnCommand{
+		Op: proto.OpEstablish, Conn: m.Conn, Dst: m.Dst,
+		Primary: rr.Primary, Backups: rr.Backups,
+	})
+	if err != nil {
+		fail("establish-command: " + err.Error())
+		return
+	}
+	if !res.OK {
+		fail(res.Reason)
+		return
+	}
+	c.mu.Lock()
+	delete(c.pendingConns, m.Conn)
+	c.conns[m.Conn] = &connRec{
+		tenant: m.Tenant, src: m.Src, dst: m.Dst,
+		primary: res.Primary, backups: res.Backups,
+	}
+	c.mu.Unlock()
+	c.log.Info("connection admitted", "conn", int64(m.Conn), "tenant", m.Tenant,
+		"src", int(m.Src), "dst", int(m.Dst), "backups", len(res.Backups))
+	_ = c.ep.Send(from, proto.EstablishReply{
+		Conn: m.Conn, OK: true, Primary: res.Primary, Backups: res.Backups,
+	})
+}
+
+// handleRelease releases a tenant's connection via its source agent.
+// Releasing an unknown connection succeeds (idempotent for retries).
+func (c *Coordinator) handleRelease(from graph.NodeID, m proto.ReleaseRequest) {
+	c.mu.Lock()
+	rec, ok := c.conns[m.Conn]
+	if !ok {
+		c.mu.Unlock()
+		_ = c.ep.Send(from, proto.ReleaseReply{Conn: m.Conn, OK: true, Reason: "not-found"})
+		return
+	}
+	if rec.tenant != m.Tenant {
+		c.mu.Unlock()
+		_ = c.ep.Send(from, proto.ReleaseReply{Conn: m.Conn, Reason: "wrong-tenant"})
+		return
+	}
+	src, tenant := rec.src, rec.tenant
+	delete(c.conns, m.Conn)
+	c.usage[tenant]--
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		res, err := c.command(src, proto.ConnCommand{Op: proto.OpRelease, Conn: m.Conn})
+		reply := proto.ReleaseReply{Conn: m.Conn, OK: true}
+		switch {
+		case err != nil:
+			reply = proto.ReleaseReply{Conn: m.Conn, Reason: "release-command: " + err.Error()}
+		case !res.OK:
+			reply = proto.ReleaseReply{Conn: m.Conn, Reason: res.Reason}
+		}
+		c.log.Info("connection released", "conn", int64(m.Conn), "tenant", tenant, "ok", reply.OK)
+		_ = c.ep.Send(from, reply)
+	}()
+}
+
+// handleDrain starts a graceful drain: the node is marked
+// unschedulable (new routes avoid it, its readiness probe flips), its
+// transiting connections are migrated onto routes that avoid it, and
+// connections originated or terminated there are released. The reply
+// reports migrated and dropped counts.
+func (c *Coordinator) handleDrain(from graph.NodeID, m proto.DrainRequest) {
+	c.mu.Lock()
+	rec := c.nodes[m.Node]
+	switch {
+	case int(m.Node) < 0 || int(m.Node) >= c.cfg.Graph.NumNodes():
+		c.mu.Unlock()
+		_ = c.ep.Send(from, proto.DrainReply{Node: m.Node, Reason: "unknown-node"})
+		return
+	case rec == nil || !rec.registered:
+		c.mu.Unlock()
+		_ = c.ep.Send(from, proto.DrainReply{Node: m.Node, Reason: "unregistered"})
+		return
+	case rec.down:
+		c.mu.Unlock()
+		_ = c.ep.Send(from, proto.DrainReply{Node: m.Node, Reason: "node-down"})
+		return
+	case c.drains[m.Node]:
+		// The running drain's worker replies to its requester; a retry
+		// that raced it will be answered by the already-drained case below
+		// on its next attempt.
+		c.mu.Unlock()
+		return
+	case rec.draining:
+		c.mu.Unlock()
+		_ = c.ep.Send(from, proto.DrainReply{Node: m.Node, OK: true, Reason: "already-drained"})
+		return
+	}
+	rec.draining = true
+	c.drains[m.Node] = true
+	c.mu.Unlock()
+
+	c.tracer.DrainStart(int(m.Node))
+	c.log.Info("drain started", "node", int(m.Node))
+	// Best-effort notifications: the route finder stops routing through
+	// the node, the node's own readiness probe flips unready.
+	_ = c.ep.Send(c.rf, proto.Unschedulable{Node: m.Node, On: true})
+	_ = c.ep.Send(m.Node, proto.Unschedulable{Node: m.Node, On: true})
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.drainWorker(from, m.Node)
+	}()
+}
+
+// drainWorker migrates or releases every connection involving the
+// draining node, then reports completion.
+func (c *Coordinator) drainWorker(from graph.NodeID, node graph.NodeID) {
+	type job struct {
+		id  lsdb.ConnID
+		rec connRec
+	}
+	var terminal, transiting []job
+	c.mu.Lock()
+	for id, rec := range c.conns {
+		switch {
+		case rec.src == node || rec.dst == node:
+			terminal = append(terminal, job{id, *rec})
+		case routesInvolve(rec, node):
+			transiting = append(transiting, job{id, *rec})
+		}
+	}
+	exclude := c.excludedNodesLocked()
+	c.mu.Unlock()
+
+	migrated, dropped := 0, 0
+	drop := func(j job, reason string) {
+		c.mu.Lock()
+		if _, ok := c.conns[j.id]; ok {
+			delete(c.conns, j.id)
+			c.usage[j.rec.tenant]--
+		}
+		c.mu.Unlock()
+		dropped++
+		c.log.Info("drain dropped connection", "node", int(node), "conn", int64(j.id), "reason", reason)
+	}
+
+	// Connections originated or terminated at the node are not
+	// re-routable: release them so their bandwidth frees network-wide.
+	for _, j := range terminal {
+		_, err := c.command(j.rec.src, proto.ConnCommand{Op: proto.OpRelease, Conn: j.id})
+		reason := "terminal"
+		if err != nil {
+			reason = "terminal (release: " + err.Error() + ")"
+		}
+		drop(j, reason)
+	}
+	// Transiting connections migrate: route around the node, release the
+	// old channels, establish the new ones under the same connection ID.
+	for _, j := range transiting {
+		rr, err := c.queryRoute(j.rec.src, j.rec.dst, exclude)
+		if err != nil || !rr.OK {
+			reason := "no-alternate-route"
+			if err != nil {
+				reason = "route-query: " + err.Error()
+			} else if rr.Reason != "" {
+				reason = rr.Reason
+			}
+			if _, rerr := c.command(j.rec.src, proto.ConnCommand{Op: proto.OpRelease, Conn: j.id}); rerr != nil {
+				reason += " (release: " + rerr.Error() + ")"
+			}
+			drop(j, reason)
+			continue
+		}
+		if _, err := c.command(j.rec.src, proto.ConnCommand{Op: proto.OpRelease, Conn: j.id}); err != nil {
+			drop(j, "release-command: "+err.Error())
+			continue
+		}
+		res, err := c.command(j.rec.src, proto.ConnCommand{
+			Op: proto.OpEstablish, Conn: j.id, Dst: j.rec.dst,
+			Primary: rr.Primary, Backups: rr.Backups,
+		})
+		if err != nil || !res.OK {
+			reason := "re-establish failed"
+			if err != nil {
+				reason = "re-establish: " + err.Error()
+			} else if res.Reason != "" {
+				reason = "re-establish: " + res.Reason
+			}
+			drop(j, reason)
+			continue
+		}
+		c.mu.Lock()
+		if rec, ok := c.conns[j.id]; ok {
+			rec.primary = res.Primary
+			rec.backups = res.Backups
+		}
+		c.mu.Unlock()
+		migrated++
+		c.log.Info("drain migrated connection", "node", int(node), "conn", int64(j.id))
+	}
+
+	c.mu.Lock()
+	delete(c.drains, node)
+	c.mu.Unlock()
+	c.tracer.DrainDone(int(node), migrated, dropped)
+	c.log.Info("drain done", "node", int(node), "migrated", migrated, "dropped", dropped)
+	_ = c.ep.Send(from, proto.DrainReply{Node: node, OK: true, Migrated: migrated, Dropped: dropped})
+}
+
+// routesInvolve reports whether any of the connection's recorded routes
+// pass through the node.
+func routesInvolve(rec *connRec, node graph.NodeID) bool {
+	for _, n := range rec.primary {
+		if n == node {
+			return true
+		}
+	}
+	for _, b := range rec.backups {
+		for _, n := range b {
+			if n == node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nextIDLocked issues the next RPC identifier. Callers must hold c.mu.
+func (c *Coordinator) nextIDLocked() uint64 {
+	c.rpcID++
+	return c.rpcID
+}
+
+// queryRoute runs one route-finder round trip with retries. Queries are
+// pure reads, so each attempt may use a fresh ID.
+func (c *Coordinator) queryRoute(src, dst graph.NodeID, exclude []graph.NodeID) (proto.RouteReply, error) {
+	for attempt := 0; attempt < c.cfg.RetryLimit; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return proto.RouteReply{}, ErrClosed
+		}
+		id := c.nextIDLocked()
+		ch := make(chan proto.RouteReply, 1)
+		c.pendingRoute[id] = ch
+		c.mu.Unlock()
+		_ = c.ep.Send(c.rf, proto.RouteQuery{ID: id, Src: src, Dst: dst, Exclude: exclude})
+		timer := time.NewTimer(c.cfg.RPCTimeout)
+		select {
+		case rr := <-ch:
+			timer.Stop()
+			c.unregisterRoute(id)
+			return rr, nil
+		case <-timer.C:
+			c.unregisterRoute(id)
+		case <-c.stop:
+			timer.Stop()
+			c.unregisterRoute(id)
+			return proto.RouteReply{}, ErrClosed
+		}
+	}
+	return proto.RouteReply{}, ErrTimeout
+}
+
+func (c *Coordinator) unregisterRoute(id uint64) {
+	c.mu.Lock()
+	delete(c.pendingRoute, id)
+	c.mu.Unlock()
+}
+
+// command runs one node-command round trip. Retransmissions reuse the
+// sequence number, so the agent's dedup absorbs duplicates and replays
+// the recorded result; the pending slot survives across attempts so a
+// late reply to an earlier transmission still completes the call.
+func (c *Coordinator) command(node graph.NodeID, cmd proto.ConnCommand) (proto.ConnCommandResult, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return proto.ConnCommandResult{}, ErrClosed
+	}
+	seq := c.nextIDLocked()
+	cmd.Seq = seq
+	ch := make(chan proto.ConnCommandResult, 1)
+	c.pendingCmd[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pendingCmd, seq)
+		c.mu.Unlock()
+	}()
+	for attempt := 0; attempt < c.cfg.RetryLimit; attempt++ {
+		_ = c.ep.Send(node, cmd)
+		timer := time.NewTimer(c.cfg.RPCTimeout)
+		select {
+		case res := <-ch:
+			timer.Stop()
+			return res, nil
+		case <-timer.C:
+		case <-c.stop:
+			timer.Stop()
+			return proto.ConnCommandResult{}, ErrClosed
+		}
+	}
+	return proto.ConnCommandResult{}, ErrTimeout
+}

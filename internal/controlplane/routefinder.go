@@ -1,0 +1,216 @@
+package controlplane
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/proto"
+	"github.com/rtcl/drtp/internal/router"
+	"github.com/rtcl/drtp/internal/telemetry"
+	"github.com/rtcl/drtp/internal/transport"
+)
+
+// RouteFinderConfig parameterizes a RouteFinder.
+type RouteFinderConfig struct {
+	// Graph is the static topology shared with the routers.
+	Graph *graph.Graph
+	// Capacity and UnitBW mirror the routers' bandwidth model; the view
+	// starts optimistic (every link empty) until adverts arrive, exactly
+	// like a freshly started router.
+	Capacity int
+	UnitBW   int
+	// Scheme selects D-LSR (default) or P-LSR backup route selection.
+	Scheme router.BackupScheme
+	// Backups is how many backup routes a query computes (default 1).
+	Backups int
+	// Logger receives service events; nil discards them.
+	Logger *slog.Logger
+	// Telemetry receives typed events; nil disables emission.
+	Telemetry *telemetry.Tracer
+}
+
+func (c *RouteFinderConfig) setDefaults() {
+	if c.Scheme == 0 {
+		c.Scheme = router.DLSR
+	}
+	if c.UnitBW == 0 {
+		c.UnitBW = 1
+	}
+	if c.Backups <= 0 {
+		c.Backups = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// RouteFinder is the control plane's route computation service. It owns
+// a network-wide link-state snapshot assembled from the adverts every
+// router mirrors to it, and answers proto.RouteQuery with a primary
+// route plus backup routes under the configured scheme, excluding
+// drained (unschedulable) and dead nodes.
+type RouteFinder struct {
+	cfg RouteFinderConfig
+	ep  transport.Endpoint
+	log *slog.Logger
+
+	mu sync.Mutex
+	// view is the link-state snapshot; guarded by mu.
+	view *netView
+	// unsched marks draining nodes excluded from new routes; guarded by mu.
+	unsched map[graph.NodeID]bool
+	// down marks dead nodes; cleared when a node's own advert arrives
+	// again (data-plane evidence of life); guarded by mu.
+	down map[graph.NodeID]bool
+	// closed is set once Close begins; guarded by mu.
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRouteFinder creates and starts a route finder on the endpoint
+// (conventionally attached at RouteFinderID(cfg.Graph)).
+func NewRouteFinder(cfg RouteFinderConfig, ep transport.Endpoint) (*RouteFinder, error) {
+	cfg.setDefaults()
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("controlplane: nil graph")
+	}
+	rf := &RouteFinder{
+		cfg:     cfg,
+		ep:      ep,
+		log:     cfg.Logger.With("service", "routefinder"),
+		view:    newNetView(cfg.Graph, cfg.Capacity, cfg.UnitBW, cfg.Scheme),
+		unsched: make(map[graph.NodeID]bool),
+		down:    make(map[graph.NodeID]bool),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go rf.loop()
+	return rf, nil
+}
+
+// Close stops the service and its endpoint.
+func (rf *RouteFinder) Close() error {
+	rf.mu.Lock()
+	if rf.closed {
+		rf.mu.Unlock()
+		return nil
+	}
+	rf.closed = true
+	rf.mu.Unlock()
+	close(rf.stop)
+	err := rf.ep.Close()
+	<-rf.done
+	return err
+}
+
+// Synced reports whether every topology node has mirrored at least one
+// advert; the service's readiness probe gates on it.
+func (rf *RouteFinder) Synced() bool {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	return rf.view.synced()
+}
+
+// Excluded reports whether a node is currently excluded from new routes
+// (draining or believed dead). Intended for inspection in tests.
+func (rf *RouteFinder) Excluded(n graph.NodeID) bool {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	return rf.unsched[n] || rf.down[n]
+}
+
+// loop is the service's single processing goroutine.
+func (rf *RouteFinder) loop() {
+	defer close(rf.done)
+	for {
+		select {
+		case env, ok := <-rf.ep.Recv():
+			if !ok {
+				return
+			}
+			rf.dispatch(env)
+		case <-rf.stop:
+			return
+		}
+	}
+}
+
+func (rf *RouteFinder) dispatch(env proto.Envelope) {
+	switch m := env.Msg.(type) {
+	case proto.LSUpdate:
+		rf.handleLSUpdate(m)
+	case proto.RouteQuery:
+		rf.handleRouteQuery(env.From, m)
+	case proto.Unschedulable:
+		rf.mu.Lock()
+		if m.On {
+			rf.unsched[m.Node] = true
+		} else {
+			delete(rf.unsched, m.Node)
+		}
+		rf.mu.Unlock()
+		rf.log.Info("schedulability changed", "node", int(m.Node), "unschedulable", m.On)
+	case proto.NodeDown:
+		rf.mu.Lock()
+		rf.down[m.Node] = true
+		rf.mu.Unlock()
+		rf.log.Info("node excluded", "node", int(m.Node), "reason", m.Reason)
+	}
+}
+
+// handleLSUpdate installs a mirrored advert. Mirrors receive only
+// self-originated adverts (never re-floods), so a fresh advert is
+// direct evidence the origin is alive again after a declared death.
+func (rf *RouteFinder) handleLSUpdate(m proto.LSUpdate) {
+	rf.mu.Lock()
+	fresh := rf.view.apply(m)
+	revived := fresh && rf.down[m.Origin]
+	if revived {
+		delete(rf.down, m.Origin)
+	}
+	rf.mu.Unlock()
+	if revived {
+		rf.log.Info("node revived by advert", "node", int(m.Origin))
+	}
+}
+
+// handleRouteQuery computes routes and replies to the requester. The
+// exclusion set is the union of the query's and the service's own
+// (draining plus dead nodes).
+func (rf *RouteFinder) handleRouteQuery(from graph.NodeID, m proto.RouteQuery) {
+	excluded := make(map[graph.NodeID]bool)
+	rf.mu.Lock()
+	for n := range rf.unsched {
+		excluded[n] = true
+	}
+	for n := range rf.down {
+		excluded[n] = true
+	}
+	for _, n := range m.Exclude {
+		excluded[n] = true
+	}
+	reply := proto.RouteReply{ID: m.ID}
+	switch {
+	case m.Src < 0 || int(m.Src) >= rf.cfg.Graph.NumNodes() ||
+		m.Dst < 0 || int(m.Dst) >= rf.cfg.Graph.NumNodes() || m.Src == m.Dst:
+		reply.Reason = "bad-endpoints"
+	case excluded[m.Src] || excluded[m.Dst]:
+		reply.Reason = "endpoint-excluded"
+	default:
+		primary, backups, reason := rf.view.routes(m.Src, m.Dst, rf.cfg.Backups, excluded)
+		if reason != "" {
+			reply.Reason = reason
+		} else {
+			reply.OK = true
+			reply.Primary = primary
+			reply.Backups = backups
+		}
+	}
+	rf.mu.Unlock()
+	_ = rf.ep.Send(from, reply)
+}

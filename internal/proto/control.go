@@ -1,0 +1,521 @@
+// Control-plane messages: the route-finder service, setup coordinator and
+// node agents (internal/controlplane) speak these over the same transport
+// and wire codec as the data-plane signalling. Control-plane services are
+// addressed with node IDs past the topology (see controlplane.RouteFinderID
+// and controlplane.CoordinatorID); the messages below never index the
+// graph, so the transport carries them untouched.
+//
+// Every message follows the wire.go discipline: varint integers,
+// length-prefixed strings, count-prefixed slices, strict trailing-byte
+// checks, and full field coverage in both MarshalBinary and
+// UnmarshalBinary (enforced by drtplint's protoroundtrip analyzer).
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+)
+
+// ConnOp enumerates the operations a coordinator can command on a node.
+type ConnOp int
+
+const (
+	// OpEstablish commands establishment along the routes carried in the
+	// command.
+	OpEstablish ConnOp = iota + 1
+	// OpRelease commands release of an originated connection.
+	OpRelease
+)
+
+// String returns "establish" or "release".
+func (o ConnOp) String() string {
+	switch o {
+	case OpEstablish:
+		return "establish"
+	case OpRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("ConnOp(%d)", int(o))
+	}
+}
+
+// Register announces a node runtime to the setup coordinator. Seq makes
+// re-registrations after a restart distinguishable from retransmissions.
+type Register struct {
+	Node graph.NodeID
+	Seq  uint64
+}
+
+// Kind implements Message.
+func (Register) Kind() string { return "register" }
+
+// RegisterAck acknowledges a Register.
+type RegisterAck struct {
+	Node   graph.NodeID
+	OK     bool
+	Reason string
+}
+
+// Kind implements Message.
+func (RegisterAck) Kind() string { return "register-ack" }
+
+// Heartbeat is the node runtime's liveness beacon to the coordinator.
+type Heartbeat struct {
+	Node graph.NodeID
+	Seq  uint64
+	// Draining mirrors the node's drain state so the registry stays
+	// consistent across coordinator restarts.
+	Draining bool
+}
+
+// Kind implements Message.
+func (Heartbeat) Kind() string { return "heartbeat" }
+
+// NodeDown announces a node's death (missed heartbeats or explicit leave)
+// to the route finder and every live node agent. Agents adjacent to the
+// dead node declare the shared links failed, which floods link-state
+// deaths and triggers backup activation for affected connections.
+type NodeDown struct {
+	Node graph.NodeID
+	// Reason is "heartbeat-miss" or "leave".
+	Reason string
+}
+
+// Kind implements Message.
+func (NodeDown) Kind() string { return "node-down" }
+
+// Unschedulable toggles a node's scheduling eligibility at the route
+// finder (and notifies the node itself so its readiness probe flips):
+// an unschedulable node carries existing connections but is excluded
+// from new routes. Sent at drain start (On) and abort (Off).
+type Unschedulable struct {
+	Node graph.NodeID
+	On   bool
+}
+
+// Kind implements Message.
+func (Unschedulable) Kind() string { return "unschedulable" }
+
+// RouteQuery asks the route finder for a primary route and backup routes
+// from Src to Dst. Exclude lists nodes whose links must not be used
+// (draining or administratively excluded nodes).
+type RouteQuery struct {
+	ID      uint64
+	Src     graph.NodeID
+	Dst     graph.NodeID
+	Exclude []graph.NodeID
+}
+
+// Kind implements Message.
+func (RouteQuery) Kind() string { return "route-query" }
+
+// RouteReply answers a RouteQuery. Primary and Backups are node
+// sequences (source first); Backups is ordered by activation preference.
+type RouteReply struct {
+	ID      uint64
+	OK      bool
+	Reason  string
+	Primary []graph.NodeID
+	Backups [][]graph.NodeID
+}
+
+// Kind implements Message.
+func (RouteReply) Kind() string { return "route-reply" }
+
+// EstablishRequest asks the setup coordinator to admit and establish a
+// DR-connection for a tenant. The reply goes back to the requesting
+// endpoint (Envelope.From).
+type EstablishRequest struct {
+	Conn   lsdb.ConnID
+	Tenant string
+	Src    graph.NodeID
+	Dst    graph.NodeID
+}
+
+// Kind implements Message.
+func (EstablishRequest) Kind() string { return "establish-request" }
+
+// EstablishReply reports the outcome of an EstablishRequest.
+type EstablishReply struct {
+	Conn    lsdb.ConnID
+	OK      bool
+	Reason  string
+	Primary []graph.NodeID
+	Backups [][]graph.NodeID
+}
+
+// Kind implements Message.
+func (EstablishReply) Kind() string { return "establish-reply" }
+
+// ReleaseRequest asks the coordinator to release a tenant's connection.
+type ReleaseRequest struct {
+	Conn   lsdb.ConnID
+	Tenant string
+}
+
+// Kind implements Message.
+func (ReleaseRequest) Kind() string { return "release-request" }
+
+// ReleaseReply reports the outcome of a ReleaseRequest.
+type ReleaseReply struct {
+	Conn   lsdb.ConnID
+	OK     bool
+	Reason string
+}
+
+// Kind implements Message.
+func (ReleaseReply) Kind() string { return "release-reply" }
+
+// DrainRequest asks the coordinator to drain a node: mark it
+// unschedulable and migrate its re-routable connections off it.
+type DrainRequest struct {
+	Node graph.NodeID
+}
+
+// Kind implements Message.
+func (DrainRequest) Kind() string { return "drain-request" }
+
+// DrainReply reports drain completion: Migrated connections were moved
+// onto routes avoiding the node, Dropped could not be (connections
+// originated or terminated at the drained node, or with no alternate
+// route).
+type DrainReply struct {
+	Node     graph.NodeID
+	OK       bool
+	Reason   string
+	Migrated int
+	Dropped  int
+}
+
+// Kind implements Message.
+func (DrainReply) Kind() string { return "drain-reply" }
+
+// ConnCommand carries one coordinator-driven operation to the source
+// node's agent. For OpEstablish, Primary and Backups are the routes the
+// route finder computed; the node's router signals them hop-by-hop with
+// its usual retry/backoff discipline. Retransmissions reuse Seq so the
+// agent's dedup replays the recorded result instead of re-executing.
+type ConnCommand struct {
+	Op      ConnOp
+	Conn    lsdb.ConnID
+	Dst     graph.NodeID
+	Primary []graph.NodeID
+	Backups [][]graph.NodeID
+	Seq     uint64
+}
+
+// Kind implements Message.
+func (ConnCommand) Kind() string { return "conn-command" }
+
+// ConnCommandResult reports a ConnCommand's outcome back to the
+// coordinator, echoing Seq. On successful establishment Primary and
+// Backups reflect the channels actually reserved (a subset of the
+// commanded backups may have been rejected mid-path).
+type ConnCommandResult struct {
+	Conn    lsdb.ConnID
+	Seq     uint64
+	OK      bool
+	Reason  string
+	Primary []graph.NodeID
+	Backups [][]graph.NodeID
+}
+
+// Kind implements Message.
+func (ConnCommandResult) Kind() string { return "conn-command-result" }
+
+// --- wire codecs -------------------------------------------------------
+
+// appendNodeLists encodes a count-prefixed list of node sequences.
+func appendNodeLists(b []byte, lists [][]graph.NodeID) []byte {
+	b = binary.AppendUvarint(b, uint64(len(lists)))
+	for _, ns := range lists {
+		b = appendNodes(b, ns)
+	}
+	return b
+}
+
+// nodeLists decodes a count-prefixed list of node sequences.
+func (r *wireReader) nodeLists(what string) [][]graph.NodeID {
+	n := r.count(what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([][]graph.NodeID, n)
+	for i := range out {
+		out[i] = r.nodes(what)
+	}
+	return out
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Register) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Node))
+	b = binary.AppendUvarint(b, m.Seq)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Register) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Node = graph.NodeID(r.int("Register.Node"))
+	m.Seq = r.uvarint("Register.Seq")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *RegisterAck) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Node))
+	b = appendBool(b, m.OK)
+	b = appendString(b, m.Reason)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *RegisterAck) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Node = graph.NodeID(r.int("RegisterAck.Node"))
+	m.OK = r.bool("RegisterAck.OK")
+	m.Reason = r.string("RegisterAck.Reason")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Heartbeat) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Node))
+	b = binary.AppendUvarint(b, m.Seq)
+	b = appendBool(b, m.Draining)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Heartbeat) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Node = graph.NodeID(r.int("Heartbeat.Node"))
+	m.Seq = r.uvarint("Heartbeat.Seq")
+	m.Draining = r.bool("Heartbeat.Draining")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *NodeDown) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Node))
+	b = appendString(b, m.Reason)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *NodeDown) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Node = graph.NodeID(r.int("NodeDown.Node"))
+	m.Reason = r.string("NodeDown.Reason")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Unschedulable) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Node))
+	b = appendBool(b, m.On)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Unschedulable) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Node = graph.NodeID(r.int("Unschedulable.Node"))
+	m.On = r.bool("Unschedulable.On")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *RouteQuery) MarshalBinary() ([]byte, error) {
+	b := binary.AppendUvarint(nil, m.ID)
+	b = appendInt(b, int(m.Src))
+	b = appendInt(b, int(m.Dst))
+	b = appendNodes(b, m.Exclude)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *RouteQuery) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.ID = r.uvarint("RouteQuery.ID")
+	m.Src = graph.NodeID(r.int("RouteQuery.Src"))
+	m.Dst = graph.NodeID(r.int("RouteQuery.Dst"))
+	m.Exclude = r.nodes("RouteQuery.Exclude")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *RouteReply) MarshalBinary() ([]byte, error) {
+	b := binary.AppendUvarint(nil, m.ID)
+	b = appendBool(b, m.OK)
+	b = appendString(b, m.Reason)
+	b = appendNodes(b, m.Primary)
+	b = appendNodeLists(b, m.Backups)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *RouteReply) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.ID = r.uvarint("RouteReply.ID")
+	m.OK = r.bool("RouteReply.OK")
+	m.Reason = r.string("RouteReply.Reason")
+	m.Primary = r.nodes("RouteReply.Primary")
+	m.Backups = r.nodeLists("RouteReply.Backups")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *EstablishRequest) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Conn))
+	b = appendString(b, m.Tenant)
+	b = appendInt(b, int(m.Src))
+	b = appendInt(b, int(m.Dst))
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *EstablishRequest) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Conn = lsdb.ConnID(r.int("EstablishRequest.Conn"))
+	m.Tenant = r.string("EstablishRequest.Tenant")
+	m.Src = graph.NodeID(r.int("EstablishRequest.Src"))
+	m.Dst = graph.NodeID(r.int("EstablishRequest.Dst"))
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *EstablishReply) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Conn))
+	b = appendBool(b, m.OK)
+	b = appendString(b, m.Reason)
+	b = appendNodes(b, m.Primary)
+	b = appendNodeLists(b, m.Backups)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *EstablishReply) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Conn = lsdb.ConnID(r.int("EstablishReply.Conn"))
+	m.OK = r.bool("EstablishReply.OK")
+	m.Reason = r.string("EstablishReply.Reason")
+	m.Primary = r.nodes("EstablishReply.Primary")
+	m.Backups = r.nodeLists("EstablishReply.Backups")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *ReleaseRequest) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Conn))
+	b = appendString(b, m.Tenant)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *ReleaseRequest) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Conn = lsdb.ConnID(r.int("ReleaseRequest.Conn"))
+	m.Tenant = r.string("ReleaseRequest.Tenant")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *ReleaseReply) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Conn))
+	b = appendBool(b, m.OK)
+	b = appendString(b, m.Reason)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *ReleaseReply) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Conn = lsdb.ConnID(r.int("ReleaseReply.Conn"))
+	m.OK = r.bool("ReleaseReply.OK")
+	m.Reason = r.string("ReleaseReply.Reason")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *DrainRequest) MarshalBinary() ([]byte, error) {
+	return appendInt(nil, int(m.Node)), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *DrainRequest) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Node = graph.NodeID(r.int("DrainRequest.Node"))
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *DrainReply) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Node))
+	b = appendBool(b, m.OK)
+	b = appendString(b, m.Reason)
+	b = appendInt(b, m.Migrated)
+	b = appendInt(b, m.Dropped)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *DrainReply) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Node = graph.NodeID(r.int("DrainReply.Node"))
+	m.OK = r.bool("DrainReply.OK")
+	m.Reason = r.string("DrainReply.Reason")
+	m.Migrated = r.int("DrainReply.Migrated")
+	m.Dropped = r.int("DrainReply.Dropped")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *ConnCommand) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Op))
+	b = appendInt(b, int(m.Conn))
+	b = appendInt(b, int(m.Dst))
+	b = appendNodes(b, m.Primary)
+	b = appendNodeLists(b, m.Backups)
+	b = binary.AppendUvarint(b, m.Seq)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *ConnCommand) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Op = ConnOp(r.int("ConnCommand.Op"))
+	m.Conn = lsdb.ConnID(r.int("ConnCommand.Conn"))
+	m.Dst = graph.NodeID(r.int("ConnCommand.Dst"))
+	m.Primary = r.nodes("ConnCommand.Primary")
+	m.Backups = r.nodeLists("ConnCommand.Backups")
+	m.Seq = r.uvarint("ConnCommand.Seq")
+	return r.finish()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *ConnCommandResult) MarshalBinary() ([]byte, error) {
+	b := appendInt(nil, int(m.Conn))
+	b = binary.AppendUvarint(b, m.Seq)
+	b = appendBool(b, m.OK)
+	b = appendString(b, m.Reason)
+	b = appendNodes(b, m.Primary)
+	b = appendNodeLists(b, m.Backups)
+	return b, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *ConnCommandResult) UnmarshalBinary(data []byte) error {
+	r := &wireReader{buf: data}
+	m.Conn = lsdb.ConnID(r.int("ConnCommandResult.Conn"))
+	m.Seq = r.uvarint("ConnCommandResult.Seq")
+	m.OK = r.bool("ConnCommandResult.OK")
+	m.Reason = r.string("ConnCommandResult.Reason")
+	m.Primary = r.nodes("ConnCommandResult.Primary")
+	m.Backups = r.nodeLists("ConnCommandResult.Backups")
+	return r.finish()
+}

@@ -199,4 +199,19 @@ func RegisterGob() {
 	gob.Register(FailureReport{})
 	gob.Register(Activate{})
 	gob.Register(ActivateResult{})
+	gob.Register(Register{})
+	gob.Register(RegisterAck{})
+	gob.Register(Heartbeat{})
+	gob.Register(NodeDown{})
+	gob.Register(Unschedulable{})
+	gob.Register(RouteQuery{})
+	gob.Register(RouteReply{})
+	gob.Register(EstablishRequest{})
+	gob.Register(EstablishReply{})
+	gob.Register(ReleaseRequest{})
+	gob.Register(ReleaseReply{})
+	gob.Register(DrainRequest{})
+	gob.Register(DrainReply{})
+	gob.Register(ConnCommand{})
+	gob.Register(ConnCommandResult{})
 }

@@ -31,6 +31,22 @@ const (
 	tagFailureReport
 	tagActivate
 	tagActivateResult
+	// Control-plane messages (see control.go).
+	tagRegister
+	tagRegisterAck
+	tagHeartbeat
+	tagNodeDown
+	tagUnschedulable
+	tagRouteQuery
+	tagRouteReply
+	tagEstablishRequest
+	tagEstablishReply
+	tagReleaseRequest
+	tagReleaseReply
+	tagDrainRequest
+	tagDrainReply
+	tagConnCommand
+	tagConnCommandResult
 )
 
 // maxWireSlice bounds decoded element counts per slice. The guard is a
@@ -463,6 +479,36 @@ func msgTag(m Message) (byte, bool) {
 		return tagActivate, true
 	case ActivateResult:
 		return tagActivateResult, true
+	case Register:
+		return tagRegister, true
+	case RegisterAck:
+		return tagRegisterAck, true
+	case Heartbeat:
+		return tagHeartbeat, true
+	case NodeDown:
+		return tagNodeDown, true
+	case Unschedulable:
+		return tagUnschedulable, true
+	case RouteQuery:
+		return tagRouteQuery, true
+	case RouteReply:
+		return tagRouteReply, true
+	case EstablishRequest:
+		return tagEstablishRequest, true
+	case EstablishReply:
+		return tagEstablishReply, true
+	case ReleaseRequest:
+		return tagReleaseRequest, true
+	case ReleaseReply:
+		return tagReleaseReply, true
+	case DrainRequest:
+		return tagDrainRequest, true
+	case DrainReply:
+		return tagDrainReply, true
+	case ConnCommand:
+		return tagConnCommand, true
+	case ConnCommandResult:
+		return tagConnCommandResult, true
 	}
 	return 0, false
 }
@@ -485,6 +531,36 @@ func marshalMsg(m Message) ([]byte, error) {
 	case Activate:
 		return v.MarshalBinary()
 	case ActivateResult:
+		return v.MarshalBinary()
+	case Register:
+		return v.MarshalBinary()
+	case RegisterAck:
+		return v.MarshalBinary()
+	case Heartbeat:
+		return v.MarshalBinary()
+	case NodeDown:
+		return v.MarshalBinary()
+	case Unschedulable:
+		return v.MarshalBinary()
+	case RouteQuery:
+		return v.MarshalBinary()
+	case RouteReply:
+		return v.MarshalBinary()
+	case EstablishRequest:
+		return v.MarshalBinary()
+	case EstablishReply:
+		return v.MarshalBinary()
+	case ReleaseRequest:
+		return v.MarshalBinary()
+	case ReleaseReply:
+		return v.MarshalBinary()
+	case DrainRequest:
+		return v.MarshalBinary()
+	case DrainReply:
+		return v.MarshalBinary()
+	case ConnCommand:
+		return v.MarshalBinary()
+	case ConnCommandResult:
 		return v.MarshalBinary()
 	}
 	return nil, fmt.Errorf("proto: no wire codec for message type %T", m)
@@ -518,6 +594,51 @@ func unmarshalMsg(tag byte, payload []byte) (Message, error) {
 		return v, v.UnmarshalBinary(payload)
 	case tagActivateResult:
 		var v ActivateResult
+		return v, v.UnmarshalBinary(payload)
+	case tagRegister:
+		var v Register
+		return v, v.UnmarshalBinary(payload)
+	case tagRegisterAck:
+		var v RegisterAck
+		return v, v.UnmarshalBinary(payload)
+	case tagHeartbeat:
+		var v Heartbeat
+		return v, v.UnmarshalBinary(payload)
+	case tagNodeDown:
+		var v NodeDown
+		return v, v.UnmarshalBinary(payload)
+	case tagUnschedulable:
+		var v Unschedulable
+		return v, v.UnmarshalBinary(payload)
+	case tagRouteQuery:
+		var v RouteQuery
+		return v, v.UnmarshalBinary(payload)
+	case tagRouteReply:
+		var v RouteReply
+		return v, v.UnmarshalBinary(payload)
+	case tagEstablishRequest:
+		var v EstablishRequest
+		return v, v.UnmarshalBinary(payload)
+	case tagEstablishReply:
+		var v EstablishReply
+		return v, v.UnmarshalBinary(payload)
+	case tagReleaseRequest:
+		var v ReleaseRequest
+		return v, v.UnmarshalBinary(payload)
+	case tagReleaseReply:
+		var v ReleaseReply
+		return v, v.UnmarshalBinary(payload)
+	case tagDrainRequest:
+		var v DrainRequest
+		return v, v.UnmarshalBinary(payload)
+	case tagDrainReply:
+		var v DrainReply
+		return v, v.UnmarshalBinary(payload)
+	case tagConnCommand:
+		var v ConnCommand
+		return v, v.UnmarshalBinary(payload)
+	case tagConnCommandResult:
+		var v ConnCommandResult
 		return v, v.UnmarshalBinary(payload)
 	}
 	return nil, fmt.Errorf("proto: unknown message tag %d", tag)

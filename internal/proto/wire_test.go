@@ -36,6 +36,38 @@ func sampleMessages() []proto.Message {
 		proto.FailureReport{Link: 9, Conns: []lsdb.ConnID{1, 2, 3}, Traces: []uint64{11, 12, 13}},
 		proto.Activate{Conn: 8, Route: []graph.NodeID{1, 2}, Hop: 1, Trace: 99, Seq: 23},
 		proto.ActivateResult{Conn: 8, OK: true, Seq: 23},
+		proto.Register{Node: 3, Seq: 31},
+		proto.RegisterAck{Node: 3, OK: false, Reason: "unknown node"},
+		proto.Heartbeat{Node: 4, Seq: 32, Draining: true},
+		proto.NodeDown{Node: 2, Reason: "heartbeat-miss"},
+		proto.Unschedulable{Node: 2, On: true},
+		proto.RouteQuery{ID: 33, Src: 0, Dst: 1, Exclude: []graph.NodeID{2, 4}},
+		proto.RouteReply{
+			ID: 33, OK: true, Reason: "ok",
+			Primary: []graph.NodeID{0, 3, 1},
+			Backups: [][]graph.NodeID{{0, 4, 1}, {0, 2, 1}},
+		},
+		proto.EstablishRequest{Conn: 50, Tenant: "acme", Src: 0, Dst: 1},
+		proto.EstablishReply{
+			Conn: 50, OK: false, Reason: "quota-conns",
+			Primary: []graph.NodeID{0, 1},
+			Backups: [][]graph.NodeID{{0, 2, 1}},
+		},
+		proto.ReleaseRequest{Conn: 50, Tenant: "acme"},
+		proto.ReleaseReply{Conn: 50, OK: true, Reason: "not-found"},
+		proto.DrainRequest{Node: 2},
+		proto.DrainReply{Node: 2, OK: true, Reason: "done", Migrated: 3, Dropped: 1},
+		proto.ConnCommand{
+			Op: proto.OpEstablish, Conn: 51, Dst: 1,
+			Primary: []graph.NodeID{0, 2, 1},
+			Backups: [][]graph.NodeID{{0, 3, 1}},
+			Seq:     34,
+		},
+		proto.ConnCommandResult{
+			Conn: 51, Seq: 34, OK: true, Reason: "established",
+			Primary: []graph.NodeID{0, 2, 1},
+			Backups: [][]graph.NodeID{{0, 3, 1}},
+		},
 	}
 }
 

@@ -41,6 +41,9 @@ func (r *Router) advertise() {
 	for _, n := range nbrs {
 		r.send(n, update)
 	}
+	for _, m := range r.cfg.Mirrors {
+		r.send(m, update)
+	}
 }
 
 // advertForLocked summarizes one local link. Links to failed neighbors

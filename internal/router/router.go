@@ -97,6 +97,13 @@ type Config struct {
 	// RetrySeed seeds the per-router backoff-jitter stream; the node ID
 	// is mixed in so routers sharing a seed still jitter independently.
 	RetrySeed int64
+	// Mirrors lists extra transport destinations (typically the
+	// control plane's route-finder service, addressed past the topology's
+	// node IDs) that receive a copy of every link-state advertisement this
+	// router originates. Mirrors see local adverts only, not re-floods, so
+	// a full network view assembles from every node mirroring its own
+	// links exactly once.
+	Mirrors []graph.NodeID
 	// NbrRecovery, when true, lets hellos from a neighbor previously
 	// declared failed revive the adjacency (crash-restart and
 	// partition-heal support). Off by default: a failed link then stays
@@ -396,6 +403,19 @@ func (r *Router) Conn(id lsdb.ConnID) (ConnInfo, bool) {
 // DB exposes the router's local reservation state (outgoing links only);
 // intended for inspection in tests and tools.
 func (r *Router) DB() *lsdb.DB { return r.db }
+
+// Synced reports whether this router has installed at least one remote
+// link-state advertisement (trivially true on single-node topologies).
+// The node runtime's readiness probe gates on it so a freshly started
+// process does not accept work against an empty view.
+func (r *Router) Synced() bool {
+	if r.g.NumNodes() == 1 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.seqSeen) > 0
+}
 
 // View reports this router's link-state view of one link: the bandwidth
 // available to primaries, the bandwidth available to backups, and the

@@ -102,6 +102,12 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 		return ConnInfo{}, ErrNoBackup
 	}
 
+	return r.commitConn(id, dst, primary, backups, trace, start)
+}
+
+// commitConn records a fully signalled connection and emits the
+// establishment telemetry; shared by Establish and EstablishRoutes.
+func (r *Router) commitConn(id lsdb.ConnID, dst graph.NodeID, primary graph.Path, backups []graph.Path, trace uint64, start time.Time) (ConnInfo, error) {
 	c := &conn{
 		info: ConnInfo{
 			ID:      id,
@@ -127,6 +133,92 @@ func (r *Router) Establish(id lsdb.ConnID, dst graph.NodeID) (ConnInfo, error) {
 	r.mEstablishSeconds.Observe(time.Since(start).Seconds())
 	r.mActiveConns.Add(1)
 	return info, nil
+}
+
+// EstablishRoutes sets up a DR-connection along externally computed
+// routes (the control plane's route-finder service): the primary is
+// reserved hop-by-hop, then each provided backup is registered in order,
+// all with the router's usual retry/backoff signalling. At least one
+// backup must register or the primary is rolled back (the same
+// backup-required admission policy as Establish). Unlike Establish, no
+// local re-routing happens on a mid-path rejection — route selection
+// belongs to the caller.
+func (r *Router) EstablishRoutes(id lsdb.ConnID, dst graph.NodeID, primaryNodes []graph.NodeID, backupNodes [][]graph.NodeID) (ConnInfo, error) {
+	start := time.Now()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ConnInfo{}, ErrClosed
+	}
+	if _, dup := r.conns[id]; dup {
+		r.mu.Unlock()
+		return ConnInfo{}, fmt.Errorf("router: connection %d already exists", id)
+	}
+	r.mu.Unlock()
+
+	var trace uint64
+	if r.tracer.Enabled() {
+		trace = telemetry.ConnTrace(r.schemeName, int64(id))
+		r.tracer.ConnRequest(r.schemeName, trace, int64(id))
+	}
+	primary, err := r.pathFromNodes(primaryNodes, dst)
+	if err != nil {
+		r.tracer.ConnReject(r.schemeName, trace, int64(id), "no-route")
+		return ConnInfo{}, fmt.Errorf("%w: %v", ErrNoRoute, err)
+	}
+
+	if err := r.setupChannel(id, proto.Primary, primary, nil, trace); err != nil {
+		r.tracer.ConnReject(r.schemeName, trace, int64(id), "no-capacity")
+		return ConnInfo{}, err
+	}
+	r.tracer.PrimarySetup(r.schemeName, trace, int64(id), primary.Hops())
+
+	var (
+		backups  []graph.Path
+		firstErr error
+	)
+	for _, nodes := range backupNodes {
+		backup, err := r.pathFromNodes(nodes, dst)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := r.setupChannel(id, proto.Backup, backup, primary.Links(), trace); err != nil {
+			r.tracer.BackupRegister(r.schemeName, trace, int64(id), backup.Hops(), "rejected")
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		r.tracer.BackupRegister(r.schemeName, trace, int64(id), backup.Hops(), "")
+		backups = append(backups, backup)
+	}
+	if len(backups) == 0 {
+		r.teardownChannel(id, proto.Primary, primary, -1, trace, errors.Is(firstErr, ErrTimeout))
+		r.tracer.ConnReject(r.schemeName, trace, int64(id), "no-backup")
+		if firstErr != nil {
+			return ConnInfo{}, fmt.Errorf("%w: %v", ErrNoBackup, firstErr)
+		}
+		return ConnInfo{}, ErrNoBackup
+	}
+	return r.commitConn(id, dst, primary, backups, trace, start)
+}
+
+// pathFromNodes validates a commanded route: it must start at this
+// router, end at dst, and follow existing links.
+func (r *Router) pathFromNodes(nodes []graph.NodeID, dst graph.NodeID) (graph.Path, error) {
+	if len(nodes) < 2 {
+		return graph.Path{}, fmt.Errorf("route %v too short", nodes)
+	}
+	if nodes[0] != r.cfg.Node {
+		return graph.Path{}, fmt.Errorf("route %v does not start at node %d", nodes, r.cfg.Node)
+	}
+	if nodes[len(nodes)-1] != dst {
+		return graph.Path{}, fmt.Errorf("route %v does not end at node %d", nodes, dst)
+	}
+	return graph.PathFromNodes(r.g, nodes)
 }
 
 // overlapsAnyPath reports whether p shares a link with any of the paths.

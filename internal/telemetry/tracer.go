@@ -68,6 +68,25 @@ const (
 	// (Reason names the action: "drop", "dup", "reorder", "delay",
 	// "crash", "partition", "edge-fail", "edge-repair").
 	EvFaultInjected
+	// EvNodeJoin records a node runtime registering with the setup
+	// coordinator's registry.
+	EvNodeJoin
+	// EvNodeLeave records a node leaving the registry (Reason is
+	// "heartbeat-miss", "leave" or "drain").
+	EvNodeLeave
+	// EvHeartbeatMiss records the coordinator declaring a node dead after
+	// missing its heartbeats.
+	EvHeartbeatMiss
+	// EvAdmissionReject records the coordinator refusing a tenant's
+	// establishment request (Reason is "quota-conns", "quota-bandwidth",
+	// "unknown-node", "draining", "node-down" or "duplicate").
+	EvAdmissionReject
+	// EvDrainStart records the beginning of a node drain: the node is
+	// unschedulable and its connections are being migrated.
+	EvDrainStart
+	// EvDrainDone records drain completion (N = migrated connections;
+	// Hops reused as the dropped count, -1 never).
+	EvDrainDone
 )
 
 var kindNames = map[EventKind]string{
@@ -89,6 +108,12 @@ var kindNames = map[EventKind]string{
 	EvRetry:            "retry",
 	EvDedupHit:         "dedup-hit",
 	EvFaultInjected:    "fault-injected",
+	EvNodeJoin:         "node-join",
+	EvNodeLeave:        "node-leave",
+	EvHeartbeatMiss:    "heartbeat-miss",
+	EvAdmissionReject:  "admission-reject",
+	EvDrainStart:       "drain-start",
+	EvDrainDone:        "drain-done",
 }
 
 // String returns the kind's stable wire name.
@@ -162,6 +187,9 @@ type Event struct {
 	Scheme string `json:"scheme,omitempty"`
 	// Reason qualifies rejections, denials, drops and signalling roles.
 	Reason string `json:"reason,omitempty"`
+	// Tenant is the owning tenant of the affected connection, for events
+	// emitted by the multi-tenant control plane.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ConnTrace derives the deterministic trace ID that keys every event of
@@ -478,6 +506,60 @@ func (t *Tracer) DedupHit(trace uint64, conn int64, node int, role string) {
 	}
 	t.Emit(Event{Kind: EvDedupHit, Conn: conn, Node: node, Link: -1, Hops: -1,
 		Trace: trace, Reason: role})
+}
+
+// NodeJoin records a node runtime registering with the coordinator.
+func (t *Tracer) NodeJoin(node int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvNodeJoin, Conn: -1, Node: node, Link: -1, Hops: -1})
+}
+
+// NodeLeave records a node leaving the registry; reason is
+// "heartbeat-miss", "leave" or "drain".
+func (t *Tracer) NodeLeave(node int, reason string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvNodeLeave, Conn: -1, Node: node, Link: -1, Hops: -1,
+		Reason: reason})
+}
+
+// HeartbeatMiss records the coordinator declaring a node dead after
+// missed heartbeats.
+func (t *Tracer) HeartbeatMiss(node int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvHeartbeatMiss, Conn: -1, Node: node, Link: -1, Hops: -1})
+}
+
+// AdmissionReject records the coordinator refusing a tenant's request.
+func (t *Tracer) AdmissionReject(tenant string, conn int64, reason string) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvAdmissionReject, Conn: conn, Node: -1, Link: -1,
+		Hops: -1, Tenant: tenant, Reason: reason})
+}
+
+// DrainStart records the beginning of a node drain.
+func (t *Tracer) DrainStart(node int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvDrainStart, Conn: -1, Node: node, Link: -1, Hops: -1})
+}
+
+// DrainDone records drain completion with the number of migrated and
+// dropped connections.
+func (t *Tracer) DrainDone(node, migrated, dropped int) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit(Event{Kind: EvDrainDone, Conn: -1, Node: node, Link: -1, Hops: dropped,
+		N: migrated})
 }
 
 // FaultInjected records one fault applied by the chaos layer: action

@@ -2,21 +2,37 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/proto"
 )
 
+// Reconnect defaults: a Send whose established connection breaks
+// mid-stream (peer crashed or restarting) redials up to defaultRedials
+// more times with doubling backoff before reporting the error. The
+// budget is kept small because Send runs on the router's processing
+// loop; losses past it are covered by the signalling retry layer above.
+const (
+	defaultRedials        = 2
+	defaultRedialsBackoff = 5 * time.Millisecond
+)
+
 // TCPMesh connects routers over TCP. Each endpoint listens on its own
 // address; outbound connections are dialed lazily and cached. Messages
-// are length-prefixed Envelopes in the proto wire format.
+// are length-prefixed Envelopes in the proto wire format. A broken
+// outbound connection (peer restart) is dropped and redialed inside the
+// failing Send, bounded by the reconnect budget (see SetReconnect).
 type TCPMesh struct {
-	mu     sync.Mutex
-	addrs  map[graph.NodeID]string
-	closed bool
+	mu      sync.Mutex
+	addrs   map[graph.NodeID]string
+	closed  bool
+	redials int
+	backoff time.Duration
 }
 
 // NewTCPMesh creates a mesh with a static node-to-address directory.
@@ -25,7 +41,29 @@ func NewTCPMesh(addrs map[graph.NodeID]string) *TCPMesh {
 	for n, a := range addrs {
 		copied[n] = a
 	}
-	return &TCPMesh{addrs: copied}
+	return &TCPMesh{addrs: copied, redials: defaultRedials, backoff: defaultRedialsBackoff}
+}
+
+// SetReconnect bounds the in-Send reconnect path: after an established
+// connection breaks mid-write, Send retries up to redials more times,
+// sleeping backoff, 2*backoff, ... between attempts. redials of 0
+// disables reconnection (one attempt per Send, the pre-reconnect
+// behavior).
+func (m *TCPMesh) SetReconnect(redials int, backoff time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if redials < 0 {
+		redials = 0
+	}
+	m.redials = redials
+	m.backoff = backoff
+}
+
+// reconnectParams snapshots the reconnect budget.
+func (m *TCPMesh) reconnectParams() (int, time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.redials, m.backoff
 }
 
 // Attach starts listening on the node's directory address and returns its
@@ -105,12 +143,42 @@ var _ Endpoint = (*tcpEndpoint)(nil)
 // Node implements Endpoint.
 func (e *tcpEndpoint) Node() graph.NodeID { return e.node }
 
-// Send implements Endpoint.
+// Send implements Endpoint. A write failure on an established cached
+// connection is evidence of a peer restart: the broken connection is
+// dropped and the address redialed with bounded backoff, so a peer that
+// comes back on its directory address is transparently reconnected.
+// Fresh dial failures are NOT retried — a dead peer must fail fast,
+// because Send runs on the router's processing loop and sleeping there
+// starves live traffic (recovery signalling above all).
 func (e *tcpEndpoint) Send(to graph.NodeID, msg proto.Message) error {
+	err, broke := e.sendOnce(to, msg)
+	if err == nil || !broke || errors.Is(err, ErrClosed) || errors.Is(err, ErrUnknownPeer) {
+		return err
+	}
+	redials, backoff := e.mesh.reconnectParams()
+	lastErr := err
+	for attempt := 1; attempt <= redials; attempt++ {
+		time.Sleep(backoff << (attempt - 1))
+		err, _ := e.sendOnce(to, msg)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrClosed) || errors.Is(err, ErrUnknownPeer) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// sendOnce performs one dial-if-needed-and-write attempt. broke reports
+// that an established cached connection failed mid-stream (as opposed
+// to a fresh dial failing), the signal Send's reconnect path keys on.
+func (e *tcpEndpoint) sendOnce(to graph.NodeID, msg proto.Message) (err error, broke bool) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return ErrClosed
+		return ErrClosed, false
 	}
 	c := e.conns[to]
 	e.mu.Unlock()
@@ -118,18 +186,18 @@ func (e *tcpEndpoint) Send(to graph.NodeID, msg proto.Message) error {
 	if c == nil {
 		addr, ok := e.mesh.Addr(to)
 		if !ok {
-			return ErrUnknownPeer
+			return ErrUnknownPeer, false
 		}
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			return fmt.Errorf("transport: dial node %d: %w", to, err)
+			return fmt.Errorf("transport: dial node %d: %w", to, err), false
 		}
 		c = &tcpConn{conn: conn, w: bufio.NewWriter(conn)}
 		e.mu.Lock()
 		if e.closed {
 			e.mu.Unlock()
 			_ = conn.Close()
-			return ErrClosed
+			return ErrClosed, false
 		}
 		if existing := e.conns[to]; existing != nil {
 			// Lost the race; use the cached connection.
@@ -145,21 +213,21 @@ func (e *tcpEndpoint) Send(to graph.NodeID, msg proto.Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	env := proto.Envelope{From: e.node, To: to, Msg: msg}
-	err := proto.WriteFrame(c.w, env)
-	if err == nil {
-		err = c.w.Flush()
+	werr := proto.WriteFrame(c.w, env)
+	if werr == nil {
+		werr = c.w.Flush()
 	}
-	if err != nil {
-		// Drop the broken connection; the next Send redials.
+	if werr != nil {
+		// Drop the broken connection; the next attempt redials.
 		e.mu.Lock()
 		if e.conns[to] == c {
 			delete(e.conns, to)
 		}
 		e.mu.Unlock()
 		_ = c.conn.Close()
-		return fmt.Errorf("transport: send to node %d: %w", to, err)
+		return fmt.Errorf("transport: send to node %d: %w", to, werr), true
 	}
-	return nil
+	return nil, false
 }
 
 // Recv implements Endpoint.

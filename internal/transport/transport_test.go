@@ -271,6 +271,135 @@ func TestTCPClose(t *testing.T) {
 	_ = b
 }
 
+// tcpMeshPair is tcpPair with the mesh exposed, for reconnect tests.
+func tcpMeshPair(t *testing.T) (*transport.TCPMesh, transport.Endpoint, transport.Endpoint) {
+	t.Helper()
+	mesh := transport.NewTCPMesh(map[graph.NodeID]string{
+		0: "127.0.0.1:0",
+		1: "127.0.0.1:0",
+	})
+	a, err := mesh.Attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mesh.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = mesh.Close()
+	})
+	return mesh, a, b
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	mesh, a, b := tcpMeshPair(t)
+	// Prime the sender's cached connection.
+	if err := a.Send(1, proto.Hello{From: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+
+	// Restart the peer: its listener moves to a fresh ephemeral port and
+	// the directory is updated by the re-attach.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := mesh.Attach(1)
+	if err != nil {
+		t.Fatalf("re-attach after restart: %v", err)
+	}
+	t.Cleanup(func() { _ = b2.Close() })
+
+	// The cached connection is broken. A write on it may still succeed
+	// locally before the peer's RST lands (that message is lost, which
+	// the signalling retry layer above absorbs), so drive Sends until one
+	// lands on the restarted peer; none may error, because the bounded
+	// in-Send redial transparently reconnects.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := a.Send(1, proto.Hello{From: 0, Seq: 2}); err != nil {
+			t.Fatalf("send after peer restart: %v", err)
+		}
+		select {
+		case env, ok := <-b2.Recv():
+			if !ok {
+				t.Fatal("restarted endpoint closed")
+			}
+			if env.Msg.(proto.Hello).Seq != 2 {
+				t.Fatalf("unexpected message: %+v", env.Msg)
+			}
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	t.Fatal("no message reached the restarted peer")
+}
+
+func TestTCPReconnectBoundedAgainstDeadPeer(t *testing.T) {
+	mesh, a, b := tcpMeshPair(t)
+	mesh.SetReconnect(2, time.Millisecond)
+	if err := a.Send(1, proto.Hello{From: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer never comes back: Send must give up within the bounded
+	// redial budget instead of succeeding or hanging.
+	start := time.Now()
+	var sendErr error
+	for i := 0; i < 50 && sendErr == nil; i++ {
+		sendErr = a.Send(1, proto.Hello{From: 0, Seq: uint64(i)})
+	}
+	if sendErr == nil {
+		t.Fatal("sends kept succeeding against a dead peer")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded reconnect took %v", elapsed)
+	}
+}
+
+func TestTCPReconnectDisabled(t *testing.T) {
+	mesh, a, b := tcpMeshPair(t)
+	mesh.SetReconnect(0, 0) // pre-reconnect behavior: one attempt per Send
+	if err := a.Send(1, proto.Hello{From: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := mesh.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b2.Close() })
+
+	// Drive the broken cached connection until the write error surfaces;
+	// with the redial budget disabled it escapes Send instead of being
+	// retried in place.
+	var sawErr bool
+	for i := 0; i < 200 && !sawErr; i++ {
+		sawErr = a.Send(1, proto.Hello{From: 0, Seq: uint64(i)}) != nil
+		time.Sleep(time.Millisecond)
+	}
+	if !sawErr {
+		t.Fatal("broken connection never surfaced with reconnection disabled")
+	}
+	// The connection was dropped on error, so the next Send dials fresh.
+	if err := a.Send(1, proto.Hello{From: 0, Seq: 999}); err != nil {
+		t.Fatalf("send after error did not redial: %v", err)
+	}
+	env := recvOne(t, b2)
+	if env.Msg.(proto.Hello).Seq != 999 {
+		t.Fatalf("unexpected message: %+v", env.Msg)
+	}
+}
+
 func TestLossyMemDropsMessages(t *testing.T) {
 	m := transport.NewLossyMem(1.0, 7) // drop everything but hellos
 	defer m.Close()
