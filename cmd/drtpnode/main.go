@@ -82,6 +82,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		quotas    = fs.String("quotas", "", `per-tenant admission quotas "tenant=conns:bw,..." (0 = unlimited; setup role)`)
 		heartbeat = fs.Duration("heartbeat", 500*time.Millisecond, "control-plane heartbeat interval (setup and node roles)")
 		metrics   = fs.String("metrics", "", "serve /metrics, /healthz and /readyz on this address (e.g. :9090)")
+		runtimeM  = fs.Bool("runtime-metrics", false, "sample Go runtime health (heap, GC pauses, scheduler latency) into the metrics registry")
 		trace     = fs.String("trace", "", "append protocol events as JSONL to this file")
 		chaos     = fs.String("chaos", "", "chaos schedule JSON applied to this node's outbound signalling (times are seconds since start)")
 		retries   = fs.Int("retries", 3, "signalling attempt budget per round trip (1 disables retransmission)")
@@ -134,11 +135,18 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sinks = append(sinks, telemetry.NewJSONL(f))
+		// Stream events through a bounded queue so a slow disk never
+		// stalls signalling; overflow is counted in the registry.
+		sinks = append(sinks, telemetry.NewStreamSink(f, 0, reg))
 	}
 	tracer := telemetry.NewTracer(sinks...)
 	tracer.SetNode(*node)
 	defer func() { _ = tracer.Close() }()
+
+	if *runtimeM {
+		stop := telemetry.StartRuntimeSampler(reg, 0)
+		defer stop()
+	}
 
 	// SIGINT/SIGTERM shut the process down gracefully: the HTTP server
 	// drains in-flight scrapes, the runtime closes, and the trace flushes.

@@ -129,6 +129,7 @@ func (rt *roleRuntime) startCoordinator() (*consoleEnv, error) {
 		RetryLimit:        rt.retries,
 		Quotas:            rt.quotas,
 		Telemetry:         rt.tracer,
+		Metrics:           rt.metrics,
 	}, ep)
 	if err != nil {
 		_ = ep.Close()

@@ -53,6 +53,7 @@ func run(args []string, w io.Writer) error {
 		chaosSpec = fs.String("chaos", "", "chaos schedule JSON applied to every run (fault-injection; see README)")
 		trace     = fs.String("trace", "", "write protocol events as JSONL to this file")
 		metrSum   = fs.Bool("metrics-summary", false, "print aggregated event counters after the experiment")
+		runtimeM  = fs.Bool("runtime-metrics", false, "sample Go runtime health during the run and include it in the metrics summary")
 		cpuProf   = fs.String("pprof", "", "write a CPU profile of the experiment to this file")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0),
 			"goroutines evaluating experiment cells concurrently (output is identical at any count)")
@@ -88,10 +89,12 @@ func run(args []string, w io.Writer) error {
 		tracer *telemetry.Tracer
 		reg    *telemetry.Registry
 	)
-	if *trace != "" || *metrSum {
+	if *trace != "" || *metrSum || *runtimeM {
 		var sinks []telemetry.Sink
-		if *metrSum {
+		if *metrSum || *runtimeM {
 			reg = telemetry.NewRegistry()
+		}
+		if *metrSum {
 			sinks = append(sinks, telemetry.NewMetricsSink(reg))
 		}
 		if *trace != "" {
@@ -99,10 +102,19 @@ func run(args []string, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			sinks = append(sinks, telemetry.NewJSONL(f))
+			// Stream through a bounded queue so trace memory no longer
+			// grows with run length. Lossless mode: the trace must
+			// reconcile event-for-event with the result tables, so a
+			// full queue backpressures the cell-forwarding loop rather
+			// than dropping.
+			sinks = append(sinks, telemetry.NewLosslessStreamSink(f, 0, reg))
 		}
 		tracer = telemetry.NewTracer(sinks...)
 		p.Telemetry = tracer
+	}
+	var stopSampler func()
+	if *runtimeM {
+		stopSampler = telemetry.StartRuntimeSampler(reg, 0)
 	}
 
 	render := func(t *metrics.Table) error {
@@ -279,6 +291,9 @@ func run(args []string, w io.Writer) error {
 	}
 
 	err := dispatch()
+	if stopSampler != nil {
+		stopSampler() // final runtime scrape before the summary prints
+	}
 	if cerr := tracer.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("trace: %w", cerr)
 	}

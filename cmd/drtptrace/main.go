@@ -12,6 +12,13 @@
 //	drtptrace events.jsonl
 //	drtptrace -format json node0.jsonl node1.jsonl node2.jsonl
 //	drtptrace -conn 7 events.jsonl      # one connection's timeline
+//
+// The "slo" subcommand evaluates latency objectives over a trace:
+// establishment-latency (request -> active) and service-disruption
+// percentiles per scheme, with pass/fail verdicts and error-budget burn.
+//
+//	drtptrace slo -unit minutes -slo disruption:p99:1s events.jsonl
+//	drtptrace slo -format json node0.jsonl node1.jsonl
 package main
 
 import (
@@ -35,6 +42,9 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
+	if len(args) > 0 && args[0] == "slo" {
+		return runSLO(args[1:], w)
+	}
 	fs := flag.NewFlagSet("drtptrace", flag.ContinueOnError)
 	var (
 		format = fs.String("format", "text", "output format: text|json")

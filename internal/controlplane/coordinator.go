@@ -67,6 +67,12 @@ type CoordinatorConfig struct {
 	// heartbeat-miss, admission-reject, drain-start, drain-done); nil
 	// disables emission.
 	Telemetry *telemetry.Tracer
+	// Metrics, when non-nil, receives the setup pipeline's per-stage
+	// latency histograms (drtp_cp_stage_seconds{stage}): admission is
+	// the synchronous quota/liveness check, route_query the route-finder
+	// round trip, establish the node command driving reserve/activate
+	// signalling, and total the whole request-to-reply span.
+	Metrics *telemetry.Registry
 }
 
 func (c *CoordinatorConfig) setDefaults() {
@@ -134,6 +140,14 @@ type Coordinator struct {
 	tracer *telemetry.Tracer
 	rf     graph.NodeID
 
+	// Per-stage setup latency; children resolved once at construction so
+	// the observe path stays allocation-free. All are nil-safe no-ops
+	// when cfg.Metrics is nil.
+	latAdmission  *telemetry.LatencyHist
+	latRouteQuery *telemetry.LatencyHist
+	latEstablish  *telemetry.LatencyHist
+	latTotal      *telemetry.LatencyHist
+
 	mu sync.Mutex
 	// nodes is the registry; guarded by mu.
 	nodes map[graph.NodeID]*nodeRec
@@ -187,6 +201,12 @@ func NewCoordinator(cfg CoordinatorConfig, ep transport.Endpoint) (*Coordinator,
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
+	stages := cfg.Metrics.LatencyVec("drtp_cp_stage_seconds",
+		"Setup-pipeline stage latency: admission, route_query, establish, total.", "stage")
+	c.latAdmission = stages.With("admission")
+	c.latRouteQuery = stages.With("route_query")
+	c.latEstablish = stages.With("establish")
+	c.latTotal = stages.With("total")
 	go c.loop()
 	return c, nil
 }
@@ -450,7 +470,10 @@ func (c *Coordinator) excludedNodesLocked() []graph.NodeID {
 // attach to the in-flight attempt (pending), so client retries are
 // idempotent.
 func (c *Coordinator) handleEstablish(from graph.NodeID, m proto.EstablishRequest) {
+	start := time.Now()
 	reject := func(reason string) {
+		c.latAdmission.ObserveSince(start)
+		c.latTotal.ObserveSince(start)
 		c.tracer.AdmissionReject(m.Tenant, int64(m.Conn), reason)
 		c.log.Info("establish rejected", "conn", int64(m.Conn), "tenant", m.Tenant, "reason", reason)
 		_ = c.ep.Send(from, proto.EstablishReply{Conn: m.Conn, Reason: reason})
@@ -507,16 +530,19 @@ func (c *Coordinator) handleEstablish(from graph.NodeID, m proto.EstablishReques
 	c.pendingConns[m.Conn] = true
 	exclude := c.excludedNodesLocked()
 	c.mu.Unlock()
+	c.latAdmission.ObserveSince(start)
 
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		c.establishWorker(from, m, exclude)
+		c.establishWorker(from, m, exclude, start)
 	}()
 }
 
 // establishWorker drives one admitted establishment to completion.
-func (c *Coordinator) establishWorker(from graph.NodeID, m proto.EstablishRequest, exclude []graph.NodeID) {
+// start is the request's arrival time, closing the total-latency span.
+func (c *Coordinator) establishWorker(from graph.NodeID, m proto.EstablishRequest, exclude []graph.NodeID, start time.Time) {
+	defer c.latTotal.ObserveSince(start)
 	fail := func(reason string) {
 		c.mu.Lock()
 		delete(c.pendingConns, m.Conn)
@@ -525,7 +551,9 @@ func (c *Coordinator) establishWorker(from graph.NodeID, m proto.EstablishReques
 		c.log.Info("establish failed", "conn", int64(m.Conn), "tenant", m.Tenant, "reason", reason)
 		_ = c.ep.Send(from, proto.EstablishReply{Conn: m.Conn, Reason: reason})
 	}
+	routeStart := time.Now()
 	rr, err := c.queryRoute(m.Src, m.Dst, exclude)
+	c.latRouteQuery.ObserveSince(routeStart)
 	if err != nil {
 		fail("route-query: " + err.Error())
 		return
@@ -534,10 +562,12 @@ func (c *Coordinator) establishWorker(from graph.NodeID, m proto.EstablishReques
 		fail(rr.Reason)
 		return
 	}
+	cmdStart := time.Now()
 	res, err := c.command(m.Src, proto.ConnCommand{
 		Op: proto.OpEstablish, Conn: m.Conn, Dst: m.Dst,
 		Primary: rr.Primary, Backups: rr.Backups,
 	})
+	c.latEstablish.ObserveSince(cmdStart)
 	if err != nil {
 		fail("establish-command: " + err.Error())
 		return

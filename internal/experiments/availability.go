@@ -90,18 +90,19 @@ func RunAvailability(p AvailabilityParams) (*Availability, error) {
 
 	// Scheme runs replay the identical scenario and failure schedule on
 	// separate networks, so they shard across the worker pool; telemetry
-	// from concurrent runs is buffered per run and forwarded in spec
-	// order (see engine.go).
+	// from concurrent runs is buffered per run and streamed out in spec
+	// order as the completed prefix advances (see engine.go).
 	out := &Availability{Params: p, Failures: len(schedule)}
 	results := make([]*sim.Result, len(specs))
-	flushes := make([]func(), len(specs))
+	stream := newTelemetryStream(p.Telemetry, len(specs), p.workerCount())
 	err = runParallel(p.workerCount(), len(specs), func(i int) error {
 		spec := specs[i]
 		net, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
 		if err != nil {
 			return err
 		}
-		tracer, flush := cellTracer(p.Telemetry)
+		tracer, done := stream.cell(i)
+		defer done()
 		res, err := sim.Run(net, spec.new(), sc, sim.Config{
 			Warmup:          p.Warmup,
 			FailureSchedule: schedule,
@@ -112,14 +113,12 @@ func RunAvailability(p AvailabilityParams) (*Availability, error) {
 			return fmt.Errorf("experiments: availability %s: %w", spec.name, err)
 		}
 		results[i] = res
-		flushes[i] = flush
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, spec := range specs {
-		flushes[i]()
 		out.Rows = append(out.Rows, AvailabilityRow{Scheme: spec.name, Result: results[i]})
 	}
 	return out, nil

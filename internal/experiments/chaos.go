@@ -77,14 +77,15 @@ func RunChaos(p ChaosParams) (*Chaos, error) {
 	specs := PaperSchemes()
 	out := &Chaos{Params: p}
 	results := make([]*sim.Result, len(specs))
-	flushes := make([]func(), len(specs))
+	stream := newTelemetryStream(p.Telemetry, len(specs), p.workerCount())
 	err = runParallel(p.workerCount(), len(specs), func(i int) error {
 		spec := specs[i]
 		net, err := drtp.NewNetworkWithMode(g, p.Capacity, p.UnitBW, p.Mode)
 		if err != nil {
 			return err
 		}
-		tracer, flush := cellTracer(p.Telemetry)
+		tracer, done := stream.cell(i)
+		defer done()
 		res, err := sim.Run(net, spec.New(p.cellSeed("scheme/"+spec.Name)), sc, sim.Config{
 			Warmup:      p.Warmup,
 			ManagerOpts: spec.ManagerOpts,
@@ -95,14 +96,12 @@ func RunChaos(p ChaosParams) (*Chaos, error) {
 			return fmt.Errorf("experiments: chaos %s: %w", spec.Name, err)
 		}
 		results[i] = res
-		flushes[i] = flush
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, spec := range specs {
-		flushes[i]()
 		out.Rows = append(out.Rows, ChaosRow{Scheme: spec.Name, Result: results[i]})
 	}
 	return out, nil

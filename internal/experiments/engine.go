@@ -18,9 +18,12 @@ import (
 //     rng.Split (Params.cellSeed), never from a shared sequential
 //     generator, so the assignment of cells to workers cannot perturb
 //     any draw.
-//   - Telemetry from concurrent cells is captured in per-cell Buffer
-//     sinks and forwarded to the shared tracer in cell order after all
-//     jobs complete (cellTracer / flush).
+//   - Telemetry from concurrent cells is captured in short-lived
+//     per-cell buffers and streamed to the shared tracer in cell order
+//     as the completed prefix advances (telemetryStream). A windowed
+//     admission bound keeps at most O(workers) cell buffers alive, so
+//     trace memory is independent of sweep size while the forwarded
+//     event order stays bit-identical at any worker count.
 //   - Aggregates (metrics.Sample) are merged in cell order during the
 //     single-threaded merge phase.
 //
@@ -77,20 +80,76 @@ func runParallel(workers, n int, job func(i int) error) error {
 	return nil
 }
 
-// cellTracer returns the tracer one concurrently-running cell should
-// emit into, plus the flush that forwards its captured events to the
-// shared tracer. When the shared tracer is disabled both are cheap
-// no-ops. Flushes must be called single-threaded, in cell order, after
-// all jobs complete — that is what keeps trace output identical at any
-// worker count.
-func cellTracer(shared *telemetry.Tracer) (*telemetry.Tracer, func()) {
-	if !shared.Enabled() {
+// telemetryStream forwards per-cell telemetry to the shared tracer in
+// cell order while jobs still run. Cell i's events are captured in a
+// private buffer; as soon as the completed prefix reaches i the buffer
+// is replayed into the shared sinks and freed. Admission is windowed:
+// cell i may not start buffering until fewer than window cells separate
+// it from the oldest unflushed cell, which caps live buffers — and with
+// a streaming sink downstream, total trace memory — regardless of how
+// many cells the sweep has. A nil *telemetryStream (disabled tracer) is
+// a no-op.
+type telemetryStream struct {
+	shared *telemetry.Tracer
+	window int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	head int // lowest cell index not yet forwarded
+	bufs []*telemetry.Buffer
+	done []bool
+}
+
+// newTelemetryStream sets up ordered forwarding for n cells run by the
+// given worker count. It returns nil when the shared tracer is disabled.
+func newTelemetryStream(shared *telemetry.Tracer, n, workers int) *telemetryStream {
+	if !shared.Enabled() || n == 0 {
+		return nil
+	}
+	window := 4 * workers
+	if window < 8 {
+		window = 8
+	}
+	s := &telemetryStream{
+		shared: shared,
+		window: window,
+		bufs:   make([]*telemetry.Buffer, n),
+		done:   make([]bool, n),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// cell admits cell i, blocking while it is more than window cells ahead
+// of the oldest unflushed one, and returns the tracer the cell must emit
+// into plus the completion callback. The callback must run exactly once
+// when the cell finishes (success or error); defer it.
+func (s *telemetryStream) cell(i int) (*telemetry.Tracer, func()) {
+	if s == nil {
 		return nil, func() {}
 	}
-	buf := telemetry.NewBuffer()
-	return telemetry.NewTracer(buf), func() {
-		for _, e := range buf.Events() {
-			shared.Forward(e)
-		}
+	s.mu.Lock()
+	for i >= s.head+s.window {
+		s.cond.Wait()
 	}
+	buf := telemetry.NewBuffer()
+	s.bufs[i] = buf
+	s.mu.Unlock()
+	return telemetry.NewTracer(buf), func() { s.complete(i) }
+}
+
+// complete marks cell i finished and forwards every newly-contiguous
+// completed cell to the shared tracer, releasing its buffer.
+func (s *telemetryStream) complete(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done[i] = true
+	for s.head < len(s.done) && s.done[s.head] {
+		for _, e := range s.bufs[s.head].Events() {
+			s.shared.Forward(e)
+		}
+		s.bufs[s.head] = nil
+		s.head++
+	}
+	s.cond.Broadcast()
 }

@@ -117,6 +117,40 @@ func TestParallelSweepTelemetryDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelSweepStreamedTraceBytes asserts the full streaming path:
+// a sweep traced through a bounded StreamSink must write byte-identical
+// JSONL at workers=1 and workers=8, with zero drops, while never holding
+// more than the forwarder window of cell buffers in memory.
+func TestParallelSweepStreamedTraceBytes(t *testing.T) {
+	traceBytes := func(workers int) []byte {
+		var out bytes.Buffer
+		// Queue sized generously: the point here is ordering, not drops.
+		sink := telemetry.NewStreamSink(&out, 1<<18, nil)
+		p := tinyParams()
+		p.Telemetry = telemetry.NewTracer(sink)
+		p.Workers = workers
+		if _, err := RunSweep(p, PaperSchemes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Telemetry.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if sink.Dropped() != 0 {
+			t.Fatalf("workers=%d: dropped %d trace events", workers, sink.Dropped())
+		}
+		return out.Bytes()
+	}
+	serial := traceBytes(1)
+	parallel := traceBytes(8)
+	if len(serial) == 0 {
+		t.Fatal("sweep streamed no telemetry")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("streamed trace bytes differ: %d bytes at workers=1, %d at workers=8",
+			len(serial), len(parallel))
+	}
+}
+
 // TestParallelAblationDeterminism covers RunAblation's job sharding.
 func TestParallelAblationDeterminism(t *testing.T) {
 	run := func(workers int) *Ablation {

@@ -103,8 +103,7 @@ type sweepJobResult struct {
 	res *sim.Result
 	// ft is the job's single-observation fault-tolerance partial; the
 	// merge phase folds partials into each row's aggregate in cell order.
-	ft    metrics.Sample
-	flush func()
+	ft metrics.Sample
 }
 
 // RunSweep evaluates the given schemes over all (pattern, lambda) cells of
@@ -150,16 +149,18 @@ func RunSweep(p Params, schemes []SchemeSpec) (*Sweep, error) {
 	}
 
 	results := make([]sweepJobResult, len(jobs))
+	stream := newTelemetryStream(p.Telemetry, len(jobs), p.workerCount())
 	err := runParallel(p.workerCount(), len(jobs), func(i int) error {
 		j := jobs[i]
 		pc := j.params
-		tracer, flush := cellTracer(p.Telemetry)
+		tracer, done := stream.cell(i)
+		defer done()
 		pc.Telemetry = tracer
 		res, _, err := runCell(pc, j.graph, j.spec, j.scen)
 		if err != nil {
 			return err
 		}
-		r := sweepJobResult{res: res, flush: flush}
+		r := sweepJobResult{res: res}
 		if !j.baseline {
 			r.ft.Add(res.FaultTolerance)
 		}
@@ -171,9 +172,9 @@ func RunSweep(p Params, schemes []SchemeSpec) (*Sweep, error) {
 	}
 
 	// Merge phase: single-threaded, in job (= serial visiting) order.
+	// Telemetry already streamed out in this order as cells completed.
 	for i, j := range jobs {
 		r := results[i]
-		r.flush()
 		if j.baseline {
 			if j.rep == 0 {
 				sweep.Baselines[baselineKey(j.pattern, j.lambda)] = r.res

@@ -206,6 +206,9 @@ func (r *Router) handleFailureReport(m proto.FailureReport) {
 // (spare reservations converted to primary bandwidth). failedLink labels
 // the telemetry events with the reported failure.
 func (r *Router) switchToBackup(id lsdb.ConnID, failedLink int, trace uint64) {
+	// The disruption clock starts when the failure report reaches the
+	// source — the point the paper measures service disruption from.
+	start := time.Now()
 	r.mu.Lock()
 	c, ok := r.conns[id]
 	if !ok {
@@ -232,13 +235,14 @@ func (r *Router) switchToBackup(id lsdb.ConnID, failedLink int, trace uint64) {
 	// The activation round trips complete asynchronously in the router
 	// loop; a helper goroutine walks the backup list.
 	r.wg.Add(1)
-	go r.runSwitch(id, failedLink, trace, oldPrimary, backups)
+	go r.runSwitch(id, failedLink, trace, oldPrimary, backups, start)
 }
 
 // runSwitch tries each backup in order; the first successful activation
 // becomes the new primary, surviving backups stay registered, and the old
-// primary's remaining reservations are reconfigured away.
-func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, trace uint64, oldPrimary graph.Path, backups []graph.Path) {
+// primary's remaining reservations are reconfigured away. start is when
+// the failure report arrived, closing the disruption-time span.
+func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, trace uint64, oldPrimary graph.Path, backups []graph.Path, start time.Time) {
 	defer r.wg.Done()
 	for i, backup := range backups {
 		if !r.activateBackup(id, backup, trace) {
@@ -267,6 +271,7 @@ func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, trace uint64, oldPrim
 		}
 		r.mu.Unlock()
 		r.log.Warn("channel switched to backup", "conn", int64(id), "attempt", i+1)
+		r.mDisruptionSeconds.ObserveSince(start)
 		r.tracer.BackupActivate(r.schemeName, trace, int64(id), failedLink, "switch")
 		// Resource reconfiguration: release what the failed primary still
 		// holds on surviving links.

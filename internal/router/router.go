@@ -296,9 +296,16 @@ type Router struct {
 	tracer     *telemetry.Tracer
 	schemeName string
 	// Cached metric instruments (nil when Config.Metrics is nil; every
-	// method on them is nil-safe).
-	mEstablishSeconds *telemetry.Histogram
-	mActiveConns      *telemetry.Gauge
+	// method on them is nil-safe). Hop-signal children are resolved once
+	// here so the dispatch path observes without any lookup or
+	// allocation.
+	mEstablishSeconds  *telemetry.Histogram
+	mActiveConns       *telemetry.Gauge
+	mDisruptionSeconds *telemetry.LatencyHist
+	mHopPrimary        *telemetry.LatencyHist
+	mHopBackup         *telemetry.LatencyHist
+	mHopActivate       *telemetry.LatencyHist
+	mHopTeardown       *telemetry.LatencyHist
 
 	// retryRNG jitters retransmission backoff; guarded by retryMu (drawn
 	// from Establish/switch goroutines, not the router loop).
@@ -352,7 +359,16 @@ func New(cfg Config, ep transport.Endpoint) (*Router, error) {
 			"Latency of successful DR-connection establishments.", nil)
 		r.mActiveConns = cfg.Metrics.GaugeVec("drtp_router_active_connections",
 			"Connections originated at each node.", "node").
+			//drtplint:ignore instrumentnames node IDs are a small fixed set (one per router), not unbounded cardinality
 			With(fmt.Sprint(int(cfg.Node)))
+		r.mDisruptionSeconds = cfg.Metrics.Latency("drtp_router_disruption_seconds",
+			"Service disruption from failure report to backup activation.")
+		hops := cfg.Metrics.LatencyVec("drtp_router_hop_signal_seconds",
+			"Per-hop signalling processing time, by signalling role.", "role")
+		r.mHopPrimary = hops.With("primary")
+		r.mHopBackup = hops.With("backup")
+		r.mHopActivate = hops.With("activate")
+		r.mHopTeardown = hops.With("teardown")
 	}
 	// Optimistic initial view: every link empty until adverts arrive.
 	for i := range r.view {
@@ -465,15 +481,27 @@ func (r *Router) dispatch(env proto.Envelope) {
 	case proto.LSUpdate:
 		r.handleLSUpdate(env.From, m)
 	case proto.Setup:
+		// Per-hop signalling time: how long this router held the loop to
+		// process one hop — the quantity that bounds signalling throughput.
+		start := time.Now()
 		r.handleSetup(m)
+		if m.Channel == proto.Primary {
+			r.mHopPrimary.ObserveSince(start)
+		} else {
+			r.mHopBackup.ObserveSince(start)
+		}
 	case proto.SetupResult:
 		r.handleSetupResult(m)
 	case proto.Teardown:
+		start := time.Now()
 		r.handleTeardown(m)
+		r.mHopTeardown.ObserveSince(start)
 	case proto.FailureReport:
 		r.handleFailureReport(m)
 	case proto.Activate:
+		start := time.Now()
 		r.handleActivate(m)
+		r.mHopActivate.ObserveSince(start)
 	case proto.ActivateResult:
 		r.handleActivateResult(m)
 	}

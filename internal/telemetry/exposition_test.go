@@ -47,7 +47,7 @@ func TestExpositionLabelEscaping(t *testing.T) {
 // it is always last, cumulative, and equals the _count series.
 func TestExpositionHistogramInfBucket(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	h := reg.Histogram("test_lat", "latency", []float64{0.1, 1})
+	h := reg.Histogram("test_lat_seconds", "latency", []float64{0.1, 1})
 	// Power-of-two fractions keep the sum exact in binary floating point.
 	for _, v := range []float64{0.0625, 0.5, 99, 100} { // two above the top bound
 		h.Observe(v)
@@ -55,11 +55,11 @@ func TestExpositionHistogramInfBucket(t *testing.T) {
 
 	out := exposition(t, reg)
 	for _, want := range []string{
-		`test_lat_bucket{le="0.1"} 1`,
-		`test_lat_bucket{le="1"} 2`,
-		`test_lat_bucket{le="+Inf"} 4`,
-		`test_lat_count 4`,
-		`test_lat_sum 199.5625`,
+		`test_lat_seconds_bucket{le="0.1"} 1`,
+		`test_lat_seconds_bucket{le="1"} 2`,
+		`test_lat_seconds_bucket{le="+Inf"} 4`,
+		`test_lat_seconds_count 4`,
+		`test_lat_seconds_sum 199.5625`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
@@ -69,7 +69,7 @@ func TestExpositionHistogramInfBucket(t *testing.T) {
 	lines := strings.Split(out, "\n")
 	lastBucket := ""
 	for _, l := range lines {
-		if strings.HasPrefix(l, "test_lat_bucket") {
+		if strings.HasPrefix(l, "test_lat_seconds_bucket") {
 			lastBucket = l
 		}
 	}
@@ -84,24 +84,24 @@ func TestExpositionHistogramInfBucket(t *testing.T) {
 // family with no children prints nothing at all.
 func TestExpositionEmptyHistogram(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	reg.Histogram("test_idle", "never observed", []float64{1, 2})
-	reg.HistogramVec("test_empty_vec", "no children", []float64{1}, "scheme")
-	reg.CounterVec("test_empty_counter", "no children", "scheme")
+	reg.Histogram("test_idle_seconds", "never observed", []float64{1, 2})
+	reg.HistogramVec("test_empty_vec_seconds", "no children", []float64{1}, "scheme")
+	reg.CounterVec("test_empty_counter_total", "no children", "scheme")
 
 	out := exposition(t, reg)
 	for _, want := range []string{
-		"# TYPE test_idle histogram",
-		`test_idle_bucket{le="1"} 0`,
-		`test_idle_bucket{le="2"} 0`,
-		`test_idle_bucket{le="+Inf"} 0`,
-		"test_idle_sum 0",
-		"test_idle_count 0",
+		"# TYPE test_idle_seconds histogram",
+		`test_idle_seconds_bucket{le="1"} 0`,
+		`test_idle_seconds_bucket{le="2"} 0`,
+		`test_idle_seconds_bucket{le="+Inf"} 0`,
+		"test_idle_seconds_sum 0",
+		"test_idle_seconds_count 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
 	}
-	for _, absent := range []string{"test_empty_vec", "test_empty_counter"} {
+	for _, absent := range []string{"test_empty_vec_seconds", "test_empty_counter_total"} {
 		if strings.Contains(out, absent) {
 			t.Fatalf("family %s with no children was exposed:\n%s", absent, out)
 		}
@@ -112,16 +112,16 @@ func TestExpositionEmptyHistogram(t *testing.T) {
 // carry both the family labels and the le bound, le last.
 func TestExpositionHistogramVecLabels(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	hv := reg.HistogramVec("test_hops", "route lengths", []float64{2}, "scheme")
+	hv := reg.HistogramVec("test_hops_bytes", "route lengths", []float64{2}, "scheme")
 	hv.With("D-LSR").Observe(1)
 	hv.With("D-LSR").Observe(5)
 
 	out := exposition(t, reg)
 	for _, want := range []string{
-		`test_hops_bucket{scheme="D-LSR",le="2"} 1`,
-		`test_hops_bucket{scheme="D-LSR",le="+Inf"} 2`,
-		`test_hops_sum{scheme="D-LSR"} 6`,
-		`test_hops_count{scheme="D-LSR"} 2`,
+		`test_hops_bytes_bucket{scheme="D-LSR",le="2"} 1`,
+		`test_hops_bytes_bucket{scheme="D-LSR",le="+Inf"} 2`,
+		`test_hops_bytes_sum{scheme="D-LSR"} 6`,
+		`test_hops_bytes_count{scheme="D-LSR"} 2`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)

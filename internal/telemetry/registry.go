@@ -135,6 +135,9 @@ const (
 	kindCounter metricKind = iota + 1
 	kindGauge
 	kindHistogram
+	// kindLatency is the log2-bucketed LatencyHist; it exposes as a
+	// Prometheus histogram with power-of-two second bounds.
+	kindLatency
 )
 
 func (k metricKind) String() string {
@@ -143,7 +146,7 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge:
 		return "gauge"
-	case kindHistogram:
+	case kindHistogram, kindLatency:
 		return "histogram"
 	default:
 		return "untyped"
@@ -191,6 +194,8 @@ func (f *family) child(values []string) any {
 		c = &Counter{}
 	case kindGauge:
 		c = &Gauge{}
+	case kindLatency:
+		c = &LatencyHist{}
 	default:
 		c = newHistogram(f.bounds)
 	}
@@ -377,6 +382,10 @@ func (f *family) write(w io.Writer) error {
 				return err
 			}
 		case *Histogram:
+			if err := c.write(w, f.name, f.labels, values); err != nil {
+				return err
+			}
+		case *LatencyHist:
 			if err := c.write(w, f.name, f.labels, values); err != nil {
 				return err
 			}

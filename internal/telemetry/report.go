@@ -82,6 +82,8 @@ type DisruptionStats struct {
 	Min     float64            `json:"min"`
 	P50     float64            `json:"p50"`
 	P90     float64            `json:"p90"`
+	P95     float64            `json:"p95"`
+	P99     float64            `json:"p99"`
 	Max     float64            `json:"max"`
 	Mean    float64            `json:"mean"`
 	Buckets []DisruptionBucket `json:"buckets,omitempty"`
@@ -277,6 +279,8 @@ func summarizeDisruptions(samples []float64) DisruptionStats {
 	d.Max = samples[len(samples)-1]
 	d.P50 = quantile(samples, 0.50)
 	d.P90 = quantile(samples, 0.90)
+	d.P95 = quantile(samples, 0.95)
+	d.P99 = quantile(samples, 0.99)
 	var sum float64
 	for _, v := range samples {
 		sum += v
@@ -296,19 +300,11 @@ func summarizeDisruptions(samples []float64) DisruptionStats {
 	return d
 }
 
-// quantile returns the nearest-rank q-quantile of sorted samples.
+// quantile returns the nearest-rank q-quantile of sorted samples; it
+// delegates to the shared estimator so report tables and SLO verdicts
+// cannot disagree on method.
 func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
+	return QuantileSeconds(sorted, q)
 }
 
 func summarizeOccupancy(states []Event) []*OccupancyStat {

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// runtimeSamples are the runtime/metrics series the sampler scrapes.
+// Gauges republish the latest value; histogram series are merged as
+// deltas into log2 latency histograms so /metrics exposes cumulative
+// GC-pause and scheduling-latency distributions.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// runtimeSampler periodically folds runtime/metrics into a Registry.
+type runtimeSampler struct {
+	samples []metrics.Sample
+	prev    map[string][]uint64 // histogram counts at the last tick
+
+	goroutines *Gauge
+	heapBytes  *Gauge
+	memBytes   *Gauge
+	gcCycles   *Counter
+	prevCycles uint64
+	gcPause    *LatencyHist
+	schedLat   *LatencyHist
+}
+
+// StartRuntimeSampler launches a goroutine sampling the Go runtime every
+// interval (1s when non-positive) into reg: heap/total memory gauges,
+// goroutine count, GC cycle counter, and GC-pause / scheduler-latency
+// histograms. It returns a stop function that halts the goroutine after
+// a final sample, so short runs still report. A nil registry yields a
+// no-op stop.
+//
+// This is the data source behind the -runtime-metrics flag of drtpnode
+// and drtpsim: it turns "is the parallel engine scheduler-bound or
+// GC-bound?" into series that sit next to the protocol metrics.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &runtimeSampler{
+		samples: make([]metrics.Sample, len(runtimeSamples)),
+		prev:    make(map[string][]uint64),
+		goroutines: reg.Gauge("drtp_runtime_goroutines",
+			"Live goroutines at the last runtime sample."),
+		heapBytes: reg.Gauge("drtp_runtime_heap_objects_bytes",
+			"Bytes occupied by live plus dead-unswept heap objects."),
+		memBytes: reg.Gauge("drtp_runtime_memory_total_bytes",
+			"Total memory mapped by the Go runtime."),
+		gcCycles: reg.Counter("drtp_runtime_gc_cycles_total",
+			"Completed garbage-collection cycles."),
+		gcPause: reg.Latency("drtp_runtime_gc_pause_seconds",
+			"Stop-the-world garbage-collection pause durations."),
+		schedLat: reg.Latency("drtp_runtime_sched_latency_seconds",
+			"Time goroutines spent runnable before running."),
+	}
+	for i, name := range runtimeSamples {
+		s.samples[i].Name = name
+	}
+	s.scrape() // seed histogram baselines so the first tick reports deltas
+
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.scrape()
+			case <-done:
+				s.scrape()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+	}
+}
+
+// scrape reads one batch of runtime metrics into the registry.
+func (s *runtimeSampler) scrape() {
+	metrics.Read(s.samples)
+	for i := range s.samples {
+		sm := &s.samples[i]
+		switch sm.Value.Kind() {
+		case metrics.KindUint64:
+			v := sm.Value.Uint64()
+			switch sm.Name {
+			case "/sched/goroutines:goroutines":
+				s.goroutines.Set(int64(v))
+			case "/memory/classes/heap/objects:bytes":
+				s.heapBytes.Set(int64(v))
+			case "/memory/classes/total:bytes":
+				s.memBytes.Set(int64(v))
+			case "/gc/cycles/total:gc-cycles":
+				s.gcCycles.Add(int64(v - s.prevCycles))
+				s.prevCycles = v
+			}
+		case metrics.KindFloat64Histogram:
+			var dst *LatencyHist
+			switch sm.Name {
+			case "/gc/pauses:seconds":
+				dst = s.gcPause
+			case "/sched/latencies:seconds":
+				dst = s.schedLat
+			}
+			if dst != nil {
+				s.mergeHistogram(sm.Name, sm.Value.Float64Histogram(), dst)
+			}
+		}
+	}
+}
+
+// mergeHistogram folds the delta since the previous scrape of a
+// runtime/metrics histogram into dst, representing each runtime bucket
+// by its midpoint (its finite edge for the open-ended end buckets).
+func (s *runtimeSampler) mergeHistogram(name string, h *metrics.Float64Histogram, dst *LatencyHist) {
+	if h == nil {
+		return
+	}
+	prev := s.prev[name]
+	if len(prev) != len(h.Counts) {
+		prev = make([]uint64, len(h.Counts))
+	}
+	for i, c := range h.Counts {
+		d := c - prev[i]
+		prev[i] = c
+		if d == 0 || i+1 >= len(h.Buckets) {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var rep float64
+		switch {
+		case math.IsInf(lo, -1):
+			rep = hi
+		case math.IsInf(hi, 1):
+			rep = lo
+		default:
+			rep = (lo + hi) / 2
+		}
+		dst.add(time.Duration(rep*float64(time.Second)), int64(d))
+	}
+	s.prev[name] = prev
+}

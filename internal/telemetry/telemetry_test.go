@@ -19,7 +19,7 @@ func TestRegistryConcurrency(t *testing.T) {
 	cv := reg.CounterVec("test_ops_total", "ops", "worker")
 	shared := reg.Counter("test_shared_total", "shared")
 	g := reg.Gauge("test_inflight", "inflight")
-	h := reg.Histogram("test_latency", "latency", []float64{1, 10, 100})
+	h := reg.Histogram("test_latency_seconds", "latency", []float64{1, 10, 100})
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 4 {
@@ -128,12 +128,12 @@ func TestNilInstrumentsAreNoOps(t *testing.T) {
 	}
 
 	var reg *telemetry.Registry
-	reg.Counter("a", "").Inc()
+	reg.Counter("a_total", "").Inc()
 	reg.Gauge("b", "").Set(3)
-	reg.Histogram("c", "", nil).Observe(1)
-	reg.CounterVec("d", "", "l").With("v").Add(2)
+	reg.Histogram("c_seconds", "", nil).Observe(1)
+	reg.CounterVec("d_total", "", "l").With("v").Add(2)
 	reg.GaugeVec("e", "", "l").With("v").Add(2)
-	reg.HistogramVec("f", "", nil, "l").With("v").Observe(2)
+	reg.HistogramVec("f_seconds", "", nil, "l").With("v").Observe(2)
 	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
@@ -224,13 +224,13 @@ func TestPrometheusExposition(t *testing.T) {
 
 func TestHistogramBucketBoundary(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	h := reg.Histogram("h", "", []float64{1, 2})
+	h := reg.Histogram("h_seconds", "", []float64{1, 2})
 	h.Observe(1) // le="1" is inclusive
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `h_bucket{le="1"} 1`) {
+	if !strings.Contains(buf.String(), `h_seconds_bucket{le="1"} 1`) {
 		t.Errorf("boundary observation landed in the wrong bucket:\n%s", buf.String())
 	}
 }

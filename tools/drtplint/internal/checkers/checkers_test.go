@@ -25,3 +25,7 @@ func TestCVClone(t *testing.T) {
 func TestLockGuard(t *testing.T) {
 	analysistest.Run(t, "testdata", LockGuard, "lockfix")
 }
+
+func TestInstrumentNames(t *testing.T) {
+	analysistest.Run(t, "testdata", InstrumentNames, "instrument")
+}

@@ -1,0 +1,154 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+)
+
+// instrumentCtors maps every telemetry.Registry constructor to the unit
+// suffixes its metric kind requires ("" means any suffix is fine). The
+// first string argument of each is the exposed metric name.
+var instrumentCtors = map[string][]string{
+	"Counter":      {"_total"},
+	"CounterVec":   {"_total"},
+	"Gauge":        nil,
+	"GaugeVec":     nil,
+	"Histogram":    {"_seconds", "_bytes"},
+	"HistogramVec": {"_seconds", "_bytes"},
+	"Latency":      {"_seconds"},
+	"LatencyVec":   {"_seconds"},
+}
+
+// vecTypes are the labeled-family handles whose With method mints one
+// child time series per distinct label value.
+var vecTypes = map[string]bool{
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true, "LatencyVec": true,
+}
+
+// snakeCaseRE is the Prometheus-conventional metric-name shape the repo
+// standardizes on (no capitals, no leading digit or underscore).
+var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// dynamicFormatters are the call targets that turn runtime values into
+// label strings — the signature of unbounded label cardinality. Node
+// counts, connection IDs and the like must not become label values.
+var dynamicFormatters = map[string]bool{"fmt": true, "strconv": true}
+
+// InstrumentNames enforces the repo's metric-naming contract at every
+// Registry constructor call: names must be snake_case string literals,
+// counters must end in _total, histograms and latency instruments must
+// carry a unit suffix (_seconds or _bytes), and Vec.With label values
+// must not be minted by fmt/strconv formatting (dynamic cardinality).
+var InstrumentNames = &analysis.Analyzer{
+	Name: "instrumentnames",
+	Doc: "enforces metric naming: snake_case literal names, _total on counters, " +
+		"_seconds/_bytes unit suffixes, no fmt/strconv-formatted label values",
+	Run: runInstrumentNames,
+}
+
+func runInstrumentNames(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvType := pass.TypesInfo.TypeOf(sel.X)
+			switch {
+			case isNamed(recvType, "telemetry", "Registry"):
+				if suffixes, ok := instrumentCtors[sel.Sel.Name]; ok {
+					checkMetricName(pass, call, sel.Sel.Name, suffixes)
+				}
+			case sel.Sel.Name == "With" && isVecType(recvType):
+				checkLabelValues(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isVecType reports whether t is (a pointer to) one of the telemetry
+// labeled-family types.
+func isVecType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == "telemetry" && vecTypes[n.Obj().Name()]
+}
+
+// checkMetricName validates the constructor's name argument: a literal,
+// snake_case, with the metric kind's unit suffix.
+func checkMetricName(pass *analysis.Pass, call *ast.CallExpr, ctor string, suffixes []string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	name, ok := stringLiteral(call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name passed to Registry.%s must be a string literal so tooling can index the series", ctor)
+		return
+	}
+	if !snakeCaseRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name %q is not snake_case (want ^[a-z][a-z0-9_]*$)", name)
+		return
+	}
+	if len(suffixes) == 0 {
+		return
+	}
+	for _, s := range suffixes {
+		if strings.HasSuffix(name, s) {
+			return
+		}
+	}
+	pass.Reportf(call.Args[0].Pos(),
+		"metric name %q from Registry.%s must end in %s", name, ctor, strings.Join(suffixes, " or "))
+}
+
+// checkLabelValues flags With arguments produced by fmt/strconv calls:
+// formatting a runtime value into a label mints a new time series per
+// distinct value. Sites with a genuinely bounded domain suppress with
+// //drtplint:ignore instrumentnames <justification>.
+func checkLabelValues(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := inner.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		path := pkgNameOf(pass.TypesInfo, sel.X)
+		if dynamicFormatters[path] {
+			pass.Reportf(arg.Pos(),
+				"label value built with %s.%s creates one time series per distinct value; "+
+					"use a bounded label set or suppress with a justification", path, sel.Sel.Name)
+		}
+	}
+}
+
+// stringLiteral unquotes e when it is a plain string literal.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -14,8 +14,8 @@ import (
 // must guard the receiver before touching its fields.
 var nilSafeTypes = map[string]bool{
 	"Tracer": true, "Registry": true,
-	"Counter": true, "Gauge": true, "Histogram": true,
-	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+	"Counter": true, "Gauge": true, "Histogram": true, "LatencyHist": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true, "LatencyVec": true,
 }
 
 // valueBanTypes are the instruments that must never be used by value:

@@ -1,0 +1,49 @@
+// Package instrument is the instrumentnames fixture: compliant and
+// violating metric registrations and label usages.
+package instrument
+
+import (
+	"fmt"
+	"strconv"
+
+	"telemetry"
+)
+
+// good covers every constructor with conforming names and bounded labels.
+func good(reg *telemetry.Registry) {
+	reg.Counter("drtp_requests_total", "Requests seen.").Inc()
+	reg.Gauge("drtp_active_conns", "Active connections.").Set(1)
+	reg.Histogram("drtp_setup_seconds", "Setup time.", nil).Observe(0.1)
+	reg.Histogram("drtp_payload_bytes", "Payload size.", nil).Observe(64)
+	reg.Latency("drtp_hop_seconds", "Per-hop time.").Observe(1)
+	reg.LatencyVec("drtp_hop_signal_seconds", "Per-hop time by role.", "role").
+		With("primary").Observe(1)
+	reg.CounterVec("drtp_events_total", "Events by kind.", "kind").
+		With("establish").Inc()
+}
+
+// badNames violates the literal, snake_case and unit-suffix rules.
+func badNames(reg *telemetry.Registry) {
+	reg.Counter("drtp_requests", "x")          // want "must end in _total"
+	reg.Counter("drtpRequests_total", "x")     // want "not snake_case"
+	reg.Gauge("2fast_gauge", "x")              // want "not snake_case"
+	reg.Histogram("drtp_setup_time", "x", nil) // want "must end in _seconds or _bytes"
+	reg.Latency("drtp_hop_latency", "x")       // want "must end in _seconds"
+	reg.LatencyVec("drtp_hop_ms", "x", "role") // want "must end in _seconds"
+	reg.CounterVec("drtp_events", "x", "kind") // want "must end in _total"
+	name := "drtp_dynamic_total"
+	reg.Counter(name, "x") // want "must be a string literal"
+}
+
+// badLabels mints label values from runtime data.
+func badLabels(reg *telemetry.Registry, node int) {
+	v := reg.CounterVec("drtp_node_events_total", "x", "node")
+	v.With(fmt.Sprint(node)).Inc()   // want "label value built with fmt.Sprint"
+	v.With(strconv.Itoa(node)).Inc() // want "label value built with strconv.Itoa"
+	lv := reg.LatencyVec("drtp_node_seconds", "x", "node")
+	lv.With(fmt.Sprintf("n%d", node)).Observe(1) // want "label value built with fmt.Sprintf"
+
+	// A justified suppression silences the diagnostic for the next line.
+	//drtplint:ignore instrumentnames node IDs are a bounded fixture set
+	v.With(fmt.Sprint(node)).Inc()
+}

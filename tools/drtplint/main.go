@@ -1,8 +1,8 @@
 // Command drtplint is the repo's domain-specific static analysis suite.
-// It runs five analyzers that enforce invariants the generic toolchain
+// It runs six analyzers that enforce invariants the generic toolchain
 // cannot know about: simulation determinism, nil-safe telemetry, wire
-// codec round-trip coverage, conflict-vector aliasing, and mutex guard
-// annotations.
+// codec round-trip coverage, conflict-vector aliasing, mutex guard
+// annotations, and metric naming conventions.
 //
 // Usage:
 //
@@ -31,6 +31,7 @@ var analyzers = []*analysis.Analyzer{
 	checkers.ProtoRoundTrip,
 	checkers.CVClone,
 	checkers.LockGuard,
+	checkers.InstrumentNames,
 }
 
 func main() {
