@@ -121,6 +121,23 @@ func (v *Vector) Clone() *Vector {
 	return c
 }
 
+// CloneInto copies v into dst, reusing dst's storage when its word
+// capacity suffices, and returns the destination. A nil dst behaves like
+// Clone. The hot paths use this to refresh a retained vector without a
+// fresh word-slice allocation per update.
+func (v *Vector) CloneInto(dst *Vector) *Vector {
+	if dst == nil {
+		return v.Clone()
+	}
+	if cap(dst.words) < len(v.words) {
+		dst.words = make([]uint64, len(v.words))
+	}
+	dst.words = dst.words[:len(v.words)]
+	dst.n = v.n
+	copy(dst.words, v.words)
+	return dst
+}
+
 // Equal reports whether v and other have the same length and bits.
 func (v *Vector) Equal(other *Vector) bool {
 	if v.n != other.n {
@@ -171,6 +188,15 @@ func (v *Vector) Bytes() []byte {
 // are ignored; missing bytes read as zero.
 func FromBytes(n int, data []byte) *Vector {
 	v := New(n)
+	v.SetBytes(data)
+	return v
+}
+
+// SetBytes reloads the vector in place from its Bytes wire form without
+// changing its length, so a long-lived vector (a router's mirrored
+// Conflict Vector view) absorbs each advertisement with zero
+// allocations. Extra bytes are ignored; missing bytes read as zero.
+func (v *Vector) SetBytes(data []byte) {
 	for i := range v.words {
 		var w uint64
 		for b := 0; b < 8; b++ {
@@ -183,10 +209,30 @@ func FromBytes(n int, data []byte) *Vector {
 		v.words[i] = w
 	}
 	// Mask tail bits beyond n.
-	if rem := n % wordBits; rem != 0 && len(v.words) > 0 {
+	if rem := v.n % wordBits; rem != 0 && len(v.words) > 0 {
 		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
 	}
-	return v
+}
+
+// AppendBytes appends the vector's Bytes wire form to dst and returns
+// the extended slice, letting callers that assemble advertisements reuse
+// one buffer instead of allocating per Bytes call.
+func (v *Vector) AppendBytes(dst []byte) []byte {
+	start := len(dst)
+	for i := 0; i < v.SizeBytes(); i++ {
+		dst = append(dst, 0)
+	}
+	out := dst[start:]
+	for i, w := range v.words {
+		for b := 0; b < 8; b++ {
+			idx := i*8 + b
+			if idx >= len(out) {
+				break
+			}
+			out[idx] = byte(w >> uint(8*b))
+		}
+	}
+	return dst
 }
 
 // String renders the vector as a parenthesized bit list, matching the

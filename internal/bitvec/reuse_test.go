@@ -1,0 +1,109 @@
+package bitvec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// seededVector fills an n-bit vector with deterministic pseudo-random
+// bits.
+func seededVector(n int, seed int64) *Vector {
+	return randomVector(rand.New(rand.NewSource(seed)), n)
+}
+
+// TestCloneIntoMatchesClone checks the storage-reusing copy across the
+// interesting size boundaries: word-aligned, off-by-one around word
+// edges, shrinking and growing reuse of the same destination.
+func TestCloneIntoMatchesClone(t *testing.T) {
+	sizes := []int{1, 63, 64, 65, 127, 128, 130, 300}
+	dst := New(1) // deliberately undersized; CloneInto must grow it
+	for _, n := range sizes {
+		v := seededVector(n, int64(n))
+		got := v.CloneInto(dst)
+		if got != dst {
+			t.Fatalf("n=%d: CloneInto did not return the destination", n)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("n=%d: CloneInto result differs from source", n)
+		}
+		// Mutating the copy must not touch the source (no aliasing).
+		was := v.Get(0)
+		got.Set(0)
+		got.Clear(0)
+		if v.Get(0) != was {
+			t.Fatalf("n=%d: mutating the copy changed the source (aliased storage)", n)
+		}
+	}
+	if v := seededVector(70, 7); !v.CloneInto(nil).Equal(v) {
+		t.Fatal("CloneInto(nil) must behave like Clone")
+	}
+}
+
+// TestSetBytesMatchesFromBytes pins the in-place wire reload against the
+// allocating constructor, including the tail-masking edge: bytes carrying
+// junk past bit n must not survive into the reloaded vector.
+func TestSetBytesMatchesFromBytes(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 64, 65, 130} {
+		v := seededVector(n, int64(100+n))
+		wire := v.Bytes()
+		reloaded := seededVector(n, int64(200+n)) // nonzero prior state
+		reloaded.SetBytes(wire)
+		if !reloaded.Equal(v) {
+			t.Fatalf("n=%d: SetBytes reload differs from source", n)
+		}
+		if !reloaded.Equal(FromBytes(n, wire)) {
+			t.Fatalf("n=%d: SetBytes disagrees with FromBytes", n)
+		}
+		// A wire form with every tail bit raised must be masked back.
+		junk := make([]byte, len(wire)+2)
+		for i := range junk {
+			junk[i] = 0xFF
+		}
+		reloaded.SetBytes(junk)
+		if got := reloaded.Count(); got != n {
+			t.Fatalf("n=%d: all-ones reload counts %d bits, want %d (tail not masked)", n, got, n)
+		}
+	}
+}
+
+// TestAppendBytesMatchesBytes checks the buffer-reusing wire encoder.
+func TestAppendBytesMatchesBytes(t *testing.T) {
+	v := seededVector(130, 42)
+	prefix := []byte{0xAA, 0xBB}
+	out := v.AppendBytes(append([]byte(nil), prefix...))
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatal("AppendBytes clobbered the existing prefix")
+	}
+	if !bytes.Equal(out[2:], v.Bytes()) {
+		t.Fatal("AppendBytes payload differs from Bytes")
+	}
+}
+
+// TestVectorReuseAllocs is the allocation budget for the retained-vector
+// paths: refreshing a right-sized destination (CloneInto), reloading
+// from wire form (SetBytes), and appending into a pre-grown buffer must
+// all be allocation-free. These run on every link-state advertisement a
+// router applies, so a single stray allocation multiplies by the flood
+// rate.
+func TestVectorReuseAllocs(t *testing.T) {
+	v := seededVector(300, 9)
+	dst := v.Clone()
+	if avg := testing.AllocsPerRun(200, func() {
+		v.CloneInto(dst)
+	}); avg > 0 {
+		t.Errorf("CloneInto into a right-sized vector allocates %.1f objects, want 0", avg)
+	}
+	wire := v.Bytes()
+	if avg := testing.AllocsPerRun(200, func() {
+		dst.SetBytes(wire)
+	}); avg > 0 {
+		t.Errorf("SetBytes allocates %.1f objects, want 0", avg)
+	}
+	buf := make([]byte, 0, 2*v.SizeBytes())
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = v.AppendBytes(buf[:0])
+	}); avg > 0 {
+		t.Errorf("AppendBytes into a pre-grown buffer allocates %.1f objects, want 0", avg)
+	}
+}

@@ -1,12 +1,32 @@
 package drtp
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/rtcl/drtp/internal/graph"
-	"github.com/rtcl/drtp/internal/lsdb"
 	"github.com/rtcl/drtp/internal/rng"
 )
+
+// evalScratch holds the buffers the failure sweeps reuse across
+// evaluations: the affected-connection list and the dense per-link
+// activation-slot vector. Sweeps evaluate |E| failures back to back, so
+// per-evaluation maps and slices used to dominate the allocation profile.
+type evalScratch struct {
+	affected []*Connection
+	slots    []int
+}
+
+// bySeq orders connections by establishment sequence, the deterministic
+// activation priority under contention.
+func bySeq(a, b *Connection) int {
+	switch {
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
 
 // FailureModel selects the granularity of simulated failures.
 type FailureModel int
@@ -82,18 +102,21 @@ func (m *Manager) EvaluateEdgeFailure(e graph.EdgeID) FailureOutcome {
 func (m *Manager) evaluateFailure(out *FailureOutcome, hits func(graph.Path) bool) {
 	db := m.net.DB()
 
-	var affected []*Connection
+	affected := m.eval.affected[:0]
 	for _, c := range m.conns {
 		if hits(c.Primary) {
 			affected = append(affected, c)
 		}
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i].seq < affected[j].seq })
+	slices.SortFunc(affected, bySeq)
+	m.eval.affected = affected
 	out.Affected = len(affected)
 
-	// slots[l] is the remaining activation capacity of link l, initialized
-	// lazily from the spare resources reserved there.
-	slots := make(map[graph.LinkID]int)
+	// slots[l] is the remaining activation capacity of link l, filled from
+	// the spare resources when the first activation is attempted. The
+	// evaluation never mutates the database, so one snapshot serves the
+	// whole failure.
+	slotsFilled := false
 	link := int(out.Link)
 	for _, c := range affected {
 		if !c.HasBackup() {
@@ -110,7 +133,11 @@ func (m *Manager) evaluateFailure(out *FailureOutcome, hits func(graph.Path) boo
 				continue
 			}
 			allHit = false
-			if activate(db, slots, backup) {
+			if !slotsFilled {
+				m.eval.slots = db.SCInto(m.eval.slots)
+				slotsFilled = true
+			}
+			if activate(m.eval.slots, backup) {
 				recovered = true
 				break
 			}
@@ -131,23 +158,15 @@ func (m *Manager) evaluateFailure(out *FailureOutcome, hits func(graph.Path) boo
 
 // activate checks that every link of the backup still has an activation
 // slot and, if so, consumes one slot per link.
-func activate(db *lsdb.DB, slots map[graph.LinkID]int, backup graph.Path) bool {
+func activate(slots []int, backup graph.Path) bool {
 	links := backup.Links()
 	for _, l := range links {
-		s, ok := slots[l]
-		if !ok {
-			s = db.SC(l)
-		}
-		if s <= 0 {
+		if slots[l] <= 0 {
 			return false
 		}
 	}
 	for _, l := range links {
-		s, ok := slots[l]
-		if !ok {
-			s = db.SC(l)
-		}
-		slots[l] = s - 1
+		slots[l]--
 	}
 	return true
 }
@@ -190,42 +209,37 @@ func (m *Manager) EvaluateLinkFailureReactive(l graph.LinkID) FailureOutcome {
 	g := m.net.Graph()
 	db := m.net.DB()
 	unit := db.UnitBW()
+	sc := m.net.Scratch()
 
-	var affected []*Connection
+	affected := m.eval.affected[:0]
 	for _, c := range m.conns {
 		if c.Primary.Contains(l) {
 			affected = append(affected, c)
 		}
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i].seq < affected[j].seq })
+	slices.SortFunc(affected, bySeq)
+	m.eval.affected = affected
 	out.Affected = len(affected)
 
 	// avail[x] is the remaining free bandwidth of link x during this
-	// recovery storm, initialized lazily.
-	avail := make(map[graph.LinkID]int)
-	remaining := func(x graph.LinkID) int {
-		if v, ok := avail[x]; ok {
-			return v
-		}
-		v := db.AvailableForPrimary(x)
-		avail[x] = v
-		return v
-	}
+	// recovery storm, snapshotted once up front (the evaluation itself
+	// never touches the database) and drawn down as re-routes land.
+	avail := db.SnapshotInto(&sc.Snap).Free
 	for _, c := range affected {
 		cost := func(x graph.LinkID) float64 {
-			if x == l || remaining(x) < unit {
+			if x == l || avail[x] < unit {
 				return graph.Unreachable
 			}
 			return 1
 		}
-		path, total := graph.ShortestPath(g, c.Src, c.Dst, cost)
+		path, total := sc.Graph.ShortestPath(g, c.Src, c.Dst, cost)
 		if total == graph.Unreachable {
 			out.Contention++
 			m.tracer.ActivationDenied(m.schemeName, c.trace, int64(c.ID), int(l), "no-route")
 			continue
 		}
 		for _, x := range path.Links() {
-			avail[x] = remaining(x) - unit
+			avail[x] -= unit
 		}
 		out.Recovered++
 		m.tracer.BackupActivate(m.schemeName, c.trace, int64(c.ID), int(l), "reactive")

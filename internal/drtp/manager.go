@@ -93,6 +93,9 @@ type Manager struct {
 	// signal, when non-nil, makes signalling round trips lossy (see
 	// WithSignalFaults).
 	signal *signalFaults
+	// eval holds the failure-evaluation scratch buffers reused across
+	// Evaluate*Failure calls (see failure.go).
+	eval evalScratch
 }
 
 // ManagerOption configures a Manager.
@@ -232,17 +235,10 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 	}
 
 	db := m.net.DB()
-	reserved := make([]graph.LinkID, 0, route.Primary.Hops())
-	for _, l := range route.Primary.Links() {
-		if err := db.ReservePrimary(req.ID, l); err != nil {
-			for _, rl := range reserved {
-				mustRelease(db.ReleasePrimary(req.ID, rl))
-			}
-			m.stats.Rejected++
-			m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-capacity")
-			return nil, fmt.Errorf("drtp: reserve primary: %w", err)
-		}
-		reserved = append(reserved, l)
+	if err := db.ReservePrimaryPath(req.ID, route.Primary.Links()); err != nil {
+		m.stats.Rejected++
+		m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-capacity")
+		return nil, fmt.Errorf("drtp: reserve primary: %w", err)
 	}
 	m.tracer.PrimarySetup(m.schemeName, trace, int64(req.ID), route.Primary.Hops())
 
@@ -276,9 +272,7 @@ func (m *Manager) Establish(req Request) (*Connection, error) {
 	}
 	if !conn.HasBackup() {
 		if !m.optionalBackup {
-			for _, rl := range reserved {
-				mustRelease(db.ReleasePrimary(req.ID, rl))
-			}
+			mustRelease(db.ReleasePrimaryPath(req.ID, route.Primary.Links()))
 			m.stats.RejectedNoBackup++
 			m.tracer.ConnReject(m.schemeName, trace, int64(req.ID), "no-backup")
 			return nil, ErrNoBackup
@@ -302,19 +296,7 @@ func (m *Manager) registerBackup(id ConnID, backup, primary graph.Path, existing
 			return false
 		}
 	}
-	db := m.net.DB()
-	lset := primary.Links()
-	registered := make([]graph.LinkID, 0, backup.Hops())
-	for _, l := range backup.Links() {
-		if err := db.RegisterBackup(id, l, lset); err != nil {
-			for _, rl := range registered {
-				mustRelease(db.ReleaseBackup(id, rl))
-			}
-			return false
-		}
-		registered = append(registered, l)
-	}
-	return true
+	return m.net.DB().RegisterBackupPath(id, backup.Links(), primary.Links()) == nil
 }
 
 // Release terminates an active connection, returning its primary resources
@@ -326,13 +308,9 @@ func (m *Manager) Release(id ConnID) error {
 		return fmt.Errorf("drtp: connection %d not active", id)
 	}
 	db := m.net.DB()
-	for _, l := range conn.Primary.Links() {
-		mustRelease(db.ReleasePrimary(id, l))
-	}
+	mustRelease(db.ReleasePrimaryPath(id, conn.Primary.Links()))
 	for _, backup := range conn.Backups {
-		for _, l := range backup.Links() {
-			mustRelease(db.ReleaseBackup(id, l))
-		}
+		mustRelease(db.ReleaseBackupPath(id, backup.Links()))
 	}
 	delete(m.conns, id)
 	if len(conn.Backups) > 0 {

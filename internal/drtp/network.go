@@ -85,10 +85,41 @@ var ErrNoBackup = fmt.Errorf("drtp: no backup channel could be established")
 // tracks persistently failed links (for destructive failure runs; the
 // non-destructive failure sweeps never mark links failed).
 type Network struct {
-	g      *graph.Graph
-	db     *lsdb.DB
-	dist   *graph.DistanceTable
-	failed map[graph.LinkID]bool
+	g    *graph.Graph
+	db   *lsdb.DB
+	dist *graph.DistanceTable
+	// failed is a dense per-link failure flag (indexed by LinkID) so the
+	// Dijkstra cost callbacks pay an array read, not a map lookup.
+	failed    []bool
+	numFailed int
+	// scratch holds the reusable routing buffers; see RouteScratch.
+	scratch RouteScratch
+}
+
+// RouteScratch bundles the per-network buffers the routing hot paths
+// reuse across route computations: the Dijkstra scratch space, the
+// link-state snapshot, the per-link conflict-metric vector and the dense
+// avoid set. A Network — like the Manager above it — serves one
+// establishment or evaluation at a time, so a single scratch per network
+// suffices; it is not safe for concurrent use.
+type RouteScratch struct {
+	Graph   graph.Scratch
+	Snap    lsdb.Snapshot
+	Metrics []float64
+	avoid   []bool
+}
+
+// AvoidFor returns the dense avoid-set buffer sized for n links with
+// every entry cleared.
+func (rs *RouteScratch) AvoidFor(n int) []bool {
+	if cap(rs.avoid) < n {
+		rs.avoid = make([]bool, n)
+	}
+	a := rs.avoid[:n]
+	for i := range a {
+		a[i] = false
+	}
+	return a
 }
 
 // NewNetwork creates a network where every link has the given capacity and
@@ -108,7 +139,7 @@ func NewNetworkWithMode(g *graph.Graph, capacity, unitBW int, mode lsdb.Mode) (*
 		g:      g,
 		db:     db,
 		dist:   graph.NewDistanceTable(g),
-		failed: make(map[graph.LinkID]bool),
+		failed: make([]bool, g.NumLinks()),
 	}, nil
 }
 
@@ -129,27 +160,42 @@ func (n *Network) LinkFailed(l graph.LinkID) bool { return n.failed[l] }
 
 // FailLink marks a unidirectional link persistently failed: routing and
 // flooding exclude it until RestoreLink.
-func (n *Network) FailLink(l graph.LinkID) { n.failed[l] = true }
+func (n *Network) FailLink(l graph.LinkID) {
+	if !n.failed[l] {
+		n.failed[l] = true
+		n.numFailed++
+	}
+}
 
 // FailEdge fails both directions of a physical edge.
 func (n *Network) FailEdge(e graph.EdgeID) {
 	fwd, bwd := n.g.EdgeLinks(e)
-	n.failed[fwd] = true
-	n.failed[bwd] = true
+	n.FailLink(fwd)
+	n.FailLink(bwd)
 }
 
 // RestoreLink repairs a failed link.
-func (n *Network) RestoreLink(l graph.LinkID) { delete(n.failed, l) }
+func (n *Network) RestoreLink(l graph.LinkID) {
+	if n.failed[l] {
+		n.failed[l] = false
+		n.numFailed--
+	}
+}
 
 // RestoreEdge repairs both directions of a physical edge.
 func (n *Network) RestoreEdge(e graph.EdgeID) {
 	fwd, bwd := n.g.EdgeLinks(e)
-	delete(n.failed, fwd)
-	delete(n.failed, bwd)
+	n.RestoreLink(fwd)
+	n.RestoreLink(bwd)
 }
 
 // NumFailedLinks returns the number of links currently marked failed.
-func (n *Network) NumFailedLinks() int { return len(n.failed) }
+func (n *Network) NumFailedLinks() int { return n.numFailed }
+
+// Scratch returns the network's reusable routing buffers. Routing
+// schemes and failure evaluation share it; a Network handles one
+// operation at a time, so no synchronization is involved.
+func (n *Network) Scratch() *RouteScratch { return &n.scratch }
 
 // PrimaryCost is the link-cost function shared by the link-state schemes'
 // primary routing: minimum hops over live links that can admit a new
@@ -166,10 +212,20 @@ func (n *Network) PrimaryCost() graph.CostFunc {
 }
 
 // RoutePrimary selects a minimum-hop feasible primary route, the primary
-// selection used by the link-state schemes.
+// selection used by the link-state schemes. It reads link state through
+// a single snapshot and reuses the network's Dijkstra scratch, so a
+// route computation costs one lock acquisition and one Path allocation.
 func (n *Network) RoutePrimary(src, dst graph.NodeID) (graph.Path, error) {
-	p, cost := graph.ShortestPath(n.g, src, dst, n.PrimaryCost())
-	if cost == graph.Unreachable {
+	snap := n.db.SnapshotInto(&n.scratch.Snap)
+	unit := n.db.UnitBW()
+	cost := func(l graph.LinkID) float64 {
+		if n.failed[l] || snap.Free[l] < unit {
+			return graph.Unreachable
+		}
+		return 1
+	}
+	p, total := n.scratch.Graph.ShortestPath(n.g, src, dst, cost)
+	if total == graph.Unreachable {
 		return graph.Path{}, ErrNoRoute
 	}
 	return p, nil

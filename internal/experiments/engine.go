@@ -98,6 +98,15 @@ type telemetryStream struct {
 	head int // lowest cell index not yet forwarded
 	bufs []*telemetry.Buffer
 	done []bool
+	// flushing marks that one worker is currently draining the completed
+	// prefix into the shared tracer. Forwarding happens outside mu — a
+	// slow downstream sink must not stall workers completing later cells —
+	// and the single-flusher discipline keeps the forwarded order strictly
+	// head-sequential.
+	flushing bool
+	// free pools drained cell buffers for reuse, so a sweep allocates
+	// O(window) buffers total instead of one per cell.
+	free []*telemetry.Buffer
 }
 
 // newTelemetryStream sets up ordered forwarding for n cells run by the
@@ -132,24 +141,44 @@ func (s *telemetryStream) cell(i int) (*telemetry.Tracer, func()) {
 	for i >= s.head+s.window {
 		s.cond.Wait()
 	}
-	buf := telemetry.NewBuffer()
+	var buf *telemetry.Buffer
+	if n := len(s.free); n > 0 {
+		buf = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		buf = telemetry.NewBuffer()
+	}
 	s.bufs[i] = buf
 	s.mu.Unlock()
 	return telemetry.NewTracer(buf), func() { s.complete(i) }
 }
 
 // complete marks cell i finished and forwards every newly-contiguous
-// completed cell to the shared tracer, releasing its buffer.
+// completed cell to the shared tracer, recycling its buffer. Exactly one
+// worker flushes at a time, and it forwards with the stream unlocked:
+// other workers completing cells meanwhile just mark them done and
+// return, and the flusher picks the cells up when it re-checks the
+// prefix — so cell-ordered forwarding is preserved without ever making a
+// worker wait on the downstream sinks.
 func (s *telemetryStream) complete(i int) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.done[i] = true
+	if s.flushing {
+		s.mu.Unlock()
+		return
+	}
+	s.flushing = true
 	for s.head < len(s.done) && s.done[s.head] {
-		for _, e := range s.bufs[s.head].Events() {
-			s.shared.Forward(e)
-		}
+		buf := s.bufs[s.head]
 		s.bufs[s.head] = nil
 		s.head++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		s.shared.ForwardBatch(buf.Take())
+		buf.Reset()
+		s.mu.Lock()
+		s.free = append(s.free, buf)
 	}
-	s.cond.Broadcast()
+	s.flushing = false
+	s.mu.Unlock()
 }

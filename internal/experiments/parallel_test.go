@@ -151,6 +151,40 @@ func TestParallelSweepStreamedTraceBytes(t *testing.T) {
 	}
 }
 
+// TestParallelChaosStreamedTraceBytes pins the batched forwarding path
+// under fault injection: a chaos run traced through a streaming sink must
+// write byte-identical JSONL at workers=1 and workers=4. Chaos runs emit
+// the densest event mix (retries, dedup hits, fault injections), so this
+// is the strongest byte-level probe of the per-worker batch forwarding.
+func TestParallelChaosStreamedTraceBytes(t *testing.T) {
+	traceBytes := func(workers int) []byte {
+		var out bytes.Buffer
+		sink := telemetry.NewStreamSink(&out, 1<<18, nil)
+		p := tinyChaosParams()
+		p.Telemetry = telemetry.NewTracer(sink)
+		p.Workers = workers
+		if _, err := RunChaos(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Telemetry.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if sink.Dropped() != 0 {
+			t.Fatalf("workers=%d: dropped %d trace events", workers, sink.Dropped())
+		}
+		return out.Bytes()
+	}
+	serial := traceBytes(1)
+	parallel := traceBytes(4)
+	if len(serial) == 0 {
+		t.Fatal("chaos run streamed no telemetry")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("streamed chaos trace bytes differ: %d bytes at workers=1, %d at workers=4",
+			len(serial), len(parallel))
+	}
+}
+
 // TestParallelAblationDeterminism covers RunAblation's job sharding.
 func TestParallelAblationDeterminism(t *testing.T) {
 	run := func(workers int) *Ablation {

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSweepParallelSpeedup is the scaling regression test for the
+// parallel engine: the quick Figure 4 sweep at workers=GOMAXPROCS must
+// beat workers=1 on wall clock by a sane margin. The threshold is
+// deliberately loose (1.5x on a >=4-core machine, where near-linear
+// sharding should deliver 3x+) so scheduler noise cannot flake it, while
+// a reintroduced serial bottleneck — every cell funneled through one
+// mutex, say — still trips it. Determinism of the output is covered by
+// the TestParallel* suite; this test is only about wall clock.
+//
+// The timings are wall-clock by design, so the run is gated off the
+// deterministic-core rules and skipped where the measurement is
+// meaningless: -short runs and hosts with fewer than 4 CPUs.
+func TestSweepParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock scaling measurement; skipped in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup bound, have %d", runtime.NumCPU())
+	}
+
+	p := quickFig4Params()
+	sweep := func(workers int) time.Duration {
+		p.Workers = workers
+		//drtplint:ignore determinism wall-clock speedup is the quantity under test
+		start := time.Now()
+		if _, err := RunSweep(p, PaperSchemes()); err != nil {
+			t.Fatal(err)
+		}
+		//drtplint:ignore determinism wall-clock speedup is the quantity under test
+		return time.Since(start)
+	}
+	// Best-of-two per worker count: the first serial run also warms the
+	// scheme tables and allocator, so a single cold sample would bias the
+	// ratio in the parallel run's favor.
+	best := func(workers int) time.Duration {
+		d := sweep(workers)
+		if d2 := sweep(workers); d2 < d {
+			d = d2
+		}
+		return d
+	}
+	serial := best(1)
+	parallel := best(runtime.GOMAXPROCS(0))
+
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("workers=1: %v  workers=%d: %v  speedup: %.2fx",
+		serial, runtime.GOMAXPROCS(0), parallel, speedup)
+	if speedup < 1.5 {
+		t.Errorf("parallel sweep speedup %.2fx below 1.5x (workers=1 took %v, workers=%d took %v)",
+			speedup, serial, runtime.GOMAXPROCS(0), parallel)
+	}
+}

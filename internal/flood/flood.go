@@ -79,6 +79,32 @@ type Scheme struct {
 	params Params
 	stats  Stats
 	tracer *telemetry.Tracer
+	fs     floodScratch
+}
+
+// floodScratch holds the per-scheme buffers one flood reuses from the
+// previous one: the traversal-list arena, the pending-connection table,
+// the hop queue and the CRT. A scheme routes one request at a time (the
+// simulator and manager are single-threaded per cell), so one scratch
+// per scheme suffices.
+type floodScratch struct {
+	// entries is the arena of traversal-list links: each CDP copy's node
+	// list is a parent-pointer chain into this arena instead of a fresh
+	// slice copy per forward.
+	entries []pathEntry
+	// minDist is the dense pending-connection table (-1 = not seen).
+	minDist []int32
+	// nodes reassembles one chain into node order at the destination.
+	nodes []graph.NodeID
+	crt   []candidate
+	queue hopQueue
+}
+
+// pathEntry is one link of a CDP traversal list: the node appended and
+// the index of the rest of the list (-1 ends the chain).
+type pathEntry struct {
+	node   graph.NodeID
+	parent int32
 }
 
 var _ drtp.Scheme = (*Scheme)(nil)
@@ -112,9 +138,9 @@ func (s *Scheme) SetTracer(tr *telemetry.Tracer) { s.tracer = tr }
 type cdp struct {
 	hcCurr      int
 	primaryFlag bool
-	list        []graph.NodeID // nodes traversed, source first
-	at          graph.NodeID   // node currently holding the packet
-	seq         int64          // arrival order tie-breaker
+	list        int32        // arena index of the traversed-node chain (-1 = empty)
+	at          graph.NodeID // node currently holding the packet
+	seq         int64        // arrival order tie-breaker
 }
 
 // candidate is one CRT entry at the destination.
@@ -207,14 +233,21 @@ func (s *Scheme) flood(net *drtp.Network, req drtp.Request) []candidate {
 		hcLimit = req.MaxHops
 	}
 
+	// The flood never mutates the database, so one snapshot serves every
+	// bandwidth test of this request.
+	snap := db.SnapshotInto(&net.Scratch().Snap)
+
 	// minDist is the flood-scoped pending-connection table: the shortest
 	// hop count at which each node has seen this connection's CDP.
-	minDist := make(map[graph.NodeID]int)
-	var crt []candidate
+	fs := &s.fs
+	minDist := fs.minDistFor(g.NumNodes())
+	fs.entries = fs.entries[:0]
+	crt := fs.crt[:0]
 	var seq int64
 
-	queue := newHopQueue(hcLimit + 1)
-	queue.push(cdp{at: req.Src, primaryFlag: true})
+	queue := &fs.queue
+	queue.reset(hcLimit + 1)
+	queue.push(cdp{at: req.Src, primaryFlag: true, list: -1})
 
 	forward := func(m cdp) {
 		i := m.at
@@ -232,17 +265,17 @@ func (s *Scheme) flood(net *drtp.Network, req drtp.Request) []candidate {
 				continue
 			}
 			// Loop-freedom test.
-			if containsNode(m.list, k) {
+			if fs.chainContains(m.list, k) {
 				continue
 			}
 			// Failed links carry no CDPs; bandwidth test for the rest.
-			if net.LinkFailed(l) || db.AvailableForBackup(l) < unit {
+			if net.LinkFailed(l) || snap.AvailBackup[l] < unit {
 				continue
 			}
 			next := cdp{
 				hcCurr:      m.hcCurr + 1,
-				primaryFlag: m.primaryFlag && db.AvailableForPrimary(l) >= unit,
-				list:        appendNode(m.list, i),
+				primaryFlag: m.primaryFlag && snap.Free[l] >= unit,
+				list:        fs.appendNode(m.list, i),
 				at:          k,
 				seq:         seq,
 			}
@@ -259,7 +292,7 @@ func (s *Scheme) flood(net *drtp.Network, req drtp.Request) []candidate {
 		}
 		if m.at == req.Dst {
 			// Destination: fill a CRT entry with the traversed route.
-			nodes := appendNode(m.list, req.Dst)
+			nodes := fs.chainNodes(m.list, req.Dst)
 			path, err := graph.PathFromNodes(g, nodes)
 			if err != nil {
 				// Cannot happen: the list records adjacent hops.
@@ -275,18 +308,70 @@ func (s *Scheme) flood(net *drtp.Network, req drtp.Request) []candidate {
 		}
 		if m.at != req.Src {
 			// Valid-detour test against this node's earlier sightings.
-			if md, seen := minDist[m.at]; seen {
+			if md := minDist[m.at]; md >= 0 {
 				if float64(m.hcCurr) > s.params.Alpha*float64(md)+float64(s.params.Beta) {
 					s.stats.CDPDropsDetour++
 					continue
 				}
 			} else {
-				minDist[m.at] = m.hcCurr
+				minDist[m.at] = int32(m.hcCurr)
 			}
 		}
 		forward(m)
 	}
+	fs.crt = crt
 	return crt
+}
+
+// minDistFor returns the pending-connection table sized for n nodes with
+// every entry reset to "not seen".
+func (fs *floodScratch) minDistFor(n int) []int32 {
+	if cap(fs.minDist) < n {
+		fs.minDist = make([]int32, n)
+	}
+	md := fs.minDist[:n]
+	for i := range md {
+		md[i] = -1
+	}
+	fs.minDist = md
+	return md
+}
+
+// appendNode extends chain by one node in the arena and returns the new
+// chain head. Chains share tails — a CDP forwarded over several links
+// costs one entry per copy, not one list copy per copy.
+func (fs *floodScratch) appendNode(chain int32, n graph.NodeID) int32 {
+	fs.entries = append(fs.entries, pathEntry{node: n, parent: chain})
+	return int32(len(fs.entries) - 1)
+}
+
+// chainContains reports whether the chain includes node n.
+func (fs *floodScratch) chainContains(chain int32, n graph.NodeID) bool {
+	for i := chain; i >= 0; {
+		e := &fs.entries[i]
+		if e.node == n {
+			return true
+		}
+		i = e.parent
+	}
+	return false
+}
+
+// chainNodes reassembles a chain into source-first node order with last
+// appended, reusing the scratch node buffer (valid until the next call).
+func (fs *floodScratch) chainNodes(chain int32, last graph.NodeID) []graph.NodeID {
+	nodes := fs.nodes[:0]
+	for i := chain; i >= 0; {
+		e := &fs.entries[i]
+		nodes = append(nodes, e.node)
+		i = e.parent
+	}
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	nodes = append(nodes, last)
+	fs.nodes = nodes
+	return nodes
 }
 
 // selectPrimary picks the shortest primary-flagged candidate and returns
@@ -343,50 +428,44 @@ func less(a, b candidate) bool {
 }
 
 // hopQueue processes CDPs in hop-count order, FIFO within a hop. With
-// identical link delays this reproduces event-driven arrival order.
+// identical link delays this reproduces event-driven arrival order. The
+// buckets (and their backing arrays) are reused across floods: pop reads
+// through a per-bucket head index instead of re-slicing the bucket away.
 type hopQueue struct {
 	buckets [][]cdp
+	heads   []int
 	current int
 }
 
-func newHopQueue(maxHops int) *hopQueue {
-	return &hopQueue{buckets: make([][]cdp, maxHops+1)}
+// reset empties the queue, keeping bucket capacity, and ensures at least
+// maxHops+1 buckets exist.
+func (q *hopQueue) reset(maxHops int) {
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+		q.heads[i] = 0
+	}
+	for len(q.buckets) < maxHops+1 {
+		q.buckets = append(q.buckets, nil)
+		q.heads = append(q.heads, 0)
+	}
+	q.current = 0
 }
 
 func (q *hopQueue) push(m cdp) {
 	for m.hcCurr >= len(q.buckets) {
 		q.buckets = append(q.buckets, nil)
+		q.heads = append(q.heads, 0)
 	}
 	q.buckets[m.hcCurr] = append(q.buckets[m.hcCurr], m)
 }
 
 func (q *hopQueue) pop() (cdp, bool) {
 	for q.current < len(q.buckets) {
-		b := q.buckets[q.current]
-		if len(b) > 0 {
-			m := b[0]
-			q.buckets[q.current] = b[1:]
-			return m, true
+		if h := q.heads[q.current]; h < len(q.buckets[q.current]) {
+			q.heads[q.current] = h + 1
+			return q.buckets[q.current][h], true
 		}
 		q.current++
 	}
 	return cdp{}, false
-}
-
-func containsNode(list []graph.NodeID, n graph.NodeID) bool {
-	for _, x := range list {
-		if x == n {
-			return true
-		}
-	}
-	return false
-}
-
-// appendNode returns a new slice with n appended, never sharing backing
-// storage with list (CDP copies must not alias each other's lists).
-func appendNode(list []graph.NodeID, n graph.NodeID) []graph.NodeID {
-	out := make([]graph.NodeID, len(list)+1)
-	copy(out, list)
-	out[len(list)] = n
-	return out
 }

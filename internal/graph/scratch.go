@@ -1,0 +1,264 @@
+package graph
+
+import "math"
+
+// Scratch holds the reusable working state for repeated shortest-path
+// queries on graphs of a bounded size: the Dijkstra dist/prev/settled
+// arrays, the priority queue, the layered Bellman-Ford tables of the
+// hop-bounded variant, and the path-reversal stack. A zero Scratch is
+// ready to use; buffers grow on demand and are retained across queries,
+// so a caller issuing many queries per topology (the experiment sweep
+// runs thousands per cell) allocates only the returned Path per query.
+//
+// A Scratch is not safe for concurrent use. Results are identical to the
+// package-level ShortestPath/ShortestPathBounded: the heap operations
+// reproduce container/heap's sift order exactly, so tie-breaking — and
+// therefore every byte of downstream sweep output — is unchanged.
+type Scratch struct {
+	dist    []float64
+	prev    []LinkID
+	settled []bool
+	pq      []pqItem
+	stack   []LinkID
+
+	// Layered tables for the hop-bounded variant; row h holds the best
+	// <=h-hop distances.
+	bdist [][]float64
+	bprev [][]LinkID
+}
+
+// NewScratch returns an empty scratch space.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ShortestPath is the scratch-reusing equivalent of the package-level
+// ShortestPath; see its documentation for the contract.
+func (s *Scratch) ShortestPath(g *Graph, src, dst NodeID, cost CostFunc) (Path, float64) {
+	dist, prev := s.dijkstra(g, src, dst, cost)
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, Unreachable
+	}
+	return s.tracePath(g, prev, src, dst), dist[dst]
+}
+
+// ShortestDistancesInto runs Dijkstra from src to all nodes and returns
+// the distance vector. The returned slice aliases the scratch space and
+// is valid until the next query.
+func (s *Scratch) ShortestDistancesInto(g *Graph, src NodeID, cost CostFunc) []float64 {
+	dist, _ := s.dijkstra(g, src, InvalidNode, cost)
+	return dist
+}
+
+// dijkstra computes shortest distances from src into the reusable
+// arrays. If stopAt is a valid node, the search may terminate once
+// stopAt is settled. prev[n] is the link used to reach n on the
+// shortest-path tree (InvalidLink for src/unreached).
+func (s *Scratch) dijkstra(g *Graph, src, stopAt NodeID, cost CostFunc) (dist []float64, prev []LinkID) {
+	n := g.NumNodes()
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]LinkID, n)
+		s.settled = make([]bool, n)
+	}
+	dist, prev = s.dist[:n], s.prev[:n]
+	settled := s.settled[:n]
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = InvalidLink
+		settled[i] = false
+	}
+	dist[src] = 0
+
+	s.pq = append(s.pq[:0], pqItem{node: src, dist: 0, via: InvalidLink})
+	for len(s.pq) > 0 {
+		item := s.pqPop()
+		u := item.node
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		if u == stopAt {
+			return dist, prev
+		}
+		for _, l := range g.Out(u) {
+			c := cost(l)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			v := g.Link(l).To
+			if settled[v] {
+				continue
+			}
+			nd := dist[u] + c
+			if nd < dist[v] || (nd == dist[v] && prev[v] != InvalidLink && l < prev[v]) {
+				dist[v] = nd
+				prev[v] = l
+				s.pqPush(pqItem{node: v, dist: nd, via: l})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// tracePath reconstructs the path to dst using the reusable reversal
+// stack; only the final Path's link slice is allocated.
+func (s *Scratch) tracePath(g *Graph, prev []LinkID, src, dst NodeID) Path {
+	stack := s.stack[:0]
+	for at := dst; at != src; {
+		l := prev[at]
+		if l == InvalidLink {
+			s.stack = stack
+			return Path{}
+		}
+		stack = append(stack, l)
+		at = g.Link(l).From
+	}
+	s.stack = stack
+	links := make([]LinkID, len(stack))
+	for i, l := range stack {
+		links[len(stack)-1-i] = l
+	}
+	return Path{links: links}
+}
+
+// pqLess mirrors priorityQueue.Less: distance first, link ID as the
+// deterministic tie-break.
+func pqLess(a, b pqItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.via < b.via
+}
+
+// pqPush and pqPop implement the binary heap with container/heap's exact
+// sift algorithm (push appends then sifts up; pop swaps the root to the
+// end, sifts down over the shortened heap, then removes the last
+// element), so the pop order — and the resulting shortest-path trees on
+// cost ties — is bit-identical to the heap.Push/heap.Pop path.
+func (s *Scratch) pqPush(it pqItem) {
+	s.pq = append(s.pq, it)
+	s.pqUp(len(s.pq) - 1)
+}
+
+func (s *Scratch) pqPop() pqItem {
+	n := len(s.pq) - 1
+	s.pq[0], s.pq[n] = s.pq[n], s.pq[0]
+	s.pqDown(0, n)
+	it := s.pq[n]
+	s.pq = s.pq[:n]
+	return it
+}
+
+func (s *Scratch) pqUp(j int) {
+	pq := s.pq
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !pqLess(pq[j], pq[i]) {
+			break
+		}
+		pq[i], pq[j] = pq[j], pq[i]
+		j = i
+	}
+}
+
+func (s *Scratch) pqDown(i0, n int) {
+	pq := s.pq
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && pqLess(pq[j2], pq[j1]) {
+			j = j2
+		}
+		if !pqLess(pq[j], pq[i]) {
+			break
+		}
+		pq[i], pq[j] = pq[j], pq[i]
+		i = j
+	}
+}
+
+// ShortestPathBounded is the scratch-reusing equivalent of the
+// package-level ShortestPathBounded; see its documentation for the
+// contract.
+func (s *Scratch) ShortestPathBounded(g *Graph, src, dst NodeID, cost CostFunc, maxHops int) (Path, float64) {
+	if src == dst {
+		return Path{}, 0
+	}
+	if maxHops <= 0 {
+		return Path{}, Unreachable
+	}
+	n := g.NumNodes()
+	dist, prev := s.boundedTables(maxHops+1, n)
+	for v := range dist[0] {
+		dist[0][v] = math.Inf(1)
+		prev[0][v] = InvalidLink
+	}
+	dist[0][src] = 0
+
+	numLinks := g.NumLinks()
+	for h := 1; h <= maxHops; h++ {
+		copy(dist[h], dist[h-1])
+		copy(prev[h], prev[h-1])
+		for id := 0; id < numLinks; id++ {
+			link := g.Link(LinkID(id))
+			if math.IsInf(dist[h-1][link.From], 1) {
+				continue
+			}
+			c := cost(link.ID)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if nd := dist[h-1][link.From] + c; nd < dist[h][link.To] {
+				dist[h][link.To] = nd
+				prev[h][link.To] = link.ID
+			}
+		}
+	}
+	if math.IsInf(dist[maxHops][dst], 1) {
+		return Path{}, Unreachable
+	}
+	// Reconstruct from the layer where dst's best value first appears.
+	stack := s.stack[:0]
+	h, at := maxHops, dst
+	for at != src {
+		for h > 0 && dist[h-1][at] == dist[h][at] {
+			h--
+		}
+		l := prev[h][at]
+		if l == InvalidLink {
+			s.stack = stack
+			return Path{}, Unreachable
+		}
+		stack = append(stack, l)
+		at = g.Link(l).From
+		h--
+	}
+	s.stack = stack
+	links := make([]LinkID, len(stack))
+	for i, l := range stack {
+		links[len(stack)-1-i] = l
+	}
+	return Path{links: links}, dist[maxHops][dst]
+}
+
+// boundedTables returns the layered dist/prev tables with at least rows
+// rows of n columns each, reusing retained storage. Row contents are
+// stale; ShortestPathBounded fully overwrites every row it reads.
+func (s *Scratch) boundedTables(rows, n int) ([][]float64, [][]LinkID) {
+	for len(s.bdist) < rows {
+		s.bdist = append(s.bdist, nil)
+		s.bprev = append(s.bprev, nil)
+	}
+	for h := 0; h < rows; h++ {
+		if cap(s.bdist[h]) < n {
+			s.bdist[h] = make([]float64, n)
+			s.bprev[h] = make([]LinkID, n)
+		}
+		s.bdist[h] = s.bdist[h][:n]
+		s.bprev[h] = s.bprev[h][:n]
+	}
+	return s.bdist[:rows], s.bprev[:rows]
+}

@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // CostFunc assigns a traversal cost to a link. Costs must be non-negative.
 // Return Unreachable to exclude a link entirely.
@@ -21,19 +18,20 @@ func UnitCost(LinkID) float64 { return 1 }
 //
 // Ties are broken deterministically by preferring the link with the lower
 // ID at equal cost, so results are reproducible across runs.
+//
+// Callers issuing many queries against one topology should hold a
+// Scratch and use its methods instead; this convenience form allocates
+// fresh working state per call.
 func ShortestPath(g *Graph, src, dst NodeID, cost CostFunc) (Path, float64) {
-	dist, prev := dijkstra(g, src, dst, cost)
-	if math.IsInf(dist[dst], 1) {
-		return Path{}, Unreachable
-	}
-	return tracePath(g, prev, src, dst), dist[dst]
+	var s Scratch
+	return s.ShortestPath(g, src, dst, cost)
 }
 
 // ShortestDistances runs Dijkstra's algorithm from src to all nodes and
 // returns the distance vector.
 func ShortestDistances(g *Graph, src NodeID, cost CostFunc) []float64 {
-	dist, _ := dijkstra(g, src, InvalidNode, cost)
-	return dist
+	var s Scratch
+	return s.ShortestDistancesInto(g, src, cost)
 }
 
 type pqItem struct {
@@ -42,159 +40,14 @@ type pqItem struct {
 	via  LinkID // link used to reach node; tie-break key
 }
 
-type priorityQueue []pqItem
-
-func (pq priorityQueue) Len() int { return len(pq) }
-
-func (pq priorityQueue) Less(i, j int) bool {
-	if pq[i].dist != pq[j].dist {
-		return pq[i].dist < pq[j].dist
-	}
-	return pq[i].via < pq[j].via
-}
-
-func (pq priorityQueue) Swap(i, j int) { pq[i], pq[j] = pq[j], pq[i] }
-
-func (pq *priorityQueue) Push(x any) { *pq = append(*pq, x.(pqItem)) }
-
-func (pq *priorityQueue) Pop() any {
-	old := *pq
-	n := len(old)
-	item := old[n-1]
-	*pq = old[:n-1]
-	return item
-}
-
-// dijkstra computes shortest distances from src. If stopAt is a valid node,
-// the search may terminate once stopAt is settled. prev[n] is the link used
-// to reach n on the shortest path tree (InvalidLink for src/unreached).
-func dijkstra(g *Graph, src, stopAt NodeID, cost CostFunc) (dist []float64, prev []LinkID) {
-	n := g.NumNodes()
-	dist = make([]float64, n)
-	prev = make([]LinkID, n)
-	settled := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = InvalidLink
-	}
-	dist[src] = 0
-
-	pq := priorityQueue{{node: src, dist: 0, via: InvalidLink}}
-	for len(pq) > 0 {
-		item := heap.Pop(&pq).(pqItem)
-		u := item.node
-		if settled[u] {
-			continue
-		}
-		settled[u] = true
-		if u == stopAt {
-			return dist, prev
-		}
-		for _, l := range g.Out(u) {
-			c := cost(l)
-			if math.IsInf(c, 1) {
-				continue
-			}
-			v := g.Link(l).To
-			if settled[v] {
-				continue
-			}
-			nd := dist[u] + c
-			if nd < dist[v] || (nd == dist[v] && prev[v] != InvalidLink && l < prev[v]) {
-				dist[v] = nd
-				prev[v] = l
-				heap.Push(&pq, pqItem{node: v, dist: nd, via: l})
-			}
-		}
-	}
-	return dist, prev
-}
-
-func tracePath(g *Graph, prev []LinkID, src, dst NodeID) Path {
-	var reversed []LinkID
-	for at := dst; at != src; {
-		l := prev[at]
-		if l == InvalidLink {
-			return Path{}
-		}
-		reversed = append(reversed, l)
-		at = g.Link(l).From
-	}
-	links := make([]LinkID, len(reversed))
-	for i, l := range reversed {
-		links[len(reversed)-1-i] = l
-	}
-	return Path{links: links}
-}
-
 // ShortestPathBounded finds the minimum-cost path from src to dst using
 // at most maxHops links (a constrained shortest path, used for QoS
 // delay-bounded backup routing). It runs a layered Bellman-Ford over hop
 // counts in O(maxHops·E). A non-positive maxHops returns no path unless
-// src == dst.
+// src == dst. Repeated callers should use Scratch.ShortestPathBounded.
 func ShortestPathBounded(g *Graph, src, dst NodeID, cost CostFunc, maxHops int) (Path, float64) {
-	if src == dst {
-		return Path{}, 0
-	}
-	if maxHops <= 0 {
-		return Path{}, Unreachable
-	}
-	n := g.NumNodes()
-	// prev[h][v] is the link reaching v on the best <=h-hop path.
-	dist := make([][]float64, maxHops+1)
-	prev := make([][]LinkID, maxHops+1)
-	for h := 0; h <= maxHops; h++ {
-		dist[h] = make([]float64, n)
-		prev[h] = make([]LinkID, n)
-		for v := range dist[h] {
-			dist[h][v] = math.Inf(1)
-			prev[h][v] = InvalidLink
-		}
-	}
-	dist[0][src] = 0
-
-	numLinks := g.NumLinks()
-	for h := 1; h <= maxHops; h++ {
-		copy(dist[h], dist[h-1])
-		copy(prev[h], prev[h-1])
-		for id := 0; id < numLinks; id++ {
-			link := g.Link(LinkID(id))
-			if math.IsInf(dist[h-1][link.From], 1) {
-				continue
-			}
-			c := cost(link.ID)
-			if math.IsInf(c, 1) {
-				continue
-			}
-			if nd := dist[h-1][link.From] + c; nd < dist[h][link.To] {
-				dist[h][link.To] = nd
-				prev[h][link.To] = link.ID
-			}
-		}
-	}
-	if math.IsInf(dist[maxHops][dst], 1) {
-		return Path{}, Unreachable
-	}
-	// Reconstruct from the layer where dst's best value first appears.
-	var reversed []LinkID
-	h, at := maxHops, dst
-	for at != src {
-		for h > 0 && dist[h-1][at] == dist[h][at] {
-			h--
-		}
-		l := prev[h][at]
-		if l == InvalidLink {
-			return Path{}, Unreachable
-		}
-		reversed = append(reversed, l)
-		at = g.Link(l).From
-		h--
-	}
-	links := make([]LinkID, len(reversed))
-	for i, l := range reversed {
-		links[len(reversed)-1-i] = l
-	}
-	return Path{links: links}, dist[maxHops][dst]
+	var s Scratch
+	return s.ShortestPathBounded(g, src, dst, cost, maxHops)
 }
 
 // HopDistances returns the BFS hop distance from src to every node, with -1

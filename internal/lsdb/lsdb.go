@@ -261,30 +261,10 @@ func (db *DB) RegisterBackup(id ConnID, l graph.LinkID, primaryLSET []graph.Link
 func (db *DB) ReleaseBackup(id ConnID, l graph.LinkID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	s := &db.links[l]
-	lset, ok := s.backups[id]
-	if !ok {
+	if _, ok := db.links[l].backups[id]; !ok {
 		return fmt.Errorf("lsdb: connection %d has no backup on link %d", id, l)
 	}
-	db.backupOps++
-	delete(s.backups, id)
-	recompute := false
-	for _, pl := range lset {
-		if int(s.aplv[pl]) == s.maxElem {
-			recompute = true
-		}
-		s.aplv[pl]--
-		s.norm--
-	}
-	if recompute {
-		s.maxElem = 0
-		for _, v := range s.aplv {
-			if int(v) > s.maxElem {
-				s.maxElem = int(v)
-			}
-		}
-	}
-	db.resizeSpareLocked(l)
+	db.releaseBackupLocked(id, l)
 	return nil
 }
 

@@ -1,0 +1,269 @@
+package lsdb
+
+import (
+	"fmt"
+
+	"github.com/rtcl/drtp/internal/graph"
+)
+
+// This file holds the batch read/update surface of the database. The
+// routing and failure-evaluation hot paths used to call one locked
+// accessor per link from inside Dijkstra cost callbacks — at ~30 µs per
+// backup route that mutex traffic dominated the CPU profile. Each batch
+// call below takes the lock once, fills (or applies) per-link arrays the
+// caller retains across calls, and leaves the per-call accessors intact
+// for the cold paths.
+
+// Snapshot is a point-in-time copy of the per-link scalars the routing
+// hot paths read: the backup-availability and free-bandwidth tests and
+// P-LSR's ‖APLV‖₁ metric. Refresh with DB.SnapshotInto before each
+// route computation; the arrays are indexed by graph.LinkID and reused
+// across refreshes.
+type Snapshot struct {
+	// AvailBackup[l] is capacity - prime (DB.AvailableForBackup).
+	AvailBackup []int
+	// Free[l] is capacity - prime - spare (DB.FreeBW /
+	// DB.AvailableForPrimary).
+	Free []int
+	// Norm[l] is ‖APLV_l‖₁ (DB.APLVNorm).
+	Norm []int
+}
+
+// SnapshotInto fills s with the current per-link state under a single
+// lock acquisition and returns it. The database is unlocked when this
+// returns, so the snapshot is only coherent while the caller performs no
+// interleaved reservations — exactly the single-threaded route-then-
+// reserve discipline of the Manager and the simulator.
+func (db *DB) SnapshotInto(s *Snapshot) *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := len(db.links)
+	s.AvailBackup = growInts(s.AvailBackup, n)
+	s.Free = growInts(s.Free, n)
+	s.Norm = growInts(s.Norm, n)
+	for i := range db.links {
+		ls := &db.links[i]
+		avail := ls.capacity - ls.prime
+		s.AvailBackup[i] = avail
+		s.Free[i] = avail - ls.spare
+		s.Norm[i] = ls.norm
+	}
+	return s
+}
+
+// ConflictCountsInto writes, for every link l, the number of links in
+// lset whose existing backups traverse l — Σ_{L_j ∈ LSET} c_{l,j}, the
+// per-request conflict metric D-LSR derives from the Conflict Vectors —
+// into dst and returns it (resized as needed). One lock acquisition
+// replaces a CVBit call per (link, LSET entry) pair.
+func (db *DB) ConflictCountsInto(lset []graph.LinkID, dst []float64) []float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := len(db.links)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range db.links {
+		aplv := db.links[i].aplv
+		c := 0
+		for _, j := range lset {
+			if aplv[j] > 0 {
+				c++
+			}
+		}
+		dst[i] = float64(c)
+	}
+	return dst
+}
+
+// SCInto writes SC_l (spare/unitBW activation slots, DB.SC) for every
+// link into dst and returns it (resized as needed). The failure sweeps
+// refresh this once per evaluated failure instead of locking per backup
+// link touched.
+func (db *DB) SCInto(dst []int) []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := len(db.links)
+	dst = growInts(dst, n)
+	for i := range db.links {
+		dst[i] = db.links[i].spare / db.unitBW
+	}
+	return dst
+}
+
+// AppendCV appends link l's Conflict Vector in its wire form (the bytes
+// of DB.CV(l).Bytes()) to dst and returns the extended slice, without
+// materializing the intermediate vector.
+func (db *DB) AppendCV(l graph.LinkID, dst []byte) []byte {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	start := len(dst)
+	size := (len(db.links) + 7) / 8
+	for i := 0; i < size; i++ {
+		dst = append(dst, 0)
+	}
+	out := dst[start:]
+	for j, a := range db.links[l].aplv {
+		if a > 0 {
+			out[j/8] |= 1 << uint(j%8)
+		}
+	}
+	return dst
+}
+
+// ReservePrimaryPath reserves unit bandwidth for connection id's primary
+// channel on every link of the path, in order, under one lock
+// acquisition. On the first link that cannot admit the reservation the
+// earlier links are rolled back and that link's error is returned —
+// byte-for-byte the error a per-link ReservePrimary loop would surface.
+func (db *DB) ReservePrimaryPath(id ConnID, links []graph.LinkID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i, l := range links {
+		s := &db.links[l]
+		if free := s.capacity - s.prime - s.spare; free < db.unitBW {
+			db.releasePrimaryPrefixLocked(id, links[:i])
+			return &ErrInsufficientBandwidth{Link: l, Need: db.unitBW, Have: free}
+		}
+		if _, dup := s.primaries[id]; dup {
+			db.releasePrimaryPrefixLocked(id, links[:i])
+			return fmt.Errorf("lsdb: connection %d already has a primary on link %d", id, l)
+		}
+		s.prime += db.unitBW
+		s.primaries[id] = struct{}{}
+	}
+	return nil
+}
+
+// ReleasePrimaryPath releases connection id's primary reservation on
+// every link of the path under one lock acquisition. It fails on the
+// first link without a matching reservation (bookkeeping corruption;
+// preceding links stay released, as a per-link loop would leave them).
+func (db *DB) ReleasePrimaryPath(id ConnID, links []graph.LinkID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, l := range links {
+		s := &db.links[l]
+		if _, ok := s.primaries[id]; !ok {
+			return fmt.Errorf("lsdb: connection %d has no primary on link %d", id, l)
+		}
+		delete(s.primaries, id)
+		s.prime -= db.unitBW
+	}
+	return nil
+}
+
+// releasePrimaryPrefixLocked rolls back reservations made earlier in the
+// same ReservePrimaryPath call; callers must hold db.mu.
+func (db *DB) releasePrimaryPrefixLocked(id ConnID, links []graph.LinkID) {
+	for _, l := range links {
+		s := &db.links[l]
+		delete(s.primaries, id)
+		s.prime -= db.unitBW
+	}
+}
+
+// RegisterBackupPath registers connection id's backup channel on every
+// link of the path, carrying primaryLSET exactly as per-link
+// RegisterBackup packets would (the LSET is copied once and shared by
+// the links' registries). On the first rejected link the earlier
+// registrations are released and that link's error is returned. Each
+// per-link register — and each rollback release — counts one backup op,
+// matching the signalling volume of the per-link loop.
+func (db *DB) RegisterBackupPath(id ConnID, links, primaryLSET []graph.LinkID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var lset []graph.LinkID
+	for i, l := range links {
+		s := &db.links[l]
+		if avail := s.capacity - s.prime; avail < db.unitBW {
+			db.releaseBackupPrefixLocked(id, links[:i])
+			return &ErrInsufficientBandwidth{Link: l, Need: db.unitBW, Have: avail}
+		}
+		if db.mode == Dedicated {
+			// No overbooking: the spare pool must grow by a full unit.
+			if free := s.capacity - s.prime - s.spare; free < db.unitBW {
+				db.releaseBackupPrefixLocked(id, links[:i])
+				return &ErrInsufficientBandwidth{Link: l, Need: db.unitBW, Have: free}
+			}
+		}
+		if _, dup := s.backups[id]; dup {
+			db.releaseBackupPrefixLocked(id, links[:i])
+			return fmt.Errorf("lsdb: connection %d already has a backup on link %d", id, l)
+		}
+		if lset == nil {
+			lset = make([]graph.LinkID, len(primaryLSET))
+			copy(lset, primaryLSET)
+		}
+		db.backupOps++
+		s.backups[id] = lset
+		for _, pl := range lset {
+			s.aplv[pl]++
+			s.norm++
+			if int(s.aplv[pl]) > s.maxElem {
+				s.maxElem = int(s.aplv[pl])
+			}
+		}
+		db.resizeSpareLocked(l)
+	}
+	return nil
+}
+
+// ReleaseBackupPath releases connection id's backup registration on
+// every link of the path under one lock acquisition, with per-link
+// ReleaseBackup semantics (including the backup-op count).
+func (db *DB) ReleaseBackupPath(id ConnID, links []graph.LinkID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, l := range links {
+		if _, ok := db.links[l].backups[id]; !ok {
+			return fmt.Errorf("lsdb: connection %d has no backup on link %d", id, l)
+		}
+		db.releaseBackupLocked(id, l)
+	}
+	return nil
+}
+
+// releaseBackupPrefixLocked rolls back registrations made earlier in the
+// same RegisterBackupPath call; callers must hold db.mu.
+func (db *DB) releaseBackupPrefixLocked(id ConnID, links []graph.LinkID) {
+	for _, l := range links {
+		db.releaseBackupLocked(id, l)
+	}
+}
+
+// releaseBackupLocked is ReleaseBackup's body for a known-present
+// registration; callers must hold db.mu.
+func (db *DB) releaseBackupLocked(id ConnID, l graph.LinkID) {
+	s := &db.links[l]
+	lset := s.backups[id]
+	db.backupOps++
+	delete(s.backups, id)
+	recompute := false
+	for _, pl := range lset {
+		if int(s.aplv[pl]) == s.maxElem {
+			recompute = true
+		}
+		s.aplv[pl]--
+		s.norm--
+	}
+	if recompute {
+		s.maxElem = 0
+		for _, v := range s.aplv {
+			if int(v) > s.maxElem {
+				s.maxElem = int(v)
+			}
+		}
+	}
+	db.resizeSpareLocked(l)
+}
+
+// growInts returns s resized to n entries, reallocating only when the
+// capacity is insufficient.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

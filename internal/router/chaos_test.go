@@ -25,10 +25,19 @@ func newChaosCluster(t *testing.T, g *graph.Graph, sched *faultinject.Schedule, 
 	}
 	cfg.UnitBW = 1
 	cfg.HelloInterval = 10 * time.Millisecond
-	cfg.HelloMiss = 3
+	// A generous miss budget keeps random drop schedules from permanently
+	// declaring an adjacency dead mid-test (three consecutive hello losses
+	// at 25% drop are common over hundreds of hello windows); the chaos
+	// tests probe the signalling retry layer, not failure detection.
+	cfg.HelloMiss = 8
 	cfg.LSInterval = 20 * time.Millisecond
+	// The in-memory transport delivers instantly, so the round-trip budget
+	// only gates how fast lost signalling is retransmitted. Keep it short:
+	// a full setup cycle that loses every attempt must cost well under a
+	// second, or the convergence window fits too few cycles to ride out an
+	// unlucky drop schedule.
 	if cfg.SetupTimeout == 0 {
-		cfg.SetupTimeout = 1500 * time.Millisecond
+		cfg.SetupTimeout = 400 * time.Millisecond
 	}
 	cfg.RetryLimit = 3
 	cfg.Telemetry = telemetry.NewTracer(ring)
@@ -51,6 +60,7 @@ func convergeChaos(t *testing.T, c *router.Cluster, dst graph.NodeID) {
 		if err == nil {
 			return c.Router(0).Release(999) == nil
 		}
+		t.Logf("converge: %v", err)
 		return false
 	})
 }

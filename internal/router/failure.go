@@ -293,17 +293,34 @@ func (r *Router) runSwitch(id lsdb.ConnID, failedLink int, trace uint64, oldPrim
 	r.teardownChannel(id, proto.Primary, oldPrimary, -1, trace, true)
 }
 
+// getActivateChLocked pops a pooled activation reply channel, or makes
+// one. Callers must hold r.mu.
+func (r *Router) getActivateChLocked() chan proto.ActivateResult {
+	if n := len(r.activateChPool); n > 0 {
+		ch := r.activateChPool[n-1]
+		r.activateChPool = r.activateChPool[:n-1]
+		return ch
+	}
+	return make(chan proto.ActivateResult, 1)
+}
+
 // activateBackup runs one activation round trip, retransmitting timed-out
 // attempts under the same backoff-and-dedup discipline as setupChannel.
 func (r *Router) activateBackup(id lsdb.ConnID, backup graph.Path, trace uint64) bool {
-	ch := make(chan proto.ActivateResult, 1)
 	r.mu.Lock()
+	ch := r.getActivateChLocked()
 	seq := r.nextSeqLocked()
 	r.pendingAct[id] = pendingActivation{ch: ch, seq: seq}
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
 		delete(r.pendingAct, id)
+		// Drain a straggler reply, then recycle; see setupChannel.
+		select {
+		case <-ch:
+		default:
+		}
+		r.activateChPool = append(r.activateChPool, ch)
 		r.mu.Unlock()
 	}()
 
@@ -419,20 +436,22 @@ func (r *Router) handleActivate(m proto.Activate) {
 }
 
 // handleActivateResult completes a pending activation, dropping straggler
-// replies from superseded round trips.
+// replies from superseded round trips. Delivery happens under mu so a
+// reply can never land in a channel already drained and pooled by the
+// round trip's owner (see handleSetupResult).
 func (r *Router) handleActivateResult(m proto.ActivateResult) {
 	r.mu.Lock()
 	p, ok := r.pendingAct[m.Conn]
+	if ok && m.Seq == p.seq {
+		select {
+		case p.ch <- m:
+		default:
+		}
+		r.mu.Unlock()
+		return
+	}
 	r.mu.Unlock()
-	if !ok {
-		return
-	}
-	if m.Seq != p.seq {
+	if ok {
 		r.tracer.DedupHit(0, int64(m.Conn), int(r.cfg.Node), "stale-activate-result")
-		return
-	}
-	select {
-	case p.ch <- m:
-	default:
 	}
 }

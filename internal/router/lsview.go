@@ -53,7 +53,7 @@ func (r *Router) advertForLocked(l graph.LinkID) proto.LinkAdvert {
 	if r.downNbr[r.g.Link(l).To] {
 		return proto.LinkAdvert{
 			Link: l,
-			CV:   bitvec.New(r.g.NumLinks()).Bytes(),
+			CV:   make([]byte, (r.g.NumLinks()+7)/8),
 		}
 	}
 	return proto.LinkAdvert{
@@ -61,21 +61,29 @@ func (r *Router) advertForLocked(l graph.LinkID) proto.LinkAdvert {
 		AvailPrim:   r.db.AvailableForPrimary(l),
 		AvailBackup: r.db.AvailableForBackup(l),
 		Norm:        r.db.APLVNorm(l),
-		CV:          r.db.CV(l).Bytes(),
+		// AppendCV writes the wire form straight from the database,
+		// skipping the intermediate bitvec.Vector a CV(l).Bytes() chain
+		// would allocate.
+		CV: r.db.AppendCV(l, nil),
 	}
 }
 
-// applyAdvertLocked installs a link summary into the view. Callers must hold
+// applyAdvertLocked installs a link summary into the view, reloading the
+// existing mirrored Conflict Vector in place when one is already there
+// (steady-state adverts then cost zero allocations). Callers must hold
 // r.mu.
 func (r *Router) applyAdvertLocked(a proto.LinkAdvert) {
 	if int(a.Link) >= len(r.view) {
 		return
 	}
-	r.view[a.Link] = linkView{
-		availPrim:   a.AvailPrim,
-		availBackup: a.AvailBackup,
-		norm:        a.Norm,
-		cv:          bitvec.FromBytes(r.g.NumLinks(), a.CV),
+	v := &r.view[a.Link]
+	v.availPrim = a.AvailPrim
+	v.availBackup = a.AvailBackup
+	v.norm = a.Norm
+	if v.cv != nil && v.cv.Len() == r.g.NumLinks() {
+		v.cv.SetBytes(a.CV)
+	} else {
+		v.cv = bitvec.FromBytes(r.g.NumLinks(), a.CV)
 	}
 }
 

@@ -279,6 +279,14 @@ type Router struct {
 	// frPending holds failure reports awaiting retransmission (resent on
 	// hello ticks with exponential spacing); guarded by mu.
 	frPending []frRetry
+	// setupChPool and activateChPool recycle the one-shot buffered reply
+	// channels of signalling round trips. Recycling is safe because
+	// results are delivered under mu only to the channel still registered
+	// in pending/pendingAct, and the round trip's owner unregisters and
+	// drains the channel under the same mutex before pooling it; guarded
+	// by mu.
+	setupChPool    []chan proto.SetupResult
+	activateChPool []chan proto.ActivateResult
 	// conns records connections originated here; guarded by mu.
 	conns map[lsdb.ConnID]*conn
 	// transitPrim maps outgoing links to transit reservations; guarded by mu.

@@ -267,14 +267,21 @@ func (r *Router) Release(id lsdb.ConnID) error {
 // deadline is unchanged and duplicates are absorbed by per-hop dedup.
 func (r *Router) setupChannel(id lsdb.ConnID, kind proto.ChannelKind, path graph.Path, lset []graph.LinkID, trace uint64) error {
 	key := pendingKey{conn: id, channel: kind}
-	ch := make(chan proto.SetupResult, 1)
 	r.mu.Lock()
+	ch := r.getSetupChLocked()
 	seq := r.nextSeqLocked()
 	r.pending[key] = pendingSetup{ch: ch, seq: seq}
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
 		delete(r.pending, key)
+		// Drain a reply that landed after the last receive, then recycle:
+		// with the pending entry gone no handler can touch ch again.
+		select {
+		case <-ch:
+		default:
+		}
+		r.setupChPool = append(r.setupChPool, ch)
 		r.mu.Unlock()
 	}()
 
@@ -459,22 +466,35 @@ func (r *Router) handleSetup(m proto.Setup) {
 
 // handleSetupResult completes a pending setup round trip; replies whose
 // sequence does not match the pending attempt are stragglers from a
-// superseded round trip and are dropped.
+// superseded round trip and are dropped. Delivery happens under mu so a
+// reply can never land in a channel already drained and pooled by the
+// round trip's owner.
 func (r *Router) handleSetupResult(m proto.SetupResult) {
 	r.mu.Lock()
 	p, ok := r.pending[pendingKey{conn: m.Conn, channel: m.Channel}]
+	if ok && m.Seq == p.seq {
+		select {
+		case p.ch <- m:
+		default:
+		}
+		r.mu.Unlock()
+		return
+	}
 	r.mu.Unlock()
-	if !ok {
-		return
-	}
-	if m.Seq != p.seq {
+	if ok {
 		r.tracer.DedupHit(0, int64(m.Conn), int(r.cfg.Node), "stale-setup-result")
-		return
 	}
-	select {
-	case p.ch <- m:
-	default:
+}
+
+// getSetupChLocked pops a pooled setup reply channel, or makes one.
+// Callers must hold r.mu.
+func (r *Router) getSetupChLocked() chan proto.SetupResult {
+	if n := len(r.setupChPool); n > 0 {
+		ch := r.setupChPool[n-1]
+		r.setupChPool = r.setupChPool[:n-1]
+		return ch
 	}
+	return make(chan proto.SetupResult, 1)
 }
 
 // handleTeardown releases one hop and forwards the sweep. The release is

@@ -42,6 +42,15 @@ type BackupCoster interface {
 	ConflictMetric(db *lsdb.DB, l graph.LinkID, primary graph.Path) float64
 }
 
+// bulkCoster is the batch fast path of a BackupCoster: it fills a dense
+// per-link conflict-metric vector up front (one database lock) instead of
+// being called once per link from inside the Dijkstra cost callback. A
+// nil return means the metric is identically zero. The built-in costers
+// implement it; external costers fall back to per-link ConflictMetric.
+type bulkCoster interface {
+	conflictMetricsInto(db *lsdb.DB, snap *lsdb.Snapshot, primary graph.Path, dst []float64) []float64
+}
+
 // LinkState is a drtp.Scheme assembled from a BackupCoster: min-hop
 // primary, then Dijkstra over Q/metric/ε costs for each backup. By
 // default one backup is routed; WithBackupCount enables the paper's
@@ -91,7 +100,10 @@ func (s *LinkState) Route(net *drtp.Network, req drtp.Request) (drtp.Route, erro
 		return drtp.Route{}, err
 	}
 	route := drtp.Route{Primary: primary}
-	avoid := primary.LinkSet()
+	avoid := net.Scratch().AvoidFor(net.Graph().NumLinks())
+	for _, l := range primary.Links() {
+		avoid[l] = true
+	}
 	for k := 0; k < s.backups; k++ {
 		backup := s.routeBackup(net, primary, req, avoid, req.MaxHops)
 		if backup.Empty() {
@@ -107,7 +119,7 @@ func (s *LinkState) Route(net *drtp.Network, req drtp.Request) (drtp.Route, erro
 		}
 		route.Backups = append(route.Backups, backup)
 		for _, l := range backup.Links() {
-			avoid[l] = struct{}{}
+			avoid[l] = true
 		}
 	}
 	return route, nil
@@ -122,10 +134,13 @@ func (s *LinkState) RouteBackupsFor(net *drtp.Network, req drtp.Request, primary
 	if need <= 0 {
 		return nil
 	}
-	avoid := primary.LinkSet()
+	avoid := net.Scratch().AvoidFor(net.Graph().NumLinks())
+	for _, l := range primary.Links() {
+		avoid[l] = true
+	}
 	for _, b := range existing {
 		for _, l := range b.Links() {
-			avoid[l] = struct{}{}
+			avoid[l] = true
 		}
 	}
 	var out []graph.Path
@@ -141,7 +156,7 @@ func (s *LinkState) RouteBackupsFor(net *drtp.Network, req drtp.Request, primary
 		}
 		out = append(out, b)
 		for _, l := range b.Links() {
-			avoid[l] = struct{}{}
+			avoid[l] = true
 		}
 	}
 	return out
@@ -150,30 +165,54 @@ func (s *LinkState) RouteBackupsFor(net *drtp.Network, req drtp.Request, primary
 var _ drtp.BackupRouter = (*LinkState)(nil)
 
 // routeBackup finds one backup route penalizing the avoid set with Q. A
-// positive maxHops constrains the search to the QoS delay bound.
-func (s *LinkState) routeBackup(net *drtp.Network, primary graph.Path, req drtp.Request, avoid map[graph.LinkID]struct{}, maxHops int) graph.Path {
+// positive maxHops constrains the search to the QoS delay bound. Link
+// state is read through one snapshot (and, for the built-in costers, one
+// dense metric vector), so the Dijkstra cost callback touches no locks.
+func (s *LinkState) routeBackup(net *drtp.Network, primary graph.Path, req drtp.Request, avoid []bool, maxHops int) graph.Path {
 	db := net.DB()
 	unit := net.UnitBW()
-	cost := func(l graph.LinkID) float64 {
-		if net.LinkFailed(l) {
-			return graph.Unreachable
+	sc := net.Scratch()
+	snap := db.SnapshotInto(&sc.Snap)
+	var cost graph.CostFunc
+	if bc, ok := s.coster.(bulkCoster); ok {
+		var metrics []float64
+		if ms := bc.conflictMetricsInto(db, snap, primary, sc.Metrics); ms != nil {
+			sc.Metrics = ms
+			metrics = ms
 		}
-		c := Epsilon + s.coster.ConflictMetric(db, l, primary)
-		if _, ok := avoid[l]; ok {
-			c += Q
-		} else if db.AvailableForBackup(l) < unit {
-			c += Q
+		cost = func(l graph.LinkID) float64 {
+			if net.LinkFailed(l) {
+				return graph.Unreachable
+			}
+			c := Epsilon
+			if metrics != nil {
+				c += metrics[l]
+			}
+			if avoid[l] || snap.AvailBackup[l] < unit {
+				c += Q
+			}
+			return c
 		}
-		return c
+	} else {
+		cost = func(l graph.LinkID) float64 {
+			if net.LinkFailed(l) {
+				return graph.Unreachable
+			}
+			c := Epsilon + s.coster.ConflictMetric(db, l, primary)
+			if avoid[l] || snap.AvailBackup[l] < unit {
+				c += Q
+			}
+			return c
+		}
 	}
 	var (
 		backup graph.Path
 		total  float64
 	)
 	if maxHops > 0 {
-		backup, total = graph.ShortestPathBounded(net.Graph(), req.Src, req.Dst, cost, maxHops)
+		backup, total = sc.Graph.ShortestPathBounded(net.Graph(), req.Src, req.Dst, cost, maxHops)
 	} else {
-		backup, total = graph.ShortestPath(net.Graph(), req.Src, req.Dst, cost)
+		backup, total = sc.Graph.ShortestPath(net.Graph(), req.Src, req.Dst, cost)
 	}
 	if total == graph.Unreachable {
 		return graph.Path{}
@@ -210,6 +249,20 @@ func (PLSR) ConflictMetric(db *lsdb.DB, l graph.LinkID, _ graph.Path) float64 {
 	return float64(db.APLVNorm(l))
 }
 
+// conflictMetricsInto implements bulkCoster: the norms are already in the
+// snapshot, so this just widens them to float64.
+func (PLSR) conflictMetricsInto(_ *lsdb.DB, snap *lsdb.Snapshot, _ graph.Path, dst []float64) []float64 {
+	n := len(snap.Norm)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i, v := range snap.Norm {
+		dst[i] = float64(v)
+	}
+	return dst
+}
+
 // DLSR is the deterministic link-state scheme: the conflict metric is the
 // exact number of the primary's links whose existing backups traverse L_i,
 // read from the Conflict Vector: Σ_{L_j ∈ LSET(P_x)} c_{i,j}.
@@ -234,6 +287,12 @@ func (DLSR) ConflictMetric(db *lsdb.DB, l graph.LinkID, primary graph.Path) floa
 	return float64(conflicts)
 }
 
+// conflictMetricsInto implements bulkCoster: one locked pass over the
+// database replaces a CVBit call per (link, LSET entry) pair.
+func (DLSR) conflictMetricsInto(db *lsdb.DB, _ *lsdb.Snapshot, primary graph.Path, dst []float64) []float64 {
+	return db.ConflictCountsInto(primary.Links(), dst)
+}
+
 // MinHopDisjoint is the conflict-blind baseline: the backup is simply the
 // shortest feasible path avoiding the primary's links, ignoring APLV/CV
 // information entirely. It isolates the value of conflict awareness.
@@ -250,6 +309,12 @@ func (MinHopDisjoint) Name() string { return "MinHop" }
 // ConflictMetric implements BackupCoster.
 func (MinHopDisjoint) ConflictMetric(*lsdb.DB, graph.LinkID, graph.Path) float64 {
 	return 0
+}
+
+// conflictMetricsInto implements bulkCoster: a nil vector means the
+// metric is identically zero.
+func (MinHopDisjoint) conflictMetricsInto(*lsdb.DB, *lsdb.Snapshot, graph.Path, []float64) []float64 {
+	return nil
 }
 
 // NoBackup establishes primary channels only. It is the baseline against
@@ -278,7 +343,8 @@ func (NoBackup) Route(net *drtp.Network, req drtp.Request) (drtp.Route, error) {
 // paper's remark that in highly-connected networks "even random selection
 // can find a backup route with small conflicts".
 type Random struct {
-	src *rng.Source
+	src    *rng.Source
+	jitter []float64
 }
 
 var _ drtp.Scheme = (*Random)(nil)
@@ -299,8 +365,17 @@ func (r *Random) Route(net *drtp.Network, req drtp.Request) (drtp.Route, error) 
 	}
 	db := net.DB()
 	unit := net.UnitBW()
-	onPrimary := primary.LinkSet()
-	jitter := make([]float64, net.Graph().NumLinks())
+	sc := net.Scratch()
+	snap := db.SnapshotInto(&sc.Snap)
+	n := net.Graph().NumLinks()
+	onPrimary := sc.AvoidFor(n)
+	for _, l := range primary.Links() {
+		onPrimary[l] = true
+	}
+	if cap(r.jitter) < n {
+		r.jitter = make([]float64, n)
+	}
+	jitter := r.jitter[:n]
 	for i := range jitter {
 		jitter[i] = r.src.Float64()
 	}
@@ -309,9 +384,7 @@ func (r *Random) Route(net *drtp.Network, req drtp.Request) (drtp.Route, error) 
 			return graph.Unreachable
 		}
 		c := 1 + jitter[l]
-		if _, ok := onPrimary[l]; ok {
-			c += Q
-		} else if db.AvailableForBackup(l) < unit {
+		if onPrimary[l] || snap.AvailBackup[l] < unit {
 			c += Q
 		}
 		return c
@@ -321,9 +394,9 @@ func (r *Random) Route(net *drtp.Network, req drtp.Request) (drtp.Route, error) 
 		total  float64
 	)
 	if req.MaxHops > 0 {
-		backup, total = graph.ShortestPathBounded(net.Graph(), req.Src, req.Dst, cost, req.MaxHops)
+		backup, total = sc.Graph.ShortestPathBounded(net.Graph(), req.Src, req.Dst, cost, req.MaxHops)
 	} else {
-		backup, total = graph.ShortestPath(net.Graph(), req.Src, req.Dst, cost)
+		backup, total = sc.Graph.ShortestPath(net.Graph(), req.Src, req.Dst, cost)
 	}
 	if total == graph.Unreachable {
 		return drtp.Route{Primary: primary}, nil

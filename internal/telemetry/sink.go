@@ -92,6 +92,14 @@ func (b *Buffer) Record(e Event) {
 	b.mu.Unlock()
 }
 
+// RecordBatch implements BatchSink: the whole slice is appended under one
+// lock acquisition.
+func (b *Buffer) RecordBatch(events []Event) {
+	b.mu.Lock()
+	b.events = append(b.events, events...)
+	b.mu.Unlock()
+}
+
 // Events returns the recorded events in arrival order.
 func (b *Buffer) Events() []Event {
 	b.mu.Lock()
@@ -99,6 +107,24 @@ func (b *Buffer) Events() []Event {
 	out := make([]Event, len(b.events))
 	copy(out, b.events)
 	return out
+}
+
+// Take returns the recorded events in arrival order without copying. The
+// returned slice aliases the buffer's storage, so it is valid only until
+// the next Record or after Reset is followed by new records. The parallel
+// engine drains each completed cell with Take, forwards, then Reset.
+func (b *Buffer) Take() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.events
+}
+
+// Reset forgets the recorded events while keeping the buffer's capacity,
+// so a pooled buffer's storage is reused by the next cell.
+func (b *Buffer) Reset() {
+	b.mu.Lock()
+	b.events = b.events[:0]
+	b.mu.Unlock()
 }
 
 // Len returns the number of recorded events.
@@ -131,6 +157,19 @@ func (j *JSONL) Record(e Event) {
 	j.mu.Lock()
 	if j.err == nil {
 		j.err = j.enc.Encode(e)
+	}
+	j.mu.Unlock()
+}
+
+// RecordBatch implements BatchSink: the whole slice is encoded under one
+// lock acquisition, producing the same lines Record would.
+func (j *JSONL) RecordBatch(events []Event) {
+	j.mu.Lock()
+	for i := range events {
+		if j.err != nil {
+			break
+		}
+		j.err = j.enc.Encode(events[i])
 	}
 	j.mu.Unlock()
 }

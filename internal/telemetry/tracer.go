@@ -319,6 +319,42 @@ func (t *Tracer) Forward(e Event) {
 	}
 }
 
+// BatchSink is an optional Sink extension: RecordBatch records a slice of
+// already-stamped events, preserving order, under one lock acquisition.
+// ForwardBatch uses it when a sink provides it.
+type BatchSink interface {
+	Sink
+	// RecordBatch records the events in order. The slice is only valid
+	// for the duration of the call; retaining sinks must copy.
+	RecordBatch([]Event)
+}
+
+// ForwardBatch is Forward for a whole cell's event stream: it records the
+// already-stamped events in every sink, in order, normalizing
+// multiplicities in place (so the caller must own the slice). Sinks
+// implementing BatchSink take the slice in one call — one lock
+// acquisition per cell instead of one per event — and the rest receive
+// per-event Record calls, with byte-identical results either way.
+func (t *Tracer) ForwardBatch(events []Event) {
+	if !t.Enabled() || len(events) == 0 {
+		return
+	}
+	for i := range events {
+		if events[i].N < 1 {
+			events[i].N = 1
+		}
+	}
+	for _, s := range t.sinks {
+		if bs, ok := s.(BatchSink); ok {
+			bs.RecordBatch(events)
+			continue
+		}
+		for _, e := range events {
+			s.Record(e)
+		}
+	}
+}
+
 // Close closes every sink that implements io.Closer (flushing buffered
 // writers), returning the first error.
 func (t *Tracer) Close() error {

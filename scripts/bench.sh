@@ -90,6 +90,14 @@ function entry(name, pkg, pass,    json, i) {
 	} else if (!((name "|" pkg) in superseded)) {
 		main[nm++] = entry(name, pkg, "")
 	}
+	# Scaling summary inputs: mean ns/op of the sweep at workers=1 vs
+	# workers=8, and the workers=1 allocation count (the perf-regression
+	# tier tracks both; see internal/experiments/scaling_test.go).
+	if (name == "BenchmarkSweepParallel/workers=1") {
+		w1ns += $3; w1n++
+		for (i = 4; i < NF; i++) if ($(i+1) == "allocs/op") { w1allocs += $i; w1an++ }
+	}
+	if (name == "BenchmarkSweepParallel/workers=8") { w8ns += $3; w8n++ }
 }
 END {
 	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n", date, go_version
@@ -100,6 +108,15 @@ END {
 	for (i = 0; i < nm; i++) { if (n++) printf ",\n"; printf "    %s", main[i] }
 	for (i = 0; i < nw; i++) { if (n++) printf ",\n"; printf "    %s", wall[i] }
 	printf "\n  ]"
+	# Parallel-engine summary: wall-clock speedup of the sweep at
+	# workers=8 over workers=1 (1.0 on a single-CPU host, where both
+	# degrade to the serial path) and its workers=1 allocs/op. Omitted
+	# when a PATTERN subset excluded BenchmarkSweepParallel.
+	if (w1n > 0 && w8n > 0) {
+		printf ",\n  \"summary\": {\"speedup_w8_over_w1\": %.3f", (w1ns / w1n) / (w8ns / w8n)
+		if (w1an > 0) printf ", \"allocs_per_op\": %.0f", w1allocs / w1an
+		printf "}"
+	}
 	first = 1
 	while ((getline line < slofile) > 0) {
 		if (first) { printf ",\n  \"slo\": "; first = 0 } else printf "\n  "
