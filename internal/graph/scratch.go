@@ -43,6 +43,8 @@ func (s *Scratch) ShortestPath(g *Graph, src, dst NodeID, cost CostFunc) (Path, 
 // ShortestDistancesInto runs Dijkstra from src to all nodes and returns
 // the distance vector. The returned slice aliases the scratch space and
 // is valid until the next query.
+//
+//drtplint:hotpath
 func (s *Scratch) ShortestDistancesInto(g *Graph, src NodeID, cost CostFunc) []float64 {
 	dist, _ := s.dijkstra(g, src, InvalidNode, cost)
 	return dist
@@ -52,6 +54,8 @@ func (s *Scratch) ShortestDistancesInto(g *Graph, src NodeID, cost CostFunc) []f
 // arrays. If stopAt is a valid node, the search may terminate once
 // stopAt is settled. prev[n] is the link used to reach n on the
 // shortest-path tree (InvalidLink for src/unreached).
+//
+//drtplint:hotpath
 func (s *Scratch) dijkstra(g *Graph, src, stopAt NodeID, cost CostFunc) (dist []float64, prev []LinkID) {
 	n := g.NumNodes()
 	if cap(s.dist) < n {
@@ -101,6 +105,8 @@ func (s *Scratch) dijkstra(g *Graph, src, stopAt NodeID, cost CostFunc) (dist []
 
 // tracePath reconstructs the path to dst using the reusable reversal
 // stack; only the final Path's link slice is allocated.
+//
+//drtplint:hotpath
 func (s *Scratch) tracePath(g *Graph, prev []LinkID, src, dst NodeID) Path {
 	stack := s.stack[:0]
 	for at := dst; at != src; {
@@ -113,6 +119,7 @@ func (s *Scratch) tracePath(g *Graph, prev []LinkID, src, dst NodeID) Path {
 		at = g.Link(l).From
 	}
 	s.stack = stack
+	//drtplint:ignore hotalloc the returned Path must own its links; one allocation per query is the documented contract
 	links := make([]LinkID, len(stack))
 	for i, l := range stack {
 		links[len(stack)-1-i] = l
@@ -134,11 +141,14 @@ func pqLess(a, b pqItem) bool {
 // end, sifts down over the shortened heap, then removes the last
 // element), so the pop order — and the resulting shortest-path trees on
 // cost ties — is bit-identical to the heap.Push/heap.Pop path.
+//
+//drtplint:hotpath
 func (s *Scratch) pqPush(it pqItem) {
 	s.pq = append(s.pq, it)
 	s.pqUp(len(s.pq) - 1)
 }
 
+//drtplint:hotpath
 func (s *Scratch) pqPop() pqItem {
 	n := len(s.pq) - 1
 	s.pq[0], s.pq[n] = s.pq[n], s.pq[0]
@@ -148,6 +158,7 @@ func (s *Scratch) pqPop() pqItem {
 	return it
 }
 
+//drtplint:hotpath
 func (s *Scratch) pqUp(j int) {
 	pq := s.pq
 	for {
@@ -160,6 +171,7 @@ func (s *Scratch) pqUp(j int) {
 	}
 }
 
+//drtplint:hotpath
 func (s *Scratch) pqDown(i0, n int) {
 	pq := s.pq
 	i := i0
@@ -183,6 +195,8 @@ func (s *Scratch) pqDown(i0, n int) {
 // ShortestPathBounded is the scratch-reusing equivalent of the
 // package-level ShortestPathBounded; see its documentation for the
 // contract.
+//
+//drtplint:hotpath
 func (s *Scratch) ShortestPathBounded(g *Graph, src, dst NodeID, cost CostFunc, maxHops int) (Path, float64) {
 	if src == dst {
 		return Path{}, 0
@@ -237,6 +251,7 @@ func (s *Scratch) ShortestPathBounded(g *Graph, src, dst NodeID, cost CostFunc, 
 		h--
 	}
 	s.stack = stack
+	//drtplint:ignore hotalloc the returned Path must own its links; one allocation per query is the documented contract
 	links := make([]LinkID, len(stack))
 	for i, l := range stack {
 		links[len(stack)-1-i] = l
@@ -247,6 +262,8 @@ func (s *Scratch) ShortestPathBounded(g *Graph, src, dst NodeID, cost CostFunc, 
 // boundedTables returns the layered dist/prev tables with at least rows
 // rows of n columns each, reusing retained storage. Row contents are
 // stale; ShortestPathBounded fully overwrites every row it reads.
+//
+//drtplint:hotpath
 func (s *Scratch) boundedTables(rows, n int) ([][]float64, [][]LinkID) {
 	for len(s.bdist) < rows {
 		s.bdist = append(s.bdist, nil)

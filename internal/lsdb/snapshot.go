@@ -34,6 +34,8 @@ type Snapshot struct {
 // returns, so the snapshot is only coherent while the caller performs no
 // interleaved reservations — exactly the single-threaded route-then-
 // reserve discipline of the Manager and the simulator.
+//
+//drtplint:hotpath
 func (db *DB) SnapshotInto(s *Snapshot) *Snapshot {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -56,6 +58,8 @@ func (db *DB) SnapshotInto(s *Snapshot) *Snapshot {
 // per-request conflict metric D-LSR derives from the Conflict Vectors —
 // into dst and returns it (resized as needed). One lock acquisition
 // replaces a CVBit call per (link, LSET entry) pair.
+//
+//drtplint:hotpath
 func (db *DB) ConflictCountsInto(lset []graph.LinkID, dst []float64) []float64 {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -81,6 +85,8 @@ func (db *DB) ConflictCountsInto(lset []graph.LinkID, dst []float64) []float64 {
 // link into dst and returns it (resized as needed). The failure sweeps
 // refresh this once per evaluated failure instead of locking per backup
 // link touched.
+//
+//drtplint:hotpath
 func (db *DB) SCInto(dst []int) []int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -95,6 +101,8 @@ func (db *DB) SCInto(dst []int) []int {
 // AppendCV appends link l's Conflict Vector in its wire form (the bytes
 // of DB.CV(l).Bytes()) to dst and returns the extended slice, without
 // materializing the intermediate vector.
+//
+//drtplint:hotpath
 func (db *DB) AppendCV(l graph.LinkID, dst []byte) []byte {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -261,6 +269,8 @@ func (db *DB) releaseBackupLocked(id ConnID, l graph.LinkID) {
 
 // growInts returns s resized to n entries, reallocating only when the
 // capacity is insufficient.
+//
+//drtplint:hotpath
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)

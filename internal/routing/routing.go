@@ -251,6 +251,8 @@ func (PLSR) ConflictMetric(db *lsdb.DB, l graph.LinkID, _ graph.Path) float64 {
 
 // conflictMetricsInto implements bulkCoster: the norms are already in the
 // snapshot, so this just widens them to float64.
+//
+//drtplint:hotpath
 func (PLSR) conflictMetricsInto(_ *lsdb.DB, snap *lsdb.Snapshot, _ graph.Path, dst []float64) []float64 {
 	n := len(snap.Norm)
 	if cap(dst) < n {
@@ -289,6 +291,8 @@ func (DLSR) ConflictMetric(db *lsdb.DB, l graph.LinkID, primary graph.Path) floa
 
 // conflictMetricsInto implements bulkCoster: one locked pass over the
 // database replaces a CVBit call per (link, LSET entry) pair.
+//
+//drtplint:hotpath
 func (DLSR) conflictMetricsInto(db *lsdb.DB, _ *lsdb.Snapshot, primary graph.Path, dst []float64) []float64 {
 	return db.ConflictCountsInto(primary.Links(), dst)
 }
@@ -313,6 +317,8 @@ func (MinHopDisjoint) ConflictMetric(*lsdb.DB, graph.LinkID, graph.Path) float64
 
 // conflictMetricsInto implements bulkCoster: a nil vector means the
 // metric is identically zero.
+//
+//drtplint:hotpath
 func (MinHopDisjoint) conflictMetricsInto(*lsdb.DB, *lsdb.Snapshot, graph.Path, []float64) []float64 {
 	return nil
 }

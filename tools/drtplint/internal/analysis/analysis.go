@@ -69,14 +69,27 @@ func (p *Pass) Diagnostics() []Diagnostic {
 //	//lint:ignore <analyzer>[,<analyzer>...] <justification>
 //	//drtplint:ignore <analyzer>[,<analyzer>...] <justification>
 //
-// A directive suppresses matching diagnostics reported on its own line or
-// on the line directly below it. The justification is mandatory.
+// A directive suppresses ONE matching diagnostic reported on its own line
+// or on the line directly below it. The justification is mandatory: a
+// bare directive suppresses nothing and is itself reported as a finding
+// of every analyzer it names (see Suppressions.BareDirectives).
 var ignoreDirective = regexp.MustCompile(`^//(?:drtp)?lint:ignore\s+(\S+)\s+(.+)$`)
+
+// bareIgnoreDirective matches an ignore directive whose justification is
+// missing.
+var bareIgnoreDirective = regexp.MustCompile(`^//(?:drtp)?lint:ignore\s+(\S+)\s*$`)
+
+// wantSuffix strips a trailing analysistest "// want ..." clause so
+// fixtures can pin the bare-ignore diagnostic on the directive's own
+// line (a line comment swallows the rest of the line, so the clause
+// would otherwise read as the justification).
+var wantSuffix = regexp.MustCompile(`\s*//\s*want\s+".*$`)
 
 // ignoreEntry is one parsed ignore directive.
 type ignoreEntry struct {
 	file     string
 	line     int
+	pos      token.Pos
 	checks   []string
 	used     bool
 	badEmpty bool
@@ -93,15 +106,22 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreDirective.FindStringSubmatch(c.Text)
+				text := wantSuffix.ReplaceAllString(c.Text, "")
+				m := ignoreDirective.FindStringSubmatch(text)
+				bare := false
 				if m == nil {
-					continue
+					if m = bareIgnoreDirective.FindStringSubmatch(text); m == nil {
+						continue
+					}
+					bare = true
 				}
 				pos := fset.Position(c.Pos())
 				s.entries = append(s.entries, &ignoreEntry{
-					file:   pos.Filename,
-					line:   pos.Line,
-					checks: strings.Split(m[1], ","),
+					file:     pos.Filename,
+					line:     pos.Line,
+					pos:      c.Pos(),
+					checks:   strings.Split(m[1], ","),
+					badEmpty: bare,
 				})
 			}
 		}
@@ -109,8 +129,38 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 	return s
 }
 
+// BareDirectives returns a diagnostic for every directive that names the
+// analyzer but carries no justification. Such directives suppress
+// nothing; the missing justification is itself a finding, so an ignore
+// can never silently rot into an unexplained one.
+func (s *Suppressions) BareDirectives(analyzer string) []Diagnostic {
+	if s == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if !e.badEmpty {
+			continue
+		}
+		for _, c := range e.checks {
+			if c == analyzer {
+				out = append(out, Diagnostic{
+					Pos: e.pos,
+					Message: fmt.Sprintf("bare ignore directive for %s: a justification is required "+
+						"(//drtplint:ignore %s <why this is safe>)", analyzer, analyzer),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Filter drops diagnostics of the named analyzer that are covered by a
-// directive, and marks the directives used.
+// justified directive, and marks the directives used. Each directive
+// suppresses exactly one diagnostic per run: a line that accumulates a
+// second finding resurfaces it instead of hiding it behind a stale
+// justification.
 func (s *Suppressions) Filter(fset *token.FileSet, analyzer string, diags []Diagnostic) []Diagnostic {
 	if s == nil || len(s.entries) == 0 {
 		return diags
@@ -120,7 +170,7 @@ func (s *Suppressions) Filter(fset *token.FileSet, analyzer string, diags []Diag
 		pos := fset.Position(d.Pos)
 		suppressed := false
 		for _, e := range s.entries {
-			if e.file != pos.Filename {
+			if e.badEmpty || e.used || e.file != pos.Filename {
 				continue
 			}
 			if pos.Line != e.line && pos.Line != e.line+1 {
@@ -132,6 +182,9 @@ func (s *Suppressions) Filter(fset *token.FileSet, analyzer string, diags []Diag
 					suppressed = true
 					break
 				}
+			}
+			if suppressed {
+				break
 			}
 		}
 		if !suppressed {

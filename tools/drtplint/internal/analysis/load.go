@@ -293,5 +293,9 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		return nil, err
 	}
 	sup := CollectSuppressions(pkg.Fset, pkg.Files)
-	return sup.Filter(pkg.Fset, a.Name, pass.Diagnostics()), nil
+	diags := sup.Filter(pkg.Fset, a.Name, pass.Diagnostics())
+	// A directive without a justification is a finding in its own right.
+	diags = append(diags, sup.BareDirectives(a.Name)...)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
 }

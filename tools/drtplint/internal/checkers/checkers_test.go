@@ -29,3 +29,15 @@ func TestLockGuard(t *testing.T) {
 func TestInstrumentNames(t *testing.T) {
 	analysistest.Run(t, "testdata", InstrumentNames, "instrument")
 }
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", LockOrder, "lockorder")
+}
+
+func TestGoroLife(t *testing.T) {
+	analysistest.Run(t, "testdata", GoroLife, "gorolife")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", HotAlloc, "hotalloc")
+}

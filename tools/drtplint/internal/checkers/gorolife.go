@@ -1,0 +1,279 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+)
+
+// spawnsRE matches the goroutine-lifecycle annotation:
+//
+//	//drtplint:spawns stopped-by=Close
+//
+// placed on the line above the go statement (or on the enclosing
+// function's doc comment when every spawn in it shares one stop path).
+// The value names the method or mechanism that terminates the goroutine;
+// bare method names are validated against the receiver type.
+var spawnsRE = regexp.MustCompile(`^//drtplint:spawns\s+stopped-by=(\S+)`)
+
+// GoroLife enforces the goroutine-lifecycle contract: every go statement
+// in non-test code must have a stop path — either declared with a
+// //drtplint:spawns stopped-by=... annotation, or structurally evident
+// in the spawned body:
+//
+//   - a receive from a done/stop/quit-style channel or from ctx.Done();
+//   - a comma-ok receive (the producer closes the channel to stop it);
+//   - ranging over a channel (ends when the channel is closed);
+//   - participating in a sync.WaitGroup (someone Waits for it).
+//
+// Same-package method and function spawn targets are resolved and their
+// bodies inspected (two call levels deep); goroutines whose body cannot
+// be resolved require the annotation. Test files are exempt.
+var GoroLife = &analysis.Analyzer{
+	Name: "gorolife",
+	Doc: "flags go statements with no declared or structurally detectable " +
+		"stop path (goroutine leaks)",
+	Run: runGoroLife,
+}
+
+func runGoroLife(pass *analysis.Pass) error {
+	bodies := recordBodies(pass)
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		directives := spawnDirectiveLines(pass, file)
+		for _, fd := range funcDecls(file) {
+			docVal := spawnsAnnotation(fd.Doc)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGoStmt(pass, fd, g, directives, docVal, bodies)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// spawnDirectiveLines maps source lines to the stopped-by value of a
+// spawns directive on that line.
+func spawnDirectiveLines(pass *analysis.Pass, file *ast.File) map[int]string {
+	out := make(map[int]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if m := spawnsRE.FindStringSubmatch(c.Text); m != nil {
+				out[pass.Fset.Position(c.Pos()).Line] = m[1]
+			}
+		}
+	}
+	return out
+}
+
+// spawnsAnnotation extracts a stopped-by value from a doc comment.
+func spawnsAnnotation(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		if m := spawnsRE.FindStringSubmatch(c.Text); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkGoStmt(pass *analysis.Pass, fd *ast.FuncDecl, g *ast.GoStmt, directives map[int]string, docVal string, bodies map[*types.Func]*ast.BlockStmt) {
+	line := pass.Fset.Position(g.Pos()).Line
+	val := directives[line]
+	if val == "" {
+		val = directives[line-1]
+	}
+	if val == "" {
+		val = docVal
+	}
+	if val != "" {
+		validateStoppedBy(pass, fd, g, val)
+		return
+	}
+	body, resolved := spawnedBody(pass.TypesInfo, g.Call, bodies)
+	if !resolved {
+		pass.Reportf(g.Pos(), "goroutine lifecycle cannot be determined from the call; "+
+			"declare its stop path with //drtplint:spawns stopped-by=...")
+		return
+	}
+	if !hasStopPath(pass, body, 2, map[*ast.BlockStmt]bool{}, bodies) {
+		pass.Reportf(g.Pos(), "goroutine has no detectable stop path (done/stop channel, "+
+			"ctx.Done, closed-channel receive, range-over-channel, or WaitGroup); "+
+			"declare one with //drtplint:spawns stopped-by=...")
+	}
+}
+
+// validateStoppedBy checks a bare method name against the relevant
+// receiver type: the spawned method's receiver when the target is a
+// method, otherwise the enclosing method's receiver. Dotted or prose
+// values (srv.Close, stdin-EOF) are accepted as documentation.
+func validateStoppedBy(pass *analysis.Pass, fd *ast.FuncDecl, g *ast.GoStmt, val string) {
+	if strings.ContainsAny(val, ".-/ ") {
+		return
+	}
+	owner := spawnReceiverType(pass.TypesInfo, g.Call)
+	if owner == nil {
+		owner = declReceiverType(pass.TypesInfo, fd)
+	}
+	if owner == nil {
+		return
+	}
+	for i := 0; i < owner.NumMethods(); i++ {
+		if owner.Method(i).Name() == val {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "spawns stopped-by=%s: type %s has no method %s",
+		val, owner.Obj().Name(), val)
+}
+
+// spawnReceiverType returns the named receiver type of a spawned method
+// call (go x.run()), or nil.
+func spawnReceiverType(info *types.Info, call *ast.CallExpr) *types.Named {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		return namedType(s.Recv())
+	}
+	return nil
+}
+
+// declReceiverType returns the named receiver type of a method decl.
+func declReceiverType(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	id := recvIdent(fd)
+	if id == nil {
+		return nil
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		return nil
+	}
+	return namedType(obj.Type())
+}
+
+// spawnedBody resolves the body the goroutine will execute: a function
+// literal directly, or a same-package function/method declaration.
+func spawnedBody(info *types.Info, call *ast.CallExpr, bodies map[*types.Func]*ast.BlockStmt) (*ast.BlockStmt, bool) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, true
+	}
+	if f := calleeFunc(info, call); f != nil {
+		if body := bodies[f]; body != nil {
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+// recordBodies indexes every function declaration of the pass so spawn
+// targets and callees can be resolved to their bodies.
+func recordBodies(pass *analysis.Pass) map[*types.Func]*ast.BlockStmt {
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	for _, file := range pass.Files {
+		for _, fd := range funcDecls(file) {
+			if f, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				bodies[f] = fd.Body
+			}
+		}
+	}
+	return bodies
+}
+
+// hasStopPath reports whether the body contains a structural stop path,
+// following same-package calls up to depth levels deep.
+func hasStopPath(pass *analysis.Pass, body *ast.BlockStmt, depth int, seen map[*ast.BlockStmt]bool, bodies map[*types.Func]*ast.BlockStmt) bool {
+	if body == nil || seen[body] {
+		return false
+	}
+	seen[body] = true
+	info := pass.TypesInfo
+	found := false
+	var callees []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// v, ok := <-ch: the sender closes the channel to stop us.
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if u, ok := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && lifecycleChan(info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isNamed(info.TypeOf(sel.X), "sync", "WaitGroup") {
+					found = true
+					return false
+				}
+			}
+			if depth > 0 {
+				if f := calleeFunc(info, n); f != nil {
+					if b := bodies[f]; b != nil {
+						callees = append(callees, b)
+					}
+				}
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	for _, b := range callees {
+		if hasStopPath(pass, b, depth-1, seen, bodies) {
+			return true
+		}
+	}
+	return false
+}
+
+// lifecycleChan reports whether the received-from expression looks like a
+// lifecycle channel: ctx.Done()-style calls, or a name containing a
+// stop/done/quit marker.
+func lifecycleChan(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		return false
+	}
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	}
+	name = strings.ToLower(name)
+	for _, marker := range []string{"done", "stop", "quit", "close", "shutdown", "exit"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}

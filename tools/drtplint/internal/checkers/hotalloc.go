@@ -1,0 +1,343 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+)
+
+// hotpathRE marks a function as allocation-sensitive:
+//
+//	//drtplint:hotpath
+//	func (s *Scratch) ShortestDistancesInto(...) { ... }
+//
+// placed in the function's doc comment. Inside such functions the
+// analyzer flags the allocation forms below.
+var hotpathRE = regexp.MustCompile(`^//drtplint:hotpath\b`)
+
+// HotAlloc flags per-call allocations inside functions annotated
+// //drtplint:hotpath:
+//
+//   - make/new calls, unless inside an if whose condition consults
+//     cap() or len() (the grow-only-when-needed idiom);
+//   - append to a freshly allocated or nil slice (every call allocates;
+//     appends to caller-provided or field-backed slices are fine);
+//   - fmt.* calls and errors.New (formatting allocates);
+//   - function literals capturing enclosing variables (captures escape);
+//   - passing a concrete non-pointer value where an interface parameter
+//     is expected (the value is boxed on every call).
+//
+// The annotation is the contract: un-annotated functions are not
+// checked, and a finding that is intentional carries a justified
+// //drtplint:ignore hotalloc directive. Test files are exempt.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags allocation forms (make, growing append, fmt, escaping " +
+		"closures, interface boxing) inside //drtplint:hotpath functions",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, fd := range funcDecls(file) {
+			if !isHotPath(fd.Doc) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if hotpathRE.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// span is a half-open position interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return p >= s.lo && p < s.hi }
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	guards := capGuards(fd.Body)
+	fresh := freshSlices(info, fd.Body)
+	inGuard := func(p token.Pos) bool {
+		for _, g := range guards {
+			if g.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, info, n, fresh, inGuard)
+		case *ast.FuncLit:
+			if caps := capturedVars(pass, n); len(caps) > 0 {
+				pass.Reportf(n.Pos(), "hot path: closure captures %s and may escape to the heap; "+
+					"hoist the capture or pass parameters explicitly", strings.Join(caps, ", "))
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr, fresh map[types.Object]bool, inGuard func(token.Pos) bool) {
+	switch builtinName(info, call) {
+	case "make", "new":
+		if !inGuard(call.Pos()) {
+			pass.Reportf(call.Pos(), "hot path: %s allocates on every call; reuse a scratch "+
+				"buffer or guard the growth with a cap/len check", builtinName(info, call))
+		}
+		return
+	case "append":
+		if len(call.Args) > 0 && freshTarget(info, call.Args[0], fresh) {
+			pass.Reportf(call.Pos(), "hot path: append to a fresh slice allocates on every "+
+				"call; reuse a caller-provided or scratch buffer")
+		}
+		return
+	case "":
+		// Not a builtin; fall through to package-call and boxing checks.
+	default:
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch pkgNameOf(info, sel.X) {
+		case "fmt":
+			pass.Reportf(call.Pos(), "hot path: fmt.%s formats and allocates; precompute the "+
+				"string or append to a scratch buffer", sel.Sel.Name)
+			return
+		case "errors":
+			if sel.Sel.Name == "New" {
+				pass.Reportf(call.Pos(), "hot path: errors.New allocates; use a package-level "+
+					"sentinel error")
+				return
+			}
+		}
+	}
+	checkBoxing(pass, info, call)
+}
+
+// checkBoxing reports concrete non-pointer arguments passed to interface
+// parameters: every such call boxes the value on the heap.
+func checkBoxing(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or untyped builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			s, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = s.Elem()
+		default:
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isBoxFree(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path: passing %s as interface %s boxes the value on "+
+			"every call; use a concrete parameter type", types.TypeString(at, types.RelativeTo(pass.Pkg)),
+			types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// isBoxFree reports whether storing a value of type t in an interface
+// does not allocate: interfaces (already boxed), pointers, channels,
+// funcs and maps (single-word references), and untyped nil.
+func isBoxFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// capGuards collects the spans of if statements whose condition consults
+// cap() or len() — the grow-only-when-needed idiom exempts allocations
+// inside them.
+func capGuards(body *ast.BlockStmt) []span {
+	var out []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Cond == nil {
+			return true
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok &&
+					(id.Name == "cap" || id.Name == "len") {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		})
+		if guarded {
+			out = append(out, span{ifs.Pos(), ifs.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// freshSlices collects local variables whose storage is freshly
+// allocated in this function (make/new/composite-literal initialisers,
+// or var declarations of slice/map type with no initialiser): appends
+// to them allocate on every call.
+func freshSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if allocExpr(info, n.Rhs[i]) {
+					mark(id)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				for _, id := range n.Names {
+					if obj := info.Defs[id]; obj != nil {
+						switch obj.Type().Underlying().(type) {
+						case *types.Slice, *types.Map:
+							fresh[obj] = true
+						}
+					}
+				}
+				return true
+			}
+			if len(n.Values) == len(n.Names) {
+				for i, id := range n.Names {
+					if allocExpr(info, n.Values[i]) {
+						mark(id)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// allocExpr reports whether e is a freshly allocating expression.
+func allocExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return e.Op == token.AND && ok
+	case *ast.CallExpr:
+		name := builtinName(info, e)
+		return name == "make" || name == "new"
+	}
+	return false
+}
+
+// freshTarget reports whether the append target is freshly allocated:
+// a nil literal, a composite literal, or a local marked fresh.
+func freshTarget(info *types.Info, e ast.Expr, fresh map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		if obj := info.Uses[e]; obj != nil {
+			return fresh[obj]
+		}
+	}
+	return false
+}
+
+// builtinName returns the name of the builtin being called, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// capturedVars lists function-local variables of the enclosing scope
+// that the literal captures, sorted for deterministic diagnostics.
+func capturedVars(pass *analysis.Pass, lit *ast.FuncLit) []string {
+	info := pass.TypesInfo
+	seen := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() != pass.Pkg {
+			return true
+		}
+		// Package-level variables are not captures; locals defined inside
+		// the literal itself are not either.
+		if v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		seen[id.Name] = true
+		return true
+	})
+	var out []string
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package checkers
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/rtcl/drtp/tools/drtplint/internal/analysis"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the lock-graph golden file")
+
+// lockGraphPackages are the concurrency-bearing subsystems whose merged
+// lock-acquisition graph is pinned by the golden file and asserted
+// acyclic: a cycle here is a latent deadlock between the router's
+// message plane, the link-state database, and the control plane.
+var lockGraphPackages = []string{
+	"github.com/rtcl/drtp/internal/router",
+	"github.com/rtcl/drtp/internal/lsdb",
+	"github.com/rtcl/drtp/internal/controlplane",
+}
+
+// TestLockGraphAcyclic loads the real router/lsdb/controlplane packages,
+// merges their lock-acquisition edges, asserts the combined graph has no
+// cycle, and compares the edge list against testdata/lockgraph.golden so
+// any new cross-mutex ordering shows up in review as a diff.
+func TestLockGraphAcyclic(t *testing.T) {
+	root := moduleRoot(t)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+
+	edgeSet := make(map[string]bool)
+	adj := make(map[string][]string)
+	for _, path := range lockGraphPackages {
+		pkg, err := loader.LoadPath(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pass := &analysis.Pass{
+			Analyzer: LockOrder, Path: pkg.Path, Fset: pkg.Fset,
+			Files: pkg.Files, Pkg: pkg.Pkg, TypesInfo: pkg.Info,
+		}
+		for _, e := range CollectLockEdges(pass) {
+			key := e.From + " -> " + e.To
+			if !edgeSet[key] {
+				edgeSet[key] = true
+				adj[e.From] = append(adj[e.From], e.To)
+			}
+		}
+	}
+
+	var edges []string
+	for k := range edgeSet {
+		edges = append(edges, k)
+	}
+	sort.Strings(edges)
+
+	if cycle := findCycle(adj); cycle != "" {
+		t.Fatalf("lock-acquisition graph has a cycle (latent deadlock): %s\nedges:\n  %s",
+			cycle, strings.Join(edges, "\n  "))
+	}
+
+	golden := filepath.Join("testdata", "lockgraph.golden")
+	got := strings.Join(edges, "\n") + "\n"
+	if len(edges) == 0 {
+		got = ""
+	}
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("lock graph changed; review the new ordering and run go test -run TestLockGraphAcyclic ./internal/checkers -update\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// moduleRoot walks up from the working directory to the outermost go.mod
+// (the analyzed repo, not the tool's own nested module).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := ""
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			root = d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	if root == "" {
+		t.Fatalf("no go.mod above %s", dir)
+	}
+	return root
+}
+
+// findCycle returns a rendered cycle in the directed graph, or "".
+func findCycle(adj map[string][]string) string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var found string
+	var visit func(string) bool
+	visit = func(u string) bool {
+		color[u] = gray
+		stack = append(stack, u)
+		for _, v := range adj[u] {
+			switch color[v] {
+			case gray:
+				i := 0
+				for j, s := range stack {
+					if s == v {
+						i = j
+						break
+					}
+				}
+				found = strings.Join(append(stack[i:], v), " -> ")
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+		return false
+	}
+	var nodes []string
+	for u := range adj {
+		nodes = append(nodes, u)
+	}
+	sort.Strings(nodes)
+	for _, u := range nodes {
+		if color[u] == white && visit(u) {
+			return found
+		}
+	}
+	return ""
+}

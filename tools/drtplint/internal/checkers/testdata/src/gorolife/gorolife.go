@@ -1,0 +1,132 @@
+// Package gorolife is the gorolife fixture: goroutines with structural
+// stop paths, annotated spawns, and leaks.
+package gorolife
+
+import (
+	"context"
+	"sync"
+)
+
+// Runner bundles every lifecycle mechanism the analyzer recognises.
+type Runner struct {
+	stop chan struct{}
+	ch   chan int
+	wg   sync.WaitGroup
+	n    int
+}
+
+// Close stops the runner.
+func (r *Runner) Close() { close(r.stop) }
+
+func (r *Runner) loop() {
+	for {
+		select {
+		case <-r.stop:
+			return
+		case v := <-r.ch:
+			r.n = v
+		}
+	}
+}
+
+func (r *Runner) spin() {
+	for {
+		r.n++
+	}
+}
+
+// Start spawns a method whose body selects on the stop channel.
+func (r *Runner) Start() {
+	go r.loop()
+}
+
+// StartWorker participates in the WaitGroup.
+func (r *Runner) StartWorker() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.n++
+	}()
+}
+
+// StartPump ranges over a channel; it ends when the channel is closed.
+func (r *Runner) StartPump(in <-chan int) {
+	go func() {
+		for v := range in {
+			r.n = v
+		}
+	}()
+}
+
+// StartCtx waits on ctx.Done().
+func (r *Runner) StartCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// StartCommaOk exits when the channel is closed (comma-ok receive).
+func (r *Runner) StartCommaOk() {
+	go func() {
+		for {
+			v, ok := <-r.ch
+			if !ok {
+				return
+			}
+			r.n = v
+		}
+	}()
+}
+
+// StartIndirect spawns a literal that calls into a function with a stop
+// path — resolved one call level deep.
+func (r *Runner) StartIndirect() {
+	go func() {
+		r.loop()
+	}()
+}
+
+// Annotated declares the stop path explicitly; spin itself has none.
+func (r *Runner) Annotated() {
+	//drtplint:spawns stopped-by=Close
+	go r.spin()
+}
+
+// DocAnnotated carries the annotation on the function's doc comment.
+//
+//drtplint:spawns stopped-by=Close
+func (r *Runner) DocAnnotated() {
+	go r.spin()
+}
+
+// AnnotatedProse documents an external mechanism; prose values are not
+// validated against the receiver.
+func (r *Runner) AnnotatedProse() {
+	//drtplint:spawns stopped-by=process-exit
+	go r.spin()
+}
+
+// AnnotatedBad names a method the receiver does not have.
+func (r *Runner) AnnotatedBad() {
+	//drtplint:spawns stopped-by=Missing
+	go r.spin() // want "type Runner has no method Missing"
+}
+
+// Leak loops forever with no exit: flagged.
+func (r *Runner) Leak() {
+	go func() { // want "no detectable stop path"
+		for {
+			r.ch <- 1
+		}
+	}()
+}
+
+// LeakMethod spawns a resolvable method with no stop path: flagged.
+func (r *Runner) LeakMethod() {
+	go r.spin() // want "no detectable stop path"
+}
+
+// Opaque spawns a function value the analyzer cannot resolve: flagged.
+func (r *Runner) Opaque(fns []func()) {
+	go fns[0]() // want "lifecycle cannot be determined"
+}

@@ -1,0 +1,14 @@
+package gorolife
+
+import "testing"
+
+// Test files are exempt from the gorolife contract: this leak must not
+// be reported.
+func TestLeakAllowed(t *testing.T) {
+	r := &Runner{ch: make(chan int)}
+	go func() {
+		for {
+			r.ch <- 1
+		}
+	}()
+}

@@ -1,0 +1,124 @@
+// Package hotalloc is the hotalloc fixture: allocation forms inside
+// annotated hot-path functions, and the exempt idioms around them.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scratch is a reusable buffer in the style of the real scratch types.
+type Scratch struct {
+	xs []int
+}
+
+// Grow reuses its backing array and only reallocates under a cap guard.
+//
+//drtplint:hotpath
+func (s *Scratch) Grow(n int) {
+	if cap(s.xs) < n {
+		s.xs = make([]int, n)
+	}
+	s.xs = s.xs[:n]
+}
+
+// Fill appends into a caller-provided slice: no fresh allocation.
+//
+//drtplint:hotpath
+func Fill(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// Alloc allocates unconditionally.
+//
+//drtplint:hotpath
+func Alloc(n int) []int {
+	return make([]int, n) // want "make allocates on every call"
+}
+
+// AllocNew uses new the same way.
+//
+//drtplint:hotpath
+func AllocNew() *Scratch {
+	return new(Scratch) // want "new allocates on every call"
+}
+
+// GrowingAppend appends to a nil local: every call allocates.
+//
+//drtplint:hotpath
+func GrowingAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append to a fresh slice"
+	}
+	return out
+}
+
+// Format goes through fmt on the hot path.
+//
+//drtplint:hotpath
+func Format(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt.Sprintf formats and allocates"
+}
+
+// ErrPath constructs an error per call.
+//
+//drtplint:hotpath
+func ErrPath() error {
+	return errors.New("boom") // want "errors.New allocates"
+}
+
+// Capture returns a closure over its parameter: the capture escapes.
+//
+//drtplint:hotpath
+func Capture(k int) func() int {
+	return func() int { // want "closure captures k"
+		return k
+	}
+}
+
+// NoCapture closes over nothing: not flagged.
+//
+//drtplint:hotpath
+func NoCapture() func() int {
+	return func() int {
+		return 42
+	}
+}
+
+func sinkAny(v interface{}) {}
+
+func sinkVariadic(vs ...interface{}) {}
+
+// Box passes a concrete value where an interface is expected.
+//
+//drtplint:hotpath
+func Box(v int) {
+	sinkAny(v) // want "passing int as interface"
+}
+
+// BoxVariadic boxes through a variadic interface parameter.
+//
+//drtplint:hotpath
+func BoxVariadic(v int) {
+	sinkVariadic(v) // want "passing int as interface"
+}
+
+// NoBox passes pointers and interfaces: reference-sized, no allocation.
+//
+//drtplint:hotpath
+func NoBox(s *Scratch, e error) {
+	sinkAny(s)
+	sinkAny(e)
+	sinkAny(nil)
+}
+
+// Cold is un-annotated: the same allocations are not the analyzer's
+// business here.
+func Cold(n int) []byte {
+	out := make([]byte, 0, n)
+	return append(out, fmt.Sprintln(n)...)
+}

@@ -1,0 +1,15 @@
+// Package ignoreone pins the other half of the suppression contract: a
+// justified ignore directive suppresses exactly one diagnostic, so a
+// line with two findings keeps one visible.
+package ignoreone
+
+func sinkTwo(x, y interface{}) {}
+
+// Two boxes both arguments of one call — two findings on one line. The
+// directive absorbs the first; the second must survive.
+//
+//drtplint:hotpath
+func Two(a, b int) {
+	//drtplint:ignore hotalloc demonstrating that one directive suppresses one finding
+	sinkTwo(a, b)
+}

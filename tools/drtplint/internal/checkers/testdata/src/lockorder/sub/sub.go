@@ -1,0 +1,24 @@
+// Package sub is the cross-package half of the lockorder fixture: a
+// store whose exported mutex lets the importing package create an
+// acquisition-order cycle across a package boundary.
+package sub
+
+import "sync"
+
+// Store is a shared structure with one mutex, the shape the heuristic
+// cross-package edge assumes.
+type Store struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Get takes the store lock.
+func (s *Store) Get() int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.n
+}
+
+// SizeLocked runs under a caller-held lock; by the *Locked convention it
+// must not (and does not) acquire anything.
+func (s *Store) SizeLocked() int { return s.n }
