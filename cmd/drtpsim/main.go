@@ -24,6 +24,7 @@ import (
 	drtpcore "github.com/rtcl/drtp/internal/drtp"
 	"github.com/rtcl/drtp/internal/experiments"
 	"github.com/rtcl/drtp/internal/faultinject"
+	"github.com/rtcl/drtp/internal/lsdb"
 	"github.com/rtcl/drtp/internal/metrics"
 	"github.com/rtcl/drtp/internal/scenario"
 	"github.com/rtcl/drtp/internal/sim"
@@ -40,7 +41,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("drtpsim", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: table1|fig4|fig5|acceptance|overhead|ablation|multibackup|availability|qos|topologies|replay|chaos|all")
+		exp       = fs.String("exp", "all", "experiment: table1|fig4|fig5|acceptance|overhead|ablation|multibackup|availability|qos|topologies|replay|chaos|scale|all")
 		degree    = fs.Float64("degree", 3, "average node degree E (3 or 4)")
 		seed      = fs.Int64("seed", 1, "master seed for topology and scenarios")
 		lambda    = fs.Float64("lambda", 0.5, "arrival rate for single-point experiments (overhead)")
@@ -57,6 +58,10 @@ func run(args []string, w io.Writer) error {
 		cpuProf   = fs.String("pprof", "", "write a CPU profile of the experiment to this file")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0),
 			"goroutines evaluating experiment cells concurrently (output is identical at any count)")
+		state      = fs.String("state", "auto", "APLV storage layout: auto|dense|sparse (dense is the O(links²) baseline)")
+		scaleNodes = fs.Int("scale-nodes", 0, "-exp scale: network size (default 10000; -quick: 300)")
+		scaleConns = fs.Int("scale-conns", 0, "-exp scale: request arrivals per cell (default 100000; -quick: 4000)")
+		scaleFails = fs.Int("scale-failures", 0, "-exp scale: destructive edge failures per cell (default 32)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +71,16 @@ func run(args []string, w io.Writer) error {
 	p.Seed = *seed
 	p.Replications = *reps
 	p.Workers = *workers
+	switch *state {
+	case "auto":
+		p.State = lsdb.AutoState
+	case "dense":
+		p.State = lsdb.DenseState
+	case "sparse":
+		p.State = lsdb.SparseState
+	default:
+		return fmt.Errorf("unknown -state %q (want auto, dense or sparse)", *state)
+	}
 	if *quick {
 		p.Nodes = 30
 		p.Duration = 160
@@ -208,6 +223,40 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			return render(q.Table())
+		case "scale":
+			sp := experiments.ScaleParams{
+				Params:      p,
+				Connections: *scaleConns,
+				Failures:    *scaleFails,
+			}
+			sp.Params.Nodes = *scaleNodes
+			sp.Params.Lambdas = []float64{*lambda}
+			if *quick {
+				if sp.Params.Nodes <= 0 {
+					sp.Params.Nodes = 300
+				}
+				if sp.Connections <= 0 {
+					sp.Connections = 4000
+				}
+				if sp.Failures <= 0 {
+					sp.Failures = 8
+				}
+			}
+			s, err := experiments.RunScale(sp)
+			if err != nil {
+				return err
+			}
+			if err := render(s.Table()); err != nil {
+				return err
+			}
+			// Wall-clock metrics live outside the table: machine-readable,
+			// one line, parsed by scripts/scale_smoke.sh and bench.sh.
+			js, err := s.SummaryJSON()
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "SCALE_JSON %s\n", js)
+			return err
 		case "availability":
 			ap := experiments.DefaultAvailabilityParams(*degree)
 			ap.Params = p

@@ -94,6 +94,40 @@ func TestRunAvailabilityExperiment(t *testing.T) {
 	}
 }
 
+func TestRunScaleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-exp", "scale", "-quick", "-scale-nodes", "60",
+		"-scale-conns", "400", "-scale-failures", "2", "-workers", "4"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Scale:", "totP99", "SCALE_JSON ", `"establishments_per_sec"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunScaleDenseState(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-exp", "scale", "-quick", "-state", "dense", "-scale-nodes", "60",
+		"-scale-conns", "400", "-scale-failures", "2", "-workers", "4"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "APLV dense") {
+		t.Fatalf("dense state not reflected in output:\n%s", buf.String())
+	}
+}
+
+func TestRunBadState(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig4", "-state", "nope"}, &buf); err == nil {
+		t.Fatal("invalid -state accepted")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-exp", "nope"}, &buf); err == nil {

@@ -1,0 +1,701 @@
+package bitvec
+
+// This file implements the roaring-style sparse representation behind the
+// Vector API. A sparse vector partitions its index space into 65536-bit
+// chunks; each non-empty chunk is one container, stored in whichever of
+// three encodings is smallest for its contents:
+//
+//   - array:  sorted []uint16 of set offsets (≤ arrayMaxCard entries);
+//   - bitmap: 1024 words of plain bits (dense chunks);
+//   - run:    sorted (start,last) offset pairs (long runs of set bits).
+//
+// Containers switch encodings at the classic 4096-cardinality boundary:
+// an array exceeding arrayMaxCard becomes a bitmap, and bulk loads pick
+// run encoding when it beats both. Run containers are produced only by
+// bulk loads (SetBytes/FromBytes) and convert to array or bitmap before
+// any point mutation, which keeps the mutation paths two-encoding.
+//
+// The wire form (Bytes/SetBytes/AppendBytes) is the dense little-endian
+// byte layout regardless of representation, so advertisements, goldens
+// and the proto codec are representation-blind.
+
+import "math/bits"
+
+const (
+	// chunkBits is the index span of one container.
+	chunkBits      = 1 << 16
+	chunkWordCount = chunkBits / wordBits
+	chunkByteCount = chunkBits / 8
+	// arrayMaxCard is the array→bitmap container switch point: beyond
+	// 4096 entries the 2-bytes-per-value array outgrows the 8 KiB bitmap.
+	arrayMaxCard = 4096
+	// sparseMinBits is the vector length below which AutoRep always
+	// stays dense: short vectors fit a handful of words and the paper's
+	// topologies never benefit from container bookkeeping.
+	sparseMinBits = 4096
+	// autoDenseDen is the density denominator of the automatic switch:
+	// an AutoRep vector stays sparse while card ≤ n/autoDenseDen.
+	autoDenseDen = 16
+)
+
+// Rep selects a Vector's storage representation.
+type Rep uint8
+
+const (
+	// AutoRep picks the representation by length and density: vectors
+	// shorter than sparseMinBits stay dense; longer ones start sparse
+	// and bulk loads re-evaluate the choice against the loaded density.
+	AutoRep Rep = iota
+	// DenseRep pins the flat word-slice representation.
+	DenseRep
+	// SparseRep pins the roaring-style container representation.
+	SparseRep
+)
+
+// container is one 65536-bit chunk of a sparse vector.
+type container struct {
+	kind uint8
+	card int32
+	// arr holds sorted set offsets (ctrArray) or (start,last) run pairs
+	// (ctrRun).
+	arr []uint16
+	// bmp holds chunkWordCount words (ctrBitmap).
+	bmp []uint64
+}
+
+const (
+	ctrArray uint8 = iota
+	ctrBitmap
+	ctrRun
+)
+
+// sparse is the container directory of a sparse vector: keys[i] is the
+// chunk index of ctrs[i], sorted ascending; card is the total popcount.
+type sparse struct {
+	card int
+	keys []uint16
+	ctrs []container
+}
+
+// findKey returns the position of key in s.keys, or the insertion point
+// with found=false.
+func (s *sparse) findKey(key uint16) (int, bool) {
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.keys) && s.keys[lo] == key
+}
+
+// reset empties the directory, retaining all storage for reuse.
+func (s *sparse) reset() {
+	s.card = 0
+	s.keys = s.keys[:0]
+	s.ctrs = s.ctrs[:0]
+}
+
+// appendCtr appends an empty container for key (which must sort after
+// every existing key), reusing pooled storage from earlier generations.
+func (s *sparse) appendCtr(key uint16) *container {
+	s.keys = append(s.keys, key)
+	if cap(s.ctrs) > len(s.ctrs) {
+		s.ctrs = s.ctrs[:len(s.ctrs)+1]
+	} else {
+		s.ctrs = append(s.ctrs, container{})
+	}
+	c := &s.ctrs[len(s.ctrs)-1]
+	c.kind = ctrArray
+	c.card = 0
+	c.arr = c.arr[:0]
+	return c
+}
+
+// insertCtr inserts an empty array container for key at position at.
+func (s *sparse) insertCtr(at int, key uint16) *container {
+	s.keys = append(s.keys, 0)
+	copy(s.keys[at+1:], s.keys[at:])
+	s.keys[at] = key
+	s.ctrs = append(s.ctrs, container{})
+	copy(s.ctrs[at+1:], s.ctrs[at:])
+	s.ctrs[at] = container{kind: ctrArray}
+	return &s.ctrs[at]
+}
+
+// removeCtr drops the container at position at (its storage is lost to
+// the pool; point deletions emptying a whole chunk are rare).
+func (s *sparse) removeCtr(at int) {
+	copy(s.keys[at:], s.keys[at+1:])
+	s.keys = s.keys[:len(s.keys)-1]
+	copy(s.ctrs[at:], s.ctrs[at+1:])
+	s.ctrs = s.ctrs[:len(s.ctrs)-1]
+}
+
+func (s *sparse) get(i int) bool {
+	at, ok := s.findKey(uint16(i / chunkBits))
+	if !ok {
+		return false
+	}
+	return s.ctrs[at].get(uint16(i % chunkBits))
+}
+
+func (s *sparse) set(i int) {
+	key := uint16(i / chunkBits)
+	at, ok := s.findKey(key)
+	var c *container
+	if ok {
+		c = &s.ctrs[at]
+	} else {
+		c = s.insertCtr(at, key)
+	}
+	s.card += c.set(uint16(i % chunkBits))
+}
+
+func (s *sparse) clear(i int) {
+	at, ok := s.findKey(uint16(i / chunkBits))
+	if !ok {
+		return
+	}
+	c := &s.ctrs[at]
+	s.card += c.clear(uint16(i % chunkBits))
+	if c.card == 0 {
+		s.removeCtr(at)
+	}
+}
+
+// --- container point operations ---
+
+func (c *container) get(off uint16) bool {
+	switch c.kind {
+	case ctrArray:
+		_, ok := searchU16(c.arr, off)
+		return ok
+	case ctrBitmap:
+		return c.bmp[off/wordBits]&(1<<(off%wordBits)) != 0
+	default: // ctrRun
+		// Find the last run starting at or before off.
+		lo, hi := 0, len(c.arr)/2
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if c.arr[2*mid] <= off {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo > 0 && off <= c.arr[2*lo-1]
+	}
+}
+
+// set sets offset off and returns the cardinality delta (0 or 1).
+func (c *container) set(off uint16) int {
+	c.unrun()
+	switch c.kind {
+	case ctrArray:
+		at, ok := searchU16(c.arr, off)
+		if ok {
+			return 0
+		}
+		if int(c.card) >= arrayMaxCard {
+			c.toBitmap()
+			c.bmp[off/wordBits] |= 1 << (off % wordBits)
+			c.card++
+			return 1
+		}
+		c.arr = append(c.arr, 0)
+		copy(c.arr[at+1:], c.arr[at:])
+		c.arr[at] = off
+		c.card++
+		return 1
+	default: // ctrBitmap
+		w := &c.bmp[off/wordBits]
+		mask := uint64(1) << (off % wordBits)
+		if *w&mask != 0 {
+			return 0
+		}
+		*w |= mask
+		c.card++
+		return 1
+	}
+}
+
+// clear clears offset off and returns the cardinality delta (0 or -1).
+func (c *container) clear(off uint16) int {
+	c.unrun()
+	switch c.kind {
+	case ctrArray:
+		at, ok := searchU16(c.arr, off)
+		if !ok {
+			return 0
+		}
+		copy(c.arr[at:], c.arr[at+1:])
+		c.arr = c.arr[:len(c.arr)-1]
+		c.card--
+		return -1
+	default: // ctrBitmap
+		w := &c.bmp[off/wordBits]
+		mask := uint64(1) << (off % wordBits)
+		if *w&mask == 0 {
+			return 0
+		}
+		*w &^= mask
+		c.card--
+		return -1
+	}
+}
+
+// unrun converts a run container to the mutable encoding its cardinality
+// calls for; point mutations always go through it first.
+func (c *container) unrun() {
+	if c.kind != ctrRun {
+		return
+	}
+	if int(c.card) > arrayMaxCard {
+		c.toBitmap()
+		return
+	}
+	// Expand runs into a sorted array. The pairs move to a stack scratch
+	// first so the expansion can fill c.arr forward without clobbering
+	// unread pairs; run containers reach here only with card ≤
+	// arrayMaxCard, and run encoding guarantees 2·runs < card, so the
+	// pair list always fits the scratch.
+	var ps [arrayMaxCard]uint16
+	np := copy(ps[:], c.arr)
+	if cap(c.arr) < int(c.card) {
+		c.arr = make([]uint16, 0, int(c.card))
+	}
+	c.arr = c.arr[:0]
+	for p := 0; p+1 < np; p += 2 {
+		for v := int(ps[p]); v <= int(ps[p+1]); v++ {
+			c.arr = append(c.arr, uint16(v))
+		}
+	}
+	c.kind = ctrArray
+}
+
+// toBitmap converts an array or run container to bitmap encoding.
+func (c *container) toBitmap() {
+	if cap(c.bmp) < chunkWordCount {
+		c.bmp = make([]uint64, chunkWordCount)
+	}
+	c.bmp = c.bmp[:chunkWordCount]
+	for i := range c.bmp {
+		c.bmp[i] = 0
+	}
+	switch c.kind {
+	case ctrArray:
+		for _, v := range c.arr {
+			c.bmp[v/wordBits] |= 1 << (v % wordBits)
+		}
+	case ctrRun:
+		for p := 0; p+1 < len(c.arr); p += 2 {
+			setWordRange(c.bmp, int(c.arr[p]), int(c.arr[p+1]))
+		}
+	}
+	c.kind = ctrBitmap
+	c.arr = c.arr[:0]
+}
+
+// setWordRange sets bits [start,last] in w.
+func setWordRange(w []uint64, start, last int) {
+	for wi := start / wordBits; wi <= last/wordBits; wi++ {
+		mask := ^uint64(0)
+		if wi == start/wordBits {
+			mask &= ^uint64(0) << (start % wordBits)
+		}
+		if wi == last/wordBits {
+			mask &= ^uint64(0) >> (wordBits - 1 - last%wordBits)
+		}
+		w[wi] |= mask
+	}
+}
+
+// --- container bulk/aggregate operations ---
+
+// orIntoWords ORs the container's bits into w (w holds the chunk's words
+// and may be shorter than chunkWordCount in the final chunk).
+func (c *container) orIntoWords(w []uint64) {
+	switch c.kind {
+	case ctrArray:
+		for _, v := range c.arr {
+			w[v/wordBits] |= 1 << (v % wordBits)
+		}
+	case ctrBitmap:
+		for i := 0; i < len(w); i++ {
+			w[i] |= c.bmp[i]
+		}
+	default: // ctrRun
+		for p := 0; p+1 < len(c.arr); p += 2 {
+			setWordRange(w, int(c.arr[p]), int(c.arr[p+1]))
+		}
+	}
+}
+
+// andCountWords returns the popcount of the container ANDed with w.
+func (c *container) andCountWords(w []uint64) int {
+	total := 0
+	switch c.kind {
+	case ctrArray:
+		for _, v := range c.arr {
+			if int(v/wordBits) < len(w) && w[v/wordBits]&(1<<(v%wordBits)) != 0 {
+				total++
+			}
+		}
+	case ctrBitmap:
+		for i := 0; i < len(w); i++ {
+			total += bits.OnesCount64(w[i] & c.bmp[i])
+		}
+	default: // ctrRun
+		for p := 0; p+1 < len(c.arr); p += 2 {
+			total += countWordRange(w, int(c.arr[p]), int(c.arr[p+1]))
+		}
+	}
+	return total
+}
+
+// countWordRange counts the set bits of w within [start,last].
+func countWordRange(w []uint64, start, last int) int {
+	total := 0
+	for wi := start / wordBits; wi <= last/wordBits && wi < len(w); wi++ {
+		mask := ^uint64(0)
+		if wi == start/wordBits {
+			mask &= ^uint64(0) << (start % wordBits)
+		}
+		if wi == last/wordBits {
+			mask &= ^uint64(0) >> (wordBits - 1 - last%wordBits)
+		}
+		total += bits.OnesCount64(w[wi] & mask)
+	}
+	return total
+}
+
+// andCountCtr returns |a ∩ b| for two containers of the same chunk.
+func andCountCtr(a, b *container) int {
+	// Normalize so the bitmap (if any) is on the right, then dispatch.
+	if a.kind == ctrBitmap && b.kind != ctrBitmap {
+		a, b = b, a
+	}
+	switch {
+	case b.kind == ctrBitmap:
+		return a.andCountWords(b.bmp)
+	case a.kind == ctrArray && b.kind == ctrArray:
+		return andCountArrays(a.arr, b.arr)
+	case a.kind == ctrRun && b.kind == ctrRun:
+		return andCountRuns(a.arr, b.arr)
+	default:
+		// One array, one run.
+		arr, run := a, b
+		if arr.kind != ctrArray {
+			arr, run = b, a
+		}
+		return andCountArrayRun(arr.arr, run.arr)
+	}
+}
+
+func andCountArrays(a, b []uint16) int {
+	total, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			total++
+			i++
+			j++
+		}
+	}
+	return total
+}
+
+func andCountRuns(a, b []uint16) int {
+	total, i, j := 0, 0, 0
+	for i+1 < len(a) && j+1 < len(b) {
+		s1, l1 := int(a[i]), int(a[i+1])
+		s2, l2 := int(b[j]), int(b[j+1])
+		if lo, hi := max(s1, s2), min(l1, l2); lo <= hi {
+			total += hi - lo + 1
+		}
+		if l1 < l2 {
+			i += 2
+		} else {
+			j += 2
+		}
+	}
+	return total
+}
+
+func andCountArrayRun(arr, runs []uint16) int {
+	total, j := 0, 0
+	for _, v := range arr {
+		for j+1 < len(runs) && runs[j+1] < v {
+			j += 2
+		}
+		if j+1 < len(runs) && runs[j] <= v && v <= runs[j+1] {
+			total++
+		}
+	}
+	return total
+}
+
+// writeBits ORs the container's bits into the chunk's wire-byte window
+// (bit b of the chunk lands in out[b/8]; out may be shorter than
+// chunkByteCount in the final chunk).
+func (c *container) writeBits(out []byte) {
+	switch c.kind {
+	case ctrArray:
+		for _, v := range c.arr {
+			out[v/8] |= 1 << (v % 8)
+		}
+	case ctrBitmap:
+		for i, w := range c.bmp {
+			for b := 0; b < 8; b++ {
+				idx := i*8 + b
+				if idx >= len(out) {
+					return
+				}
+				out[idx] |= byte(w >> (8 * b))
+			}
+		}
+	default: // ctrRun
+		for p := 0; p+1 < len(c.arr); p += 2 {
+			start, last := int(c.arr[p]), int(c.arr[p+1])
+			for bi := start / 8; bi <= last/8; bi++ {
+				mask := byte(0xff)
+				if bi == start/8 {
+					mask &= 0xff << (start % 8)
+				}
+				if bi == last/8 {
+					mask &= 0xff >> (7 - last%8)
+				}
+				out[bi] |= mask
+			}
+		}
+	}
+}
+
+// appendOnes appends the container's set indices (plus base) to out.
+func (c *container) appendOnes(base int, out []int) []int {
+	switch c.kind {
+	case ctrArray:
+		for _, v := range c.arr {
+			out = append(out, base+int(v))
+		}
+	case ctrBitmap:
+		for wi, w := range c.bmp {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				out = append(out, base+wi*wordBits+b)
+				w &= w - 1
+			}
+		}
+	default: // ctrRun
+		for p := 0; p+1 < len(c.arr); p += 2 {
+			for v := int(c.arr[p]); v <= int(c.arr[p+1]); v++ {
+				out = append(out, base+v)
+			}
+		}
+	}
+	return out
+}
+
+// copyFrom makes c an exact replica of src, reusing c's storage.
+func (c *container) copyFrom(src *container) {
+	c.kind = src.kind
+	c.card = src.card
+	if cap(c.arr) < len(src.arr) {
+		c.arr = make([]uint16, len(src.arr))
+	}
+	c.arr = c.arr[:len(src.arr)]
+	copy(c.arr, src.arr)
+	if cap(c.bmp) < len(src.bmp) {
+		c.bmp = make([]uint64, len(src.bmp))
+	}
+	c.bmp = c.bmp[:len(src.bmp)]
+	copy(c.bmp, src.bmp)
+}
+
+// --- bulk loading ---
+
+// loadChunkWords builds the best-encoded container for chunk key from its
+// dense words (empty chunks add nothing) and returns the cardinality.
+// Keys must arrive in ascending order.
+func (s *sparse) loadChunkWords(key uint16, w []uint64) int {
+	card, runs := 0, 0
+	prev := uint64(0) // bit 63 of the previous word
+	for _, word := range w {
+		card += bits.OnesCount64(word)
+		// A run starts at every 1-bit whose predecessor is 0.
+		runs += bits.OnesCount64(word &^ (word<<1 | prev))
+		prev = word >> 63
+	}
+	if card == 0 {
+		return 0
+	}
+	c := s.appendCtr(key)
+	c.card = int32(card)
+	switch {
+	case 2*runs < card && runs < chunkByteCount/4:
+		c.kind = ctrRun
+		if cap(c.arr) < 2*runs {
+			c.arr = make([]uint16, 0, 2*runs)
+		}
+		c.arr = c.arr[:0]
+		inRun := false
+		for wi, word := range w {
+			for b := 0; b < wordBits; b++ {
+				if word&(1<<b) != 0 {
+					if !inRun {
+						c.arr = append(c.arr, uint16(wi*wordBits+b))
+						inRun = true
+					}
+				} else if inRun {
+					c.arr = append(c.arr, uint16(wi*wordBits+b-1))
+					inRun = false
+				}
+			}
+		}
+		if inRun {
+			c.arr = append(c.arr, uint16(len(w)*wordBits-1))
+		}
+	case card <= arrayMaxCard:
+		c.kind = ctrArray
+		if cap(c.arr) < card {
+			c.arr = make([]uint16, 0, card)
+		}
+		c.arr = c.arr[:0]
+		for wi, word := range w {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				c.arr = append(c.arr, uint16(wi*wordBits+b))
+				word &= word - 1
+			}
+		}
+	default:
+		c.kind = ctrBitmap
+		if cap(c.bmp) < chunkWordCount {
+			c.bmp = make([]uint64, chunkWordCount)
+		}
+		c.bmp = c.bmp[:chunkWordCount]
+		n := copy(c.bmp, w)
+		for i := n; i < chunkWordCount; i++ {
+			c.bmp[i] = 0
+		}
+	}
+	s.card += card
+	return card
+}
+
+// loadWords fills a fresh (empty) container from a chunk's dense words,
+// choosing array or bitmap encoding by cardinality. Unlike
+// loadChunkWords it never picks run encoding: it serves incremental OR
+// merges, where the next mutation would immediately unrun anyway.
+func (c *container) loadWords(w []uint64) {
+	card := 0
+	for _, word := range w {
+		card += bits.OnesCount64(word)
+	}
+	c.card = int32(card)
+	if card <= arrayMaxCard {
+		c.kind = ctrArray
+		if cap(c.arr) < card {
+			c.arr = make([]uint16, 0, card)
+		}
+		c.arr = c.arr[:0]
+		for wi, word := range w {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				c.arr = append(c.arr, uint16(wi*wordBits+b))
+				word &= word - 1
+			}
+		}
+		return
+	}
+	c.kind = ctrBitmap
+	if cap(c.bmp) < chunkWordCount {
+		c.bmp = make([]uint64, chunkWordCount)
+	}
+	c.bmp = c.bmp[:chunkWordCount]
+	n := copy(c.bmp, w)
+	for i := n; i < chunkWordCount; i++ {
+		c.bmp[i] = 0
+	}
+}
+
+// setBytes rebuilds the directory from the dense little-endian wire form,
+// reusing all storage. Extra bytes are ignored; missing bytes read zero;
+// tail bits beyond n never appear (the decoder masks them).
+func (s *sparse) setBytes(n int, data []byte) {
+	s.reset()
+	size := (n + 7) / 8
+	if len(data) > size {
+		data = data[:size]
+	}
+	var scratch [chunkWordCount]uint64
+	words := (n + wordBits - 1) / wordBits
+	for ci := 0; ci*chunkWordCount < words; ci++ {
+		cw := words - ci*chunkWordCount
+		if cw > chunkWordCount {
+			cw = chunkWordCount
+		}
+		w := scratch[:cw]
+		base := ci * chunkByteCount
+		for i := range w {
+			var word uint64
+			for b := 0; b < 8; b++ {
+				idx := base + i*8 + b
+				if idx >= len(data) {
+					break
+				}
+				word |= uint64(data[idx]) << (8 * b)
+			}
+			w[i] = word
+		}
+		if ci*chunkWordCount+cw == words {
+			// Mask tail bits beyond n in the final word.
+			if rem := n % wordBits; rem != 0 {
+				w[cw-1] &= (1 << rem) - 1
+			}
+		}
+		s.loadChunkWords(uint16(ci), w)
+	}
+}
+
+// cloneInto makes dst an exact replica of s, reusing dst's storage.
+func (s *sparse) cloneInto(dst *sparse) {
+	dst.card = s.card
+	if cap(dst.keys) < len(s.keys) {
+		dst.keys = make([]uint16, len(s.keys))
+	}
+	dst.keys = dst.keys[:len(s.keys)]
+	copy(dst.keys, s.keys)
+	if cap(dst.ctrs) < len(s.ctrs) {
+		fresh := make([]container, len(s.ctrs))
+		copy(fresh, dst.ctrs[:cap(dst.ctrs)])
+		dst.ctrs = fresh
+	}
+	dst.ctrs = dst.ctrs[:len(s.ctrs)]
+	for i := range s.ctrs {
+		dst.ctrs[i].copyFrom(&s.ctrs[i])
+	}
+}
+
+// searchU16 returns the position of v in the sorted slice a, or the
+// insertion point with found=false.
+func searchU16(a []uint16, v uint16) (int, bool) {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(a) && a[lo] == v
+}

@@ -1,0 +1,372 @@
+package bitvec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// This file is the dense-vs-sparse equivalence tier: every Vector
+// operation is exercised against both representations on the same
+// logical value, and any divergence — in counts, bits, wire bytes or
+// panics — fails the suite. The sparse containers earn their place in
+// the CV hot path only because these tests pin them bit-for-bit to the
+// dense reference.
+
+// assertSameValue fails unless d and s hold the same logical value,
+// checked through every read-side accessor (count, wire form, equality
+// both ways across representations, and the set-index list).
+func assertSameValue(t *testing.T, ctx string, d, s *Vector) {
+	t.Helper()
+	if d.Len() != s.Len() {
+		t.Fatalf("%s: Len %d != %d", ctx, d.Len(), s.Len())
+	}
+	if dc, sc := d.Count(), s.Count(); dc != sc {
+		t.Fatalf("%s: Count %d != %d", ctx, dc, sc)
+	}
+	if d.Any() != s.Any() {
+		t.Fatalf("%s: Any %v != %v", ctx, d.Any(), s.Any())
+	}
+	if !bytes.Equal(d.Bytes(), s.Bytes()) {
+		t.Fatalf("%s: wire bytes diverge", ctx)
+	}
+	if !d.Equal(s) || !s.Equal(d) {
+		t.Fatalf("%s: Equal disagrees across representations", ctx)
+	}
+	do, so := d.Ones(), s.Ones()
+	if len(do) != len(so) {
+		t.Fatalf("%s: Ones length %d != %d", ctx, len(do), len(so))
+	}
+	for i := range do {
+		if do[i] != so[i] {
+			t.Fatalf("%s: Ones[%d] = %d != %d", ctx, i, do[i], so[i])
+		}
+	}
+}
+
+// randomWire builds n-bit wire data mixing empty, full and random bytes,
+// so decodes hit array, bitmap and run containers in one buffer.
+func randomWire(r *rand.Rand, n int) []byte {
+	data := make([]byte, (n+7)/8)
+	for i := range data {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // mostly empty: the CV regime
+		case 6, 7: // solid runs
+			data[i] = 0xff
+		default:
+			data[i] = byte(r.Intn(256))
+		}
+	}
+	return data
+}
+
+// repPairFromWire decodes the same wire form into a dense-pinned and a
+// sparse-pinned vector.
+func repPairFromWire(n int, wire []byte) (*Vector, *Vector) {
+	d := NewRep(n, DenseRep)
+	d.SetBytes(wire)
+	s := NewRep(n, SparseRep)
+	s.SetBytes(wire)
+	return d, s
+}
+
+// TestDenseSparseDifferential drives randomized scripts of every mutating
+// operation against paired representations at several vector lengths
+// (within one chunk, chunk-boundary straddling, multi-chunk) and asserts
+// value identity after each step.
+func TestDenseSparseDifferential(t *testing.T) {
+	lengths := []int{1, 100, 4095, 4096, 4097, 65535, 65536, 65537, 200003}
+	for _, n := range lengths {
+		r := rand.New(rand.NewSource(int64(n)))
+		d, s := repPairFromWire(n, randomWire(r, n))
+		assertSameValue(t, "initial decode", d, s)
+		if !s.IsSparse() || d.IsSparse() {
+			t.Fatalf("n=%d: pinned representations not honored", n)
+		}
+		for step := 0; step < 200; step++ {
+			i := r.Intn(n)
+			switch r.Intn(10) {
+			case 0, 1, 2, 3: // Set dominates: CVs accrete bits
+				d.Set(i)
+				s.Set(i)
+			case 4, 5, 6:
+				d.Clear(i)
+				s.Clear(i)
+			case 7:
+				od, os := repPairFromWire(n, randomWire(r, n))
+				// Cross-representation unions must agree too.
+				d.Or(os)
+				s.Or(od)
+			case 8:
+				wire := randomWire(r, n)
+				d.SetBytes(wire)
+				s.SetBytes(wire)
+			default:
+				if d.Get(i) != s.Get(i) {
+					t.Fatalf("n=%d step %d: Get(%d) diverges", n, step, i)
+				}
+			}
+		}
+		assertSameValue(t, "after mutation script", d, s)
+		// Reset retains storage in both and re-zeroes the value.
+		d.Reset()
+		s.Reset()
+		assertSameValue(t, "after Reset", d, s)
+	}
+}
+
+// TestDenseSparseBinaryOps checks AndCount/Intersects/Or across all four
+// representation pairings against the dense×dense reference.
+func TestDenseSparseBinaryOps(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(150000)
+		ad, as := repPairFromWire(n, randomWire(r, n))
+		bd, bs := repPairFromWire(n, randomWire(r, n))
+		want := ad.AndCount(bd)
+		for _, pair := range []struct {
+			name string
+			a, b *Vector
+		}{
+			{"sparse×sparse", as, bs},
+			{"sparse×dense", as, bd},
+			{"dense×sparse", ad, bs},
+		} {
+			if got := pair.a.AndCount(pair.b); got != want {
+				t.Fatalf("n=%d %s: AndCount = %d, want %d", n, pair.name, got, want)
+			}
+			if got := pair.a.Intersects(pair.b); got != (want > 0) {
+				t.Fatalf("n=%d %s: Intersects = %v, want %v", n, pair.name, got, want > 0)
+			}
+		}
+		// Union in every pairing must land on the same value.
+		ref := ad.Clone()
+		ref.Or(bd)
+		for _, pair := range []struct {
+			name string
+			a, b *Vector
+		}{
+			{"sparse|=sparse", as.Clone(), bs},
+			{"sparse|=dense", as.Clone(), bd},
+			{"dense|=sparse", ad.Clone(), bs},
+		} {
+			pair.a.Or(pair.b)
+			if !pair.a.Equal(ref) || !bytes.Equal(pair.a.Bytes(), ref.Bytes()) {
+				t.Fatalf("n=%d %s: union diverges from dense reference", n, pair.name)
+			}
+		}
+	}
+}
+
+// TestSparseContainerBoundaries pins the container-encoding switch
+// points: empty, full (run containers spanning whole chunks), a single
+// run, the 4096-cardinality array→bitmap boundary, and bits on either
+// side of a chunk edge.
+func TestSparseContainerBoundaries(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		s := NewRep(2*chunkBits, SparseRep)
+		if s.Any() || s.Count() != 0 {
+			t.Fatal("empty sparse vector reports bits")
+		}
+		for _, b := range s.Bytes() {
+			if b != 0 {
+				t.Fatal("empty sparse vector has nonzero wire bytes")
+			}
+		}
+	})
+	t.Run("full", func(t *testing.T) {
+		n := chunkBits + 100 // full chunk-spanning run plus a partial chunk
+		junk := make([]byte, (n+7)/8)
+		for i := range junk {
+			junk[i] = 0xff
+		}
+		d, s := repPairFromWire(n, junk)
+		if s.Count() != n {
+			t.Fatalf("full vector Count = %d, want %d", s.Count(), n)
+		}
+		assertSameValue(t, "full", d, s)
+		// Clearing inside a >4096-card run exercises unrun→bitmap.
+		d.Clear(chunkBits / 2)
+		s.Clear(chunkBits / 2)
+		assertSameValue(t, "full minus one", d, s)
+	})
+	t.Run("single-run", func(t *testing.T) {
+		d := NewRep(chunkBits, DenseRep)
+		for i := 100; i <= 300; i++ {
+			d.Set(i)
+		}
+		s := NewRep(chunkBits, SparseRep)
+		s.SetBytes(d.Bytes()) // bulk load → run container
+		assertSameValue(t, "single run", d, s)
+		for _, probe := range []int{99, 100, 200, 300, 301} {
+			if s.Get(probe) != d.Get(probe) {
+				t.Fatalf("Get(%d) diverges on run boundary", probe)
+			}
+		}
+		// Point-clearing a ≤4096-card run exercises unrun→array in place.
+		d.Clear(200)
+		s.Clear(200)
+		assertSameValue(t, "run split by clear", d, s)
+	})
+	t.Run("array-bitmap-switch", func(t *testing.T) {
+		d := NewRep(chunkBits, DenseRep)
+		s := NewRep(chunkBits, SparseRep)
+		// Every other bit: 4096 entries, no runs — an array container at
+		// exactly its capacity boundary.
+		for i := 0; i < 2*arrayMaxCard; i += 2 {
+			d.Set(i)
+			s.Set(i)
+		}
+		assertSameValue(t, "at arrayMaxCard", d, s)
+		// One more set crosses into bitmap encoding.
+		d.Set(2*arrayMaxCard + 1)
+		s.Set(2*arrayMaxCard + 1)
+		assertSameValue(t, "past arrayMaxCard", d, s)
+	})
+	t.Run("chunk-edge", func(t *testing.T) {
+		n := 2 * chunkBits
+		d := NewRep(n, DenseRep)
+		s := NewRep(n, SparseRep)
+		for _, i := range []int{0, chunkBits - 1, chunkBits, n - 1} {
+			d.Set(i)
+			s.Set(i)
+		}
+		assertSameValue(t, "chunk edges", d, s)
+		// Clearing a chunk empty must drop its container cleanly.
+		d.Clear(chunkBits)
+		s.Clear(chunkBits)
+		d.Clear(n - 1)
+		s.Clear(n - 1)
+		assertSameValue(t, "emptied chunk", d, s)
+	})
+	t.Run("tiny-sparse", func(t *testing.T) {
+		s := NewRep(3, SparseRep)
+		s.Set(1)
+		if s.String() != "(0,1,0)" {
+			t.Fatalf("tiny sparse String = %s", s.String())
+		}
+	})
+}
+
+// TestAutoRepSwitches pins the automatic representation policy: short
+// vectors stay dense, long sparse ones start sparse, upward Set pressure
+// densifies, and bulk reloads re-evaluate against the loaded density.
+func TestAutoRepSwitches(t *testing.T) {
+	if New(sparseMinBits - 1).IsSparse() {
+		t.Fatal("short auto vector started sparse")
+	}
+	v := New(sparseMinBits)
+	if !v.IsSparse() {
+		t.Fatal("long auto vector started dense")
+	}
+	ref := NewRep(sparseMinBits, DenseRep)
+	for i := 0; i < sparseMinBits; i += 2 { // drive density past 1/autoDenseDen
+		v.Set(i)
+		ref.Set(i)
+	}
+	if v.IsSparse() {
+		t.Fatal("auto vector stayed sparse past the density threshold")
+	}
+	assertSameValue(t, "after auto densify", ref, v)
+	// A sparse reload flips it back; a dense reload keeps it dense.
+	lone := NewRep(sparseMinBits, DenseRep)
+	lone.Set(17)
+	v.SetBytes(lone.Bytes())
+	if !v.IsSparse() {
+		t.Fatal("auto vector stayed dense after a sparse reload")
+	}
+	assertSameValue(t, "after sparse reload", lone, v)
+}
+
+// TestCloneIntoAcrossRepresentations checks that CloneInto replicates
+// value and representation whatever the destination previously held.
+func TestCloneIntoAcrossRepresentations(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := 70000
+	d, s := repPairFromWire(n, randomWire(r, n))
+	intoSparse := s.CloneInto(NewRep(n, DenseRep))
+	if !intoSparse.IsSparse() || !intoSparse.Equal(d) {
+		t.Fatal("CloneInto did not replicate the sparse source into a dense destination")
+	}
+	intoDense := d.CloneInto(NewRep(n, SparseRep))
+	if intoDense.IsSparse() || !intoDense.Equal(s) {
+		t.Fatal("CloneInto did not replicate the dense source into a sparse destination")
+	}
+	// No aliasing: mutating the copy must not touch the source.
+	intoSparse.Clear(s.Ones()[0])
+	if !s.Equal(d) {
+		t.Fatal("CloneInto aliased sparse container storage")
+	}
+}
+
+// TestSparseWirePropertyQuick is the randomized wire-identity property:
+// for any bits, dense and sparse encodes are byte-identical and decode
+// back to the same value in either representation.
+func TestSparseWirePropertyQuick(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100000)
+		d, s := repPairFromWire(n, randomWire(r, n))
+		dw, sw := d.Bytes(), s.Bytes()
+		if !bytes.Equal(dw, sw) {
+			return false
+		}
+		d2, s2 := repPairFromWire(n, sw)
+		return d2.Equal(s) && s2.Equal(d) && s.AppendBytesEqual(dw)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AppendBytesEqual reports whether AppendBytes reproduces want (test
+// helper kept on Vector so the quick property reads naturally).
+func (v *Vector) AppendBytesEqual(want []byte) bool {
+	return bytes.Equal(v.AppendBytes(nil), want)
+}
+
+// TestSparseReuseAllocs pins the sparse steady-state operations at zero
+// allocations, mirroring TestVectorReuseAllocs for the dense paths: at
+// web scale every advertisement a router absorbs goes through these, so
+// the container pools must fully amortize.
+func TestSparseReuseAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 150000
+	wire := randomWire(r, n)
+	src := NewRep(n, SparseRep)
+	src.SetBytes(wire)
+	dst := src.Clone()
+	if avg := testing.AllocsPerRun(100, func() {
+		src.CloneInto(dst)
+	}); avg > 0 {
+		t.Errorf("sparse CloneInto into a warmed vector allocates %.1f objects, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		dst.SetBytes(wire)
+	}); avg > 0 {
+		t.Errorf("sparse SetBytes allocates %.1f objects, want 0", avg)
+	}
+	buf := make([]byte, 0, 2*src.SizeBytes())
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = src.AppendBytes(buf[:0])
+	}); avg > 0 {
+		t.Errorf("sparse AppendBytes into a pre-grown buffer allocates %.1f objects, want 0", avg)
+	}
+	// Re-ORing an already-absorbed operand is the flooding steady state:
+	// every chunk takes the subset fast path.
+	dst.Or(src)
+	if avg := testing.AllocsPerRun(100, func() {
+		dst.Or(src)
+	}); avg > 0 {
+		t.Errorf("sparse Or of an absorbed operand allocates %.1f objects, want 0", avg)
+	}
+	probe := src.Ones()[0]
+	if avg := testing.AllocsPerRun(100, func() {
+		if !src.Get(probe) || src.Count() == 0 {
+			t.Fatal("probe lost")
+		}
+	}); avg > 0 {
+		t.Errorf("sparse Get/Count allocates %.1f objects, want 0", avg)
+	}
+}

@@ -93,6 +93,11 @@ type Manager struct {
 	// signal, when non-nil, makes signalling round trips lossy (see
 	// WithSignalFaults).
 	signal *signalFaults
+	// collectRecovery turns on per-connection recovery-latency sampling
+	// during destructive failures (see WithRecoveryLatency); recovery
+	// accumulates the samples until TakeRecoveryLatencies.
+	collectRecovery bool
+	recovery        []RecoveryLatency
 	// eval holds the failure-evaluation scratch buffers reused across
 	// Evaluate*Failure calls (see failure.go).
 	eval evalScratch
@@ -126,6 +131,17 @@ func (o telemetryOption) apply(m *Manager) { m.tracer = o.tracer }
 // outcomes are emitted as typed events. A nil tracer keeps the no-op
 // default.
 func WithTelemetry(tr *telemetry.Tracer) ManagerOption { return telemetryOption{tracer: tr} }
+
+type recoveryLatencyOption struct{}
+
+func (recoveryLatencyOption) apply(m *Manager) { m.collectRecovery = true }
+
+// WithRecoveryLatency makes the manager record a RecoveryLatency sample
+// for every connection hit by a destructive failure (ApplyLinkFailure /
+// ApplyEdgeFailure). Off by default: sampling appends to a slice, and the
+// steady-state failure paths must stay allocation-free when nobody reads
+// the samples. Drain with TakeRecoveryLatencies.
+func WithRecoveryLatency() ManagerOption { return recoveryLatencyOption{} }
 
 // WithReactiveRecovery makes destructive failure handling fall back to
 // re-routing a fresh primary from free capacity when a connection has no
@@ -171,6 +187,16 @@ func (m *Manager) NumActiveWithBackup() int {
 		}
 	}
 	return n
+}
+
+// TakeRecoveryLatencies returns the recovery-latency samples collected
+// since the last call (under WithRecoveryLatency) and resets the buffer.
+// Samples appear in failure order, connections within one failure in
+// establishment order, so the sequence is deterministic.
+func (m *Manager) TakeRecoveryLatencies() []RecoveryLatency {
+	out := m.recovery
+	m.recovery = nil
+	return out
 }
 
 // Get returns the active connection with the given ID.

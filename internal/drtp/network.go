@@ -18,6 +18,7 @@ package drtp
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/rtcl/drtp/internal/graph"
 	"github.com/rtcl/drtp/internal/lsdb"
@@ -85,9 +86,14 @@ var ErrNoBackup = fmt.Errorf("drtp: no backup channel could be established")
 // tracks persistently failed links (for destructive failure runs; the
 // non-destructive failure sweeps never mark links failed).
 type Network struct {
-	g    *graph.Graph
-	db   *lsdb.DB
-	dist *graph.DistanceTable
+	g  *graph.Graph
+	db *lsdb.DB
+	// dist is built lazily on first use (distOnce): the all-pairs table is
+	// O(nodes²) memory, which at web scale (10k+ nodes) would dwarf the
+	// link-state database itself. Only bounded flooding and the QoS hop
+	// bound read it; the link-state schemes never pay for it.
+	dist     *graph.DistanceTable
+	distOnce sync.Once
 	// failed is a dense per-link failure flag (indexed by LinkID) so the
 	// Dijkstra cost callbacks pay an array read, not a map lookup.
 	failed    []bool
@@ -129,16 +135,16 @@ func NewNetwork(g *graph.Graph, capacity, unitBW int) (*Network, error) {
 }
 
 // NewNetworkWithMode is NewNetwork with an explicit spare-sizing mode
-// (lsdb.Dedicated disables backup multiplexing, for ablation runs).
-func NewNetworkWithMode(g *graph.Graph, capacity, unitBW int, mode lsdb.Mode) (*Network, error) {
-	db, err := lsdb.NewWithMode(g, capacity, unitBW, mode)
+// (lsdb.Dedicated disables backup multiplexing, for ablation runs) and
+// optional link-state database tuning (shard count, APLV storage state).
+func NewNetworkWithMode(g *graph.Graph, capacity, unitBW int, mode lsdb.Mode, opts ...lsdb.Option) (*Network, error) {
+	db, err := lsdb.NewWithMode(g, capacity, unitBW, mode, opts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Network{
 		g:      g,
 		db:     db,
-		dist:   graph.NewDistanceTable(g),
 		failed: make([]bool, g.NumLinks()),
 	}, nil
 }
@@ -149,8 +155,13 @@ func (n *Network) Graph() *graph.Graph { return n.g }
 // DB returns the link-state database.
 func (n *Network) DB() *lsdb.DB { return n.db }
 
-// Distances returns the all-pairs hop-distance table.
-func (n *Network) Distances() *graph.DistanceTable { return n.dist }
+// Distances returns the all-pairs hop-distance table, computing it on
+// first use (it costs O(nodes²) memory, so networks that never consult it
+// — the link-state schemes without a QoS bound — never build it).
+func (n *Network) Distances() *graph.DistanceTable {
+	n.distOnce.Do(func() { n.dist = graph.NewDistanceTable(n.g) })
+	return n.dist
+}
 
 // UnitBW returns the per-connection bandwidth.
 func (n *Network) UnitBW() int { return n.db.UnitBW() }

@@ -26,6 +26,26 @@ type RecoveryOutcome struct {
 	BackupsReestablished int
 }
 
+// RecoveryLatency records the recovery timeline of one connection after a
+// destructive failure, in hops: with identical link delays (the paper's
+// setting) every latency component is proportional to a hop count, so hop
+// counts are the unit the percentiles are reported in.
+type RecoveryLatency struct {
+	// Detect is the failure-detection distance: hops from the failed
+	// component back to the connection's source along the old primary
+	// (the failure report travels upstream before activation can start).
+	Detect int
+	// Activate is the length of the channel the connection switched to —
+	// the activation message traverses it end to end. Zero for drops.
+	Activate int
+	// Switched reports whether the connection recovered (false: dropped).
+	Switched bool
+}
+
+// Total returns the end-to-end recovery distance in hops: the upstream
+// failure report plus the activation traversal of the new channel.
+func (r RecoveryLatency) Total() int { return r.Detect + r.Activate }
+
 // BackupRouter is an optional Scheme capability: computing fresh backup
 // routes for an already-established primary. Schemes implementing it let
 // the manager restore full protection after a channel switch.
@@ -73,6 +93,19 @@ func (m *Manager) applyFailure(hits func(graph.Path) bool, link int) RecoveryOut
 	out.Affected = len(affected)
 
 	for _, c := range affected {
+		// The detection distance is fixed by the old primary before any
+		// switch rewrites it: hops from the source to the first failed
+		// link of the path.
+		detect := 0
+		if m.collectRecovery {
+			for i, l := range c.Primary.Links() {
+				if m.net.LinkFailed(l) {
+					detect = i
+					break
+				}
+			}
+		}
+		switched := true
 		switch {
 		case m.switchConnection(c, &out):
 			out.Switched++
@@ -83,7 +116,15 @@ func (m *Manager) applyFailure(hits func(graph.Path) bool, link int) RecoveryOut
 		default:
 			mustRelease(m.Release(c.ID))
 			out.Dropped++
+			switched = false
 			m.tracer.ActivationDenied(m.schemeName, c.trace, int64(c.ID), link, "dropped")
+		}
+		if m.collectRecovery {
+			lat := RecoveryLatency{Detect: detect, Switched: switched}
+			if switched {
+				lat.Activate = c.Primary.Hops() // the promoted/re-routed channel
+			}
+			m.recovery = append(m.recovery, lat)
 		}
 	}
 	return out

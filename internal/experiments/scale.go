@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rtcl/drtp/internal/drtp"
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/metrics"
+	"github.com/rtcl/drtp/internal/rng"
+	"github.com/rtcl/drtp/internal/scenario"
+	"github.com/rtcl/drtp/internal/sim"
+)
+
+// This file implements the web-scale experiment (X9 in EXPERIMENTS.md):
+// one large topology, sustained Poisson arrivals per (scheme, lambda)
+// cell, and a schedule of destructive edge failures whose per-connection
+// recovery latencies are sampled. It exists to exercise — and measure —
+// the sparse conflict-vector/APLV storage and the sharded link-state
+// database on networks two orders of magnitude beyond the paper's 60
+// nodes, where the seed's dense O(links²) layout does not fit.
+//
+// Everything rendered by Table is deterministic at any worker count (the
+// engine.go contract: stable per-cell seeds, ordered merge, ordered
+// telemetry forwarding). Wall-clock quantities — establishment
+// throughput, peak heap — are deliberately kept out of the table and
+// reported through Summary/SummaryJSON instead.
+
+// ScaleParams configures a web-scale run.
+type ScaleParams struct {
+	// Params supplies the topology (Nodes, Degree, Seed), link dimensions
+	// (Capacity, UnitBW, Mode, State), the lambda sweep and Workers.
+	Params Params
+	// Schemes lists the routing schemes to evaluate; the default is D-LSR
+	// and P-LSR. Bounded flooding is excluded by default: it consults the
+	// all-pairs distance table, whose O(nodes²) memory is exactly what
+	// web-scale runs must avoid.
+	Schemes []SchemeSpec
+	// Connections is the target number of request arrivals per cell. The
+	// run length is derived as Connections / (Nodes · Lambda), so every
+	// cell sees the same arrival count regardless of its rate. Default
+	// 100000.
+	Connections int
+	// Failures is the number of destructive edge failures injected per
+	// cell, evenly spaced across the measurement window with a repair
+	// after half a spacing. Default 32.
+	Failures int
+}
+
+func (p *ScaleParams) setDefaults() {
+	p.Params.setDefaults()
+	if p.Params.Nodes <= 0 {
+		p.Params.Nodes = 10000
+	}
+	if len(p.Params.Lambdas) == 0 {
+		p.Params.Lambdas = []float64{0.4}
+	}
+	if len(p.Schemes) == 0 {
+		p.Schemes = []SchemeSpec{PaperSchemes()[0], PaperSchemes()[1]}
+	}
+	if p.Connections <= 0 {
+		p.Connections = 100000
+	}
+	if p.Failures <= 0 {
+		p.Failures = 32
+	}
+}
+
+// ScaleRow is one measured (scheme, lambda) cell.
+type ScaleRow struct {
+	Scheme string
+	Lambda float64
+	// Arrivals is the number of request arrivals in the cell's scenario.
+	Arrivals int
+	Result   *sim.Result
+	// DetectP50 / ActivateP50 are medians of the recovery-latency
+	// components over recovered connections; TotalP50/P90/P99 are
+	// percentiles of their sum. All in hops (see drtp.RecoveryLatency).
+	DetectP50   int
+	ActivateP50 int
+	TotalP50    int
+	TotalP90    int
+	TotalP99    int
+	// APLVBytes is the link-state database's APLV counter storage at the
+	// end of the run; BytesPerConn divides it by accepted connections.
+	APLVBytes    int64
+	BytesPerConn float64
+	// Elapsed is the cell's wall-clock simulation time. Excluded from
+	// Table: it depends on the machine and the worker count.
+	Elapsed time.Duration
+}
+
+// Scale holds the rows of one web-scale run plus its wall-clock account.
+type Scale struct {
+	Params ScaleParams
+	Nodes  int
+	Links  int
+	Rows   []*ScaleRow
+	// Elapsed is the whole run's wall-clock time; PeakHeapBytes is the
+	// high-water mark of in-use heap during it.
+	Elapsed       time.Duration
+	PeakHeapBytes uint64
+}
+
+// RunScale executes the web-scale experiment. Cells are sharded across
+// Params.Workers goroutines; Table output is bit-identical at any worker
+// count.
+func RunScale(p ScaleParams) (*Scale, error) {
+	p.setDefaults()
+	//drtplint:ignore determinism establishments/sec and elapsed are wall-clock by definition; they flow to SCALE_JSON, never into the golden-pinned table
+	start := time.Now()
+	watcher := startHeapWatcher(5 * time.Millisecond)
+	defer watcher.Stop()
+
+	g, err := p.Params.Topology()
+	if err != nil {
+		return nil, err
+	}
+
+	type scaleCell struct {
+		spec            SchemeSpec
+		lambda          float64
+		scen            *scenario.Scenario
+		fails           []sim.FailureEvent
+		warmup, endTime float64
+	}
+	var cells []scaleCell
+	for _, lambda := range p.Params.Lambdas {
+		duration := float64(p.Connections) / (float64(p.Params.Nodes) * lambda)
+		warmup := 0.2 * duration
+		sc, err := scenario.Generate(scenario.Config{
+			Nodes:    p.Params.Nodes,
+			Lambda:   lambda,
+			Duration: duration,
+			Pattern:  scenario.UT,
+			Seed:     p.Params.cellSeed(fmt.Sprintf("scale/scenario/%.3f", lambda)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fails := p.failureSchedule(g, lambda, warmup, duration)
+		for _, spec := range p.Schemes {
+			cells = append(cells, scaleCell{spec: spec, lambda: lambda, scen: sc,
+				fails: fails, warmup: warmup, endTime: duration})
+		}
+	}
+
+	rows := make([]*ScaleRow, len(cells))
+	stream := newTelemetryStream(p.Params.Telemetry, len(cells), p.Params.workerCount())
+	err = runParallel(p.Params.workerCount(), len(cells), func(i int) error {
+		c := cells[i]
+		pc := p.Params
+		tracer, done := stream.cell(i)
+		defer done()
+		pc.Telemetry = tracer
+		net, err := drtp.NewNetworkWithMode(g, pc.Capacity, pc.UnitBW, pc.Mode, lsdb.WithState(pc.State))
+		if err != nil {
+			return err
+		}
+		schm := c.spec.New(pc.cellSeed("scale/scheme/" + c.spec.Name))
+		//drtplint:ignore determinism per-cell wall time feeds the establishment rate in SCALE_JSON, not the deterministic table
+		cellStart := time.Now()
+		res, err := sim.Run(net, schm, c.scen, sim.Config{
+			Warmup: c.warmup,
+			// Non-destructive sweeps evaluate every link per epoch —
+			// O(links · connections) work the web-scale runs cannot
+			// afford. Recovery metrics come from the destructive
+			// schedule instead.
+			EvalInterval:    0,
+			EndTime:         c.endTime,
+			ManagerOpts:     c.spec.ManagerOpts,
+			Telemetry:       pc.Telemetry,
+			FailureSchedule: c.fails,
+			CollectRecovery: true,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: scale %s: %w", c.spec.Name, err)
+		}
+		row := &ScaleRow{
+			Scheme:    c.spec.Name,
+			Lambda:    c.lambda,
+			Arrivals:  c.scen.NumArrivals(),
+			Result:    res,
+			APLVBytes: net.DB().APLVBytes(),
+			//drtplint:ignore determinism see cellStart above
+			Elapsed: time.Since(cellStart),
+		}
+		if res.Stats.Accepted > 0 {
+			row.BytesPerConn = float64(row.APLVBytes) / float64(res.Stats.Accepted)
+		}
+		row.fillPercentiles(res.Recovery)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Scale{Params: p, Nodes: g.NumNodes(), Links: g.NumLinks(), Rows: rows}
+	s.PeakHeapBytes = watcher.Stop()
+	//drtplint:ignore determinism see start above
+	s.Elapsed = time.Since(start)
+	return s, nil
+}
+
+// failureSchedule samples the cell's destructive edge failures from the
+// stable cell seed: Failures edges chosen uniformly, evenly spaced across
+// the measurement window, each repaired after half a spacing.
+func (p ScaleParams) failureSchedule(g *graph.Graph, lambda, warmup, duration float64) []sim.FailureEvent {
+	if p.Failures <= 0 || g.NumEdges() == 0 {
+		return nil
+	}
+	r := rng.New(p.Params.cellSeed(fmt.Sprintf("scale/failures/%.3f", lambda)))
+	spacing := (duration - warmup) / float64(p.Failures+1)
+	evs := make([]sim.FailureEvent, 0, p.Failures)
+	for k := 0; k < p.Failures; k++ {
+		at := warmup + spacing*float64(k+1)
+		evs = append(evs, sim.FailureEvent{
+			Time:   at,
+			Edge:   graph.EdgeID(r.Intn(g.NumEdges())),
+			Repair: at + spacing/2,
+		})
+	}
+	return evs
+}
+
+// fillPercentiles derives the row's recovery-latency percentiles from the
+// run's samples. Detect/Activate/Total are measured over recovered
+// connections only — a dropped connection has no activation, so folding
+// it in would deflate the latency of the recoveries that did happen.
+func (r *ScaleRow) fillPercentiles(samples []drtp.RecoveryLatency) {
+	var detect, activate, total []int
+	for _, s := range samples {
+		if !s.Switched {
+			continue
+		}
+		detect = append(detect, s.Detect)
+		activate = append(activate, s.Activate)
+		total = append(total, s.Total())
+	}
+	sort.Ints(detect)
+	sort.Ints(activate)
+	sort.Ints(total)
+	r.DetectP50 = percentileInt(detect, 0.50)
+	r.ActivateP50 = percentileInt(activate, 0.50)
+	r.TotalP50 = percentileInt(total, 0.50)
+	r.TotalP90 = percentileInt(total, 0.90)
+	r.TotalP99 = percentileInt(total, 0.99)
+}
+
+// percentileInt returns the nearest-rank q-quantile of a sorted slice
+// (0 when empty).
+func percentileInt(sorted []int, q float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(sorted) {
+		k = len(sorted) - 1
+	}
+	return sorted[k]
+}
+
+// Table renders the run's deterministic measurements: admission,
+// recovery-latency percentiles (hops) and APLV storage per cell.
+func (s *Scale) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Scale: %d nodes, %d links, %d conns/cell, %d failures, APLV %s",
+			s.Nodes, s.Links, s.Params.Connections, s.Params.Failures, s.Params.Params.State),
+		"scheme", "lambda", "arrivals", "accepted", "switched", "dropped",
+		"detP50", "actP50", "totP50", "totP90", "totP99", "aplvBytes", "B/conn")
+	for _, r := range s.Rows {
+		t.AddRow(r.Scheme, r.Lambda, r.Arrivals, r.Result.Stats.Accepted,
+			r.Result.Switched, r.Result.Dropped,
+			r.DetectP50, r.ActivateP50, r.TotalP50, r.TotalP90, r.TotalP99,
+			r.APLVBytes, fmt.Sprintf("%.1f", r.BytesPerConn))
+	}
+	return t
+}
+
+// ScaleSummary is the machine-readable roll-up of one run, including the
+// wall-clock quantities Table deliberately omits. cmd/drtpsim prints it
+// as a single SCALE_JSON line; scripts/scale_smoke.sh and bench.sh parse
+// it.
+type ScaleSummary struct {
+	Nodes            int     `json:"nodes"`
+	Links            int     `json:"links"`
+	State            string  `json:"aplv_state"`
+	Cells            int     `json:"cells"`
+	Arrivals         int64   `json:"arrivals"`
+	Accepted         int64   `json:"accepted"`
+	EstabPerSec      float64 `json:"establishments_per_sec"`
+	BytesPerConn     float64 `json:"bytes_per_conn"`
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	RecoveryTotalP50 int     `json:"recovery_total_p50_hops"`
+	RecoveryTotalP99 int     `json:"recovery_total_p99_hops"`
+	ElapsedSec       float64 `json:"elapsed_sec"`
+}
+
+// Summary aggregates the run across cells. Establishment throughput is
+// accepted connections per wall-clock second of simulation time summed
+// over cells (so it measures the engine, not the worker count); recovery
+// percentiles pool every cell's recovered samples.
+func (s *Scale) Summary() ScaleSummary {
+	sum := ScaleSummary{
+		Nodes:      s.Nodes,
+		Links:      s.Links,
+		State:      s.Params.Params.State.String(),
+		Cells:      len(s.Rows),
+		ElapsedSec: s.Elapsed.Seconds(),
+	}
+	var aplvBytes int64
+	var cellSeconds float64
+	var total []int
+	for _, r := range s.Rows {
+		sum.Arrivals += int64(r.Arrivals)
+		sum.Accepted += r.Result.Stats.Accepted
+		aplvBytes += r.APLVBytes
+		cellSeconds += r.Elapsed.Seconds()
+		for _, l := range r.Result.Recovery {
+			if l.Switched {
+				total = append(total, l.Total())
+			}
+		}
+	}
+	if cellSeconds > 0 {
+		sum.EstabPerSec = float64(sum.Accepted) / cellSeconds
+	}
+	if sum.Accepted > 0 {
+		sum.BytesPerConn = float64(aplvBytes) / float64(sum.Accepted)
+	}
+	sort.Ints(total)
+	sum.RecoveryTotalP50 = percentileInt(total, 0.50)
+	sum.RecoveryTotalP99 = percentileInt(total, 0.99)
+	sum.PeakHeapBytes = s.PeakHeapBytes
+	return sum
+}
+
+// SummaryJSON returns Summary as one line of JSON.
+func (s *Scale) SummaryJSON() (string, error) {
+	b, err := json.Marshal(s.Summary())
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// heapWatcher samples the runtime heap on a ticker and tracks the
+// high-water mark of in-use bytes. The scale smoke test compares this
+// peak between the sparse and dense APLV layouts.
+type heapWatcher struct {
+	stop chan struct{}
+	done chan struct{}
+
+	mu   sync.Mutex
+	peak uint64
+}
+
+// startHeapWatcher begins sampling at the given interval (one synchronous
+// sample is taken immediately, so short runs still observe their start).
+func startHeapWatcher(interval time.Duration) *heapWatcher {
+	w := &heapWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	w.sample()
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.sample()
+			}
+		}
+	}()
+	return w
+}
+
+func (w *heapWatcher) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.mu.Lock()
+	if ms.HeapAlloc > w.peak {
+		w.peak = ms.HeapAlloc
+	}
+	w.mu.Unlock()
+}
+
+// Stop halts the sampler, takes one final sample, and returns the peak.
+// Idempotent: repeated calls return the settled peak.
+func (w *heapWatcher) Stop() uint64 {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+	w.sample()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peak
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/lsdb"
+	"github.com/rtcl/drtp/internal/telemetry"
+)
+
+// tinyScaleParams shrinks the web-scale experiment to a tier-1 size while
+// keeping every moving part: two schemes, destructive failures with
+// recovery sampling, and enough cells for the worker sharding to matter.
+func tinyScaleParams() ScaleParams {
+	p := tinyParams()
+	p.Nodes = 80
+	p.Lambdas = []float64{0.3, 0.5}
+	return ScaleParams{
+		Params:      p,
+		Connections: 800,
+		Failures:    4,
+	}
+}
+
+// scaleWithWorkers runs the tiny scale experiment at a worker count.
+func scaleWithWorkers(t *testing.T, sp ScaleParams, workers int) *Scale {
+	t.Helper()
+	sp.Params.Workers = workers
+	s, err := RunScale(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// renderScale renders the deterministic table of a run.
+func renderScale(t *testing.T, s *Scale) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestScaleWorkersGolden pins the scale experiment's engine contract the
+// same way TestParallelSweepGolden pins the sweep's: the rendered table
+// must be byte-identical at workers=1 and workers=8, and match the golden
+// file. Refresh with go test ./internal/experiments -run ScaleWorkersGolden -update.
+func TestScaleWorkersGolden(t *testing.T) {
+	sp := tinyScaleParams()
+	serial := renderScale(t, scaleWithWorkers(t, sp, 1))
+	parallel := renderScale(t, scaleWithWorkers(t, sp, 8))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("scale table differs between workers=1 and workers=8:\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+
+	golden := filepath.Join("testdata", "scale_small.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Errorf("scale table deviates from %s (rerun with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, serial, want)
+	}
+}
+
+// TestScaleStreamedTraceBytes mirrors TestParallelSweepStreamedTraceBytes
+// for the scale runner: telemetry streamed through a bounded sink must be
+// byte-identical at workers=1 and workers=8, with zero drops.
+func TestScaleStreamedTraceBytes(t *testing.T) {
+	traceBytes := func(workers int) []byte {
+		var out bytes.Buffer
+		sink := telemetry.NewStreamSink(&out, 1<<18, nil)
+		sp := tinyScaleParams()
+		sp.Params.Telemetry = telemetry.NewTracer(sink)
+		sp.Params.Workers = workers
+		if _, err := RunScale(sp); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Params.Telemetry.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if sink.Dropped() != 0 {
+			t.Fatalf("workers=%d: dropped %d trace events", workers, sink.Dropped())
+		}
+		return out.Bytes()
+	}
+	serial := traceBytes(1)
+	parallel := traceBytes(8)
+	if len(serial) == 0 {
+		t.Fatal("scale run streamed no telemetry")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("streamed scale trace bytes differ: %d bytes at workers=1, %d at workers=8",
+			len(serial), len(parallel))
+	}
+}
+
+// TestScaleStateEquivalence asserts the APLV layouts are observationally
+// identical at the experiment level: the dense baseline, the pinned
+// sparse form and the auto-switching default must all render the same
+// scale table — the same admissions, the same recovery percentiles.
+// (APLVBytes and B/conn differ by design, so they are compared via the
+// layout-independent columns only.)
+func TestScaleStateEquivalence(t *testing.T) {
+	row := func(state lsdb.State) []*ScaleRow {
+		sp := tinyScaleParams()
+		sp.Params.State = state
+		return scaleWithWorkers(t, sp, 4).Rows
+	}
+	auto := row(lsdb.AutoState)
+	dense := row(lsdb.DenseState)
+	sparse := row(lsdb.SparseState)
+	if len(auto) != len(dense) || len(auto) != len(sparse) {
+		t.Fatalf("row counts differ: auto=%d dense=%d sparse=%d", len(auto), len(dense), len(sparse))
+	}
+	for i := range auto {
+		for _, other := range []*ScaleRow{dense[i], sparse[i]} {
+			if auto[i].Result.Stats != other.Result.Stats ||
+				auto[i].Result.Switched != other.Result.Switched ||
+				auto[i].Result.Dropped != other.Result.Dropped ||
+				auto[i].TotalP50 != other.TotalP50 ||
+				auto[i].TotalP99 != other.TotalP99 {
+				t.Errorf("row %d (%s/%v): APLV layouts disagree:\nauto:  %+v\nother: %+v",
+					i, auto[i].Scheme, auto[i].Lambda, auto[i], other)
+			}
+		}
+		if dense[i].APLVBytes <= sparse[i].APLVBytes {
+			t.Errorf("row %d: dense APLV storage (%d B) not larger than sparse (%d B)",
+				i, dense[i].APLVBytes, sparse[i].APLVBytes)
+		}
+	}
+}
+
+// TestScaleRecoverySamples asserts the recovery-latency pipeline end to
+// end: destructive failures must produce samples, recovered samples must
+// have positive activation lengths, and the percentiles must be ordered.
+func TestScaleRecoverySamples(t *testing.T) {
+	s := scaleWithWorkers(t, tinyScaleParams(), 4)
+	sawSamples := false
+	for _, r := range s.Rows {
+		if r.Result.FailuresApplied == 0 {
+			t.Errorf("%s/%v: no destructive failures applied", r.Scheme, r.Lambda)
+		}
+		for _, l := range r.Result.Recovery {
+			sawSamples = true
+			if l.Switched && l.Activate <= 0 {
+				t.Errorf("%s/%v: recovered sample with non-positive activation: %+v",
+					r.Scheme, r.Lambda, l)
+			}
+			if l.Detect < 0 {
+				t.Errorf("%s/%v: negative detect distance: %+v", r.Scheme, r.Lambda, l)
+			}
+		}
+		if !(r.TotalP50 <= r.TotalP90 && r.TotalP90 <= r.TotalP99) {
+			t.Errorf("%s/%v: percentiles out of order: p50=%d p90=%d p99=%d",
+				r.Scheme, r.Lambda, r.TotalP50, r.TotalP90, r.TotalP99)
+		}
+	}
+	if !sawSamples {
+		t.Fatal("no recovery-latency samples collected across any cell")
+	}
+}
+
+// TestScaleSummaryJSON sanity-checks the machine-readable roll-up the
+// smoke scripts parse.
+func TestScaleSummaryJSON(t *testing.T) {
+	s := scaleWithWorkers(t, tinyScaleParams(), 4)
+	sum := s.Summary()
+	if sum.Accepted <= 0 || sum.Arrivals < sum.Accepted {
+		t.Fatalf("implausible admission counts: %+v", sum)
+	}
+	if sum.EstabPerSec <= 0 || sum.BytesPerConn <= 0 || sum.PeakHeapBytes == 0 {
+		t.Fatalf("missing wall-clock metrics: %+v", sum)
+	}
+	js, err := s.SummaryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"establishments_per_sec"`, `"bytes_per_conn"`, `"peak_heap_bytes"`} {
+		if !bytes.Contains([]byte(js), []byte(want)) {
+			t.Fatalf("SCALE_JSON missing %s:\n%s", want, js)
+		}
+	}
+}
+
+// TestFig4GoldenSparseCV is the tentpole's representation-equivalence pin
+// at figure level: the quick Figure 4 sweep with the sparse APLV/CV
+// layout pinned on — and with the dense baseline pinned on — must render
+// byte-identical to the existing fig4_quick.golden produced by the
+// default layout. One golden, three storage layouts.
+func TestFig4GoldenSparseCV(t *testing.T) {
+	golden := filepath.Join("testdata", "fig4_quick.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (TestParallelSweepGolden maintains this file)", err)
+	}
+	for _, state := range []lsdb.State{lsdb.SparseState, lsdb.DenseState} {
+		p := quickFig4Params()
+		p.State = state
+		s := sweepWithWorkers(t, p, 8)
+		var buf bytes.Buffer
+		if err := s.Fig4Table().Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("Figure 4 with %s APLV state deviates from %s:\ngot:\n%s\nwant:\n%s",
+				state, golden, buf.Bytes(), want)
+		}
+	}
+}

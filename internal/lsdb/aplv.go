@@ -1,0 +1,164 @@
+package lsdb
+
+// This file holds the APLV counter storage. The seed implementation kept
+// a dense []int32 with one slot per network link on *every* link record —
+// O(links²) memory before the first connection arrives, the structural
+// blocker for 10k+-node topologies (ROADMAP item 2). APLV_l is populated
+// only at indices of links whose primaries have backups through l, so at
+// web scale it is overwhelmingly empty; the counters below store exactly
+// the nonzero entries as a sorted pair list and up-convert a hot link to
+// the dense form once its pair list stops being small.
+
+// State selects how APLV counter storage is laid out.
+type State int
+
+const (
+	// AutoState starts every link's APLV sparse and up-converts it to the
+	// dense array once its nonzero count crosses the density threshold
+	// (one-way, per link). The default.
+	AutoState State = iota
+	// DenseState pins the seed behavior: a dense counter array per link,
+	// allocated eagerly at construction. O(links²) memory — kept as the
+	// ablation baseline the scale experiment measures against.
+	DenseState
+	// SparseState pins the sorted pair list regardless of density.
+	SparseState
+)
+
+// String returns a short identifier for the state.
+func (s State) String() string {
+	switch s {
+	case AutoState:
+		return "auto"
+	case DenseState:
+		return "dense"
+	case SparseState:
+		return "sparse"
+	default:
+		return "State(?)"
+	}
+}
+
+// aplvDenseMaxSpan caps the AutoState up-convert threshold: past 4096
+// nonzero entries the pair list's binary-search insertions stop beating
+// the dense array even on huge networks.
+const aplvDenseMaxSpan = 4096
+
+// aplvCounters holds one link's APLV. Exactly one form is active: dense
+// (dense != nil) indexes counters by link ID; sparse keeps the nonzero
+// entries as parallel sorted slices with idx[k] the link ID and val[k]
+// its counter. Iteration over the sparse form follows ascending idx, so
+// every derived artifact (CV bytes, maxima, conflict counts) is
+// deterministic.
+type aplvCounters struct {
+	dense []int32
+	idx   []int32
+	val   []int32
+}
+
+// empty reports whether every counter is zero (sparse form only; a dense
+// link is never considered empty — it must be scanned).
+func (c *aplvCounters) empty() bool { return c.dense == nil && len(c.idx) == 0 }
+
+// at returns the counter for link j.
+func (c *aplvCounters) at(j int) int32 {
+	if c.dense != nil {
+		return c.dense[j]
+	}
+	if k, ok := searchI32(c.idx, int32(j)); ok {
+		return c.val[k]
+	}
+	return 0
+}
+
+// inc increments the counter for link j and returns the new value.
+// denseAt is the AutoState up-convert threshold (negative pins sparse);
+// n is the network's link count, needed for the dense allocation.
+func (c *aplvCounters) inc(j, denseAt, n int) int32 {
+	if c.dense != nil {
+		c.dense[j]++
+		return c.dense[j]
+	}
+	k, ok := searchI32(c.idx, int32(j))
+	if ok {
+		c.val[k]++
+		return c.val[k]
+	}
+	c.idx = append(c.idx, 0)
+	copy(c.idx[k+1:], c.idx[k:])
+	c.idx[k] = int32(j)
+	c.val = append(c.val, 0)
+	copy(c.val[k+1:], c.val[k:])
+	c.val[k] = 1
+	if denseAt >= 0 && len(c.idx) > denseAt {
+		c.toDense(n)
+	}
+	return 1
+}
+
+// dec decrements the counter for link j (which must be positive) and
+// returns the new value. A sparse entry reaching zero is removed, so the
+// pair list is always exactly the nonzero set.
+func (c *aplvCounters) dec(j int) int32 {
+	if c.dense != nil {
+		c.dense[j]--
+		return c.dense[j]
+	}
+	k, _ := searchI32(c.idx, int32(j))
+	c.val[k]--
+	if v := c.val[k]; v != 0 {
+		return v
+	}
+	copy(c.idx[k:], c.idx[k+1:])
+	c.idx = c.idx[:len(c.idx)-1]
+	copy(c.val[k:], c.val[k+1:])
+	c.val = c.val[:len(c.val)-1]
+	return 0
+}
+
+// maxVal returns max_j APLV[j]. The sparse form scans only the nonzero
+// entries, which turns the seed's O(links) maxElem recompute into
+// O(backups actually conflicting) on big networks.
+func (c *aplvCounters) maxVal() int {
+	m := int32(0)
+	if c.dense != nil {
+		for _, v := range c.dense {
+			if v > m {
+				m = v
+			}
+		}
+		return int(m)
+	}
+	for _, v := range c.val {
+		if v > m {
+			m = v
+		}
+	}
+	return int(m)
+}
+
+// toDense converts the counters to the dense form in place (one-way).
+func (c *aplvCounters) toDense(n int) {
+	d := make([]int32, n)
+	for k, j := range c.idx {
+		d[j] = c.val[k]
+	}
+	c.dense = d
+	c.idx = nil
+	c.val = nil
+}
+
+// searchI32 returns the position of v in the sorted slice a, or the
+// insertion point with found=false.
+func searchI32(a []int32, v int32) (int, bool) {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(a) && a[lo] == v
+}

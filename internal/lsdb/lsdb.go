@@ -13,12 +13,25 @@
 //
 // All DR-connections reserve the same bandwidth (the paper's constant
 // bw-req), fixed at construction as the DB's unit bandwidth.
+//
+// The database is sharded by link range: each shard guards a contiguous
+// slice of link records with its own mutex, so concurrent workloads on
+// disjoint parts of a large topology do not serialize on one lock. Every
+// multi-shard operation — the whole-path batch surface and the aggregate
+// scans — acquires shard locks in ascending shard order, which keeps the
+// lock graph acyclic. Single-call snapshots and totals lock shards one at
+// a time, so under concurrent mutation they are coherent per shard rather
+// than globally — the single-threaded route-then-reserve discipline of
+// the Manager and simulator is unaffected, and the concurrent stress tier
+// checks exactly the per-link invariants that remain global.
 package lsdb
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rtcl/drtp/internal/bitvec"
 	"github.com/rtcl/drtp/internal/graph"
@@ -69,7 +82,7 @@ type linkState struct {
 	capacity int
 	prime    int // bandwidth reserved by primary channels
 	spare    int // bandwidth reserved for (multiplexed) backups
-	aplv     []int32
+	aplv     aplvCounters
 	norm     int // ‖APLV‖₁, maintained incrementally
 	maxElem  int // max_j APLV[j], maintained incrementally
 	// backups maps each backup channel registered on this link to the
@@ -79,6 +92,23 @@ type linkState struct {
 	primaries map[ConnID]struct{}
 }
 
+// dbShard guards one contiguous range of link records.
+type dbShard struct {
+	mu sync.Mutex
+	// links holds this shard's per-link records; guarded by mu.
+	links []linkState
+	_     [40]byte // pad to a cache line so neighbor shards don't false-share
+}
+
+const (
+	// defaultShardSpan is the number of links per shard before the 64-
+	// shard cap widens it.
+	defaultShardSpan = 1024
+	// maxShards bounds the shard count so multi-shard operations can
+	// carry their lock set as one uint64 mask.
+	maxShards = 64
+)
+
 // DB is the aggregate link-state database over all links of a network. In
 // a deployment each router owns the records for its outgoing links and
 // advertises summaries; the simulator keeps them in one place, mirroring
@@ -87,25 +117,49 @@ type DB struct {
 	g      *graph.Graph
 	unitBW int
 	mode   Mode
+	state  State
+	n      int // total links; immutable after construction
 
-	mu sync.Mutex
-	// links holds the per-link records; guarded by mu.
-	links []linkState
+	shardShift uint
+	shardMask  int
+	shards     []dbShard
+
+	// aplvDenseAt is the per-link AutoState up-convert threshold for the
+	// APLV pair lists; negative pins the sparse form.
+	aplvDenseAt int
+
 	// backupOps counts RegisterBackup + ReleaseBackup calls: each is one
 	// per-link update driven by a backup-register/release packet, the
-	// signalling volume of the link-state schemes. Guarded by mu.
-	backupOps int64
+	// signalling volume of the link-state schemes.
+	backupOps atomic.Int64
+
+	shardCountHint int
+}
+
+// Option configures a DB at construction.
+type Option func(*DB)
+
+// WithState selects the APLV counter layout (AutoState by default; see
+// the State constants).
+func WithState(s State) Option { return func(db *DB) { db.state = s } }
+
+// WithShardCount overrides the automatic shard sizing with (about) count
+// shards, clamped to [1, 64] and rounded so each shard spans a power of
+// two links. Tests use it to force heavy shard crossings on small
+// topologies.
+func WithShardCount(count int) Option {
+	return func(db *DB) { db.shardCountHint = count }
 }
 
 // New creates a database for graph g where every link has the given
 // capacity and every DR-connection reserves unitBW, with backup
 // multiplexing enabled.
-func New(g *graph.Graph, capacity, unitBW int) (*DB, error) {
-	return NewWithMode(g, capacity, unitBW, Multiplexed)
+func New(g *graph.Graph, capacity, unitBW int, opts ...Option) (*DB, error) {
+	return NewWithMode(g, capacity, unitBW, Multiplexed, opts...)
 }
 
 // NewWithMode is New with an explicit spare-sizing mode.
-func NewWithMode(g *graph.Graph, capacity, unitBW int, mode Mode) (*DB, error) {
+func NewWithMode(g *graph.Graph, capacity, unitBW int, mode Mode, opts ...Option) (*DB, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("lsdb: capacity must be positive, got %d", capacity)
 	}
@@ -116,16 +170,85 @@ func NewWithMode(g *graph.Graph, capacity, unitBW int, mode Mode) (*DB, error) {
 		return nil, fmt.Errorf("lsdb: invalid mode %d", int(mode))
 	}
 	n := g.NumLinks()
-	db := &DB{g: g, unitBW: unitBW, mode: mode, links: make([]linkState, n)}
-	for i := range db.links {
-		db.links[i] = linkState{
-			capacity:  capacity,
-			aplv:      make([]int32, n),
-			backups:   make(map[ConnID][]graph.LinkID),
-			primaries: make(map[ConnID]struct{}),
+	db := &DB{g: g, unitBW: unitBW, mode: mode, n: n}
+	for _, opt := range opts {
+		opt(db)
+	}
+	switch db.state {
+	case AutoState:
+		db.aplvDenseAt = n / 4
+		if db.aplvDenseAt > aplvDenseMaxSpan {
+			db.aplvDenseAt = aplvDenseMaxSpan
+		}
+	case DenseState:
+		db.aplvDenseAt = 0
+	case SparseState:
+		db.aplvDenseAt = -1
+	default:
+		return nil, fmt.Errorf("lsdb: invalid state %d", int(db.state))
+	}
+	db.layoutShards()
+	for si := range db.shards {
+		sh := &db.shards[si]
+		for i := range sh.links {
+			sh.links[i] = linkState{
+				capacity:  capacity,
+				backups:   make(map[ConnID][]graph.LinkID),
+				primaries: make(map[ConnID]struct{}),
+			}
+			if db.state == DenseState {
+				// The seed's eager O(links²) layout, kept as the
+				// ablation baseline.
+				sh.links[i].aplv.dense = make([]int32, n)
+			}
 		}
 	}
 	return db, nil
+}
+
+// layoutShards picks the shard span (a power of two) and allocates the
+// shard array: defaultShardSpan-sized shards, widened until the count
+// fits maxShards, or sized to the WithShardCount hint.
+func (db *DB) layoutShards() {
+	span := defaultShardSpan
+	if hint := db.shardCountHint; hint > 0 {
+		if hint > maxShards {
+			hint = maxShards
+		}
+		span = 1
+		for span*hint < db.n {
+			span *= 2
+		}
+	}
+	for span < defaultShardSpan && db.shardCountHint <= 0 {
+		span = defaultShardSpan
+	}
+	for (db.n+span-1)/span > maxShards {
+		span *= 2
+	}
+	db.shardShift = uint(bits.TrailingZeros(uint(span)))
+	db.shardMask = span - 1
+	count := (db.n + span - 1) / span
+	if count == 0 {
+		count = 1
+	}
+	db.shards = make([]dbShard, count)
+	for si := range db.shards {
+		lo := si * span
+		hi := lo + span
+		if hi > db.n {
+			hi = db.n
+		}
+		db.shards[si].links = make([]linkState, hi-lo)
+	}
+}
+
+// shardFor returns the shard owning link l.
+func (db *DB) shardFor(l graph.LinkID) *dbShard { return &db.shards[int(l)>>db.shardShift] }
+
+// lsLocked returns link l's record; the caller must hold l's shard lock.
+func (db *DB) lsLocked(l graph.LinkID) *linkState {
+	return &db.shards[int(l)>>db.shardShift].links[int(l)&db.shardMask]
 }
 
 // Graph returns the underlying topology.
@@ -135,39 +258,45 @@ func (db *DB) Graph() *graph.Graph { return db.g }
 func (db *DB) UnitBW() int { return db.unitBW }
 
 // NumLinks returns the number of unidirectional links tracked.
-func (db *DB) NumLinks() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.links)
-}
+func (db *DB) NumLinks() int { return db.n }
+
+// NumShards returns the number of link-range shards.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// State returns the APLV counter layout policy.
+func (db *DB) State() State { return db.state }
 
 // Capacity returns the total bandwidth of link l.
 func (db *DB) Capacity(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.links[l].capacity
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return db.lsLocked(l).capacity
 }
 
 // PrimeBW returns the bandwidth reserved by primary channels on link l.
 func (db *DB) PrimeBW(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.links[l].prime
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return db.lsLocked(l).prime
 }
 
 // SpareBW returns the bandwidth reserved for backup channels on link l.
 func (db *DB) SpareBW(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.links[l].spare
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return db.lsLocked(l).spare
 }
 
 // FreeBW returns the unallocated bandwidth on link l
 // (capacity - prime - spare).
 func (db *DB) FreeBW(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := &db.links[l]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := db.lsLocked(l)
 	return s.capacity - s.prime - s.spare
 }
 
@@ -179,18 +308,20 @@ func (db *DB) AvailableForPrimary(l graph.LinkID) int { return db.FreeBW(l) }
 // routing: unallocated bandwidth plus the spare bandwidth already shared by
 // backups (capacity - prime).
 func (db *DB) AvailableForBackup(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := &db.links[l]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := db.lsLocked(l)
 	return s.capacity - s.prime
 }
 
 // ReservePrimary reserves unit bandwidth for connection id's primary
 // channel on link l.
 func (db *DB) ReservePrimary(id ConnID, l graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := &db.links[l]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := db.lsLocked(l)
 	if free := s.capacity - s.prime - s.spare; free < db.unitBW {
 		return &ErrInsufficientBandwidth{Link: l, Need: db.unitBW, Have: free}
 	}
@@ -204,9 +335,10 @@ func (db *DB) ReservePrimary(id ConnID, l graph.LinkID) error {
 
 // ReleasePrimary releases connection id's primary reservation on link l.
 func (db *DB) ReleasePrimary(id ConnID, l graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := &db.links[l]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := db.lsLocked(l)
 	if _, ok := s.primaries[id]; !ok {
 		return fmt.Errorf("lsdb: connection %d has no primary on link %d", id, l)
 	}
@@ -225,9 +357,10 @@ func (db *DB) ReleasePrimary(id ConnID, l graph.LinkID) error {
 // Registration fails only when the link cannot hold even one activation of
 // this backup, i.e. capacity - prime < unit bandwidth.
 func (db *DB) RegisterBackup(id ConnID, l graph.LinkID, primaryLSET []graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := &db.links[l]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := db.lsLocked(l)
 	if avail := s.capacity - s.prime; avail < db.unitBW {
 		return &ErrInsufficientBandwidth{Link: l, Need: db.unitBW, Have: avail}
 	}
@@ -240,31 +373,39 @@ func (db *DB) RegisterBackup(id ConnID, l graph.LinkID, primaryLSET []graph.Link
 	if _, dup := s.backups[id]; dup {
 		return fmt.Errorf("lsdb: connection %d already has a backup on link %d", id, l)
 	}
-	db.backupOps++
+	db.backupOps.Add(1)
 	lset := make([]graph.LinkID, len(primaryLSET))
 	copy(lset, primaryLSET)
 	s.backups[id] = lset
+	db.applyLSETLocked(s, lset)
+	db.resizeSpareLocked(s)
+	return nil
+}
+
+// applyLSETLocked adds one backup's LSET contribution to s's APLV; the
+// caller must hold s's shard lock.
+func (db *DB) applyLSETLocked(s *linkState, lset []graph.LinkID) {
 	for _, pl := range lset {
-		s.aplv[pl]++
+		v := int(s.aplv.inc(int(pl), db.aplvDenseAt, db.n))
 		s.norm++
-		if int(s.aplv[pl]) > s.maxElem {
-			s.maxElem = int(s.aplv[pl])
+		if v > s.maxElem {
+			s.maxElem = v
 		}
 	}
-	db.resizeSpareLocked(l)
-	return nil
 }
 
 // ReleaseBackup removes connection id's backup channel from link l,
 // reversing the APLV updates using the LSET stored at registration and
 // shrinking spare resources to the new requirement.
 func (db *DB) ReleaseBackup(id ConnID, l graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.links[l].backups[id]; !ok {
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := db.lsLocked(l)
+	if _, ok := s.backups[id]; !ok {
 		return fmt.Errorf("lsdb: connection %d has no backup on link %d", id, l)
 	}
-	db.releaseBackupLocked(id, l)
+	db.releaseBackupLocked(id, s)
 	return nil
 }
 
@@ -275,9 +416,10 @@ func (db *DB) ReleaseBackup(id ConnID, l graph.LinkID) error {
 // activation slot — the contention among conflicting backups multiplexed
 // on the same spare resources.
 func (db *DB) PromoteBackup(id ConnID, l graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := &db.links[l]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := db.lsLocked(l)
 	lset, ok := s.backups[id]
 	if !ok {
 		return fmt.Errorf("lsdb: connection %d has no backup on link %d", id, l)
@@ -294,33 +436,35 @@ func (db *DB) PromoteBackup(id ConnID, l graph.LinkID) error {
 	s.primaries[id] = struct{}{}
 
 	// Drop the backup registration and its APLV contribution.
-	db.backupOps++
+	db.backupOps.Add(1)
 	delete(s.backups, id)
-	recompute := false
-	for _, pl := range lset {
-		if int(s.aplv[pl]) == s.maxElem {
-			recompute = true
-		}
-		s.aplv[pl]--
-		s.norm--
-	}
-	if recompute {
-		s.maxElem = 0
-		for _, v := range s.aplv {
-			if int(v) > s.maxElem {
-				s.maxElem = int(v)
-			}
-		}
-	}
-	db.resizeSpareLocked(l)
+	db.removeLSETLocked(s, lset)
+	db.resizeSpareLocked(s)
 	return nil
 }
 
-// resizeSpareLocked sets link l's spare bandwidth to the mode's requirement:
+// removeLSETLocked reverses applyLSETLocked, recomputing the maximum only
+// when a counter at the maximum decreased; the caller must hold s's shard
+// lock.
+func (db *DB) removeLSETLocked(s *linkState, lset []graph.LinkID) {
+	recompute := false
+	for _, pl := range lset {
+		if int(s.aplv.at(int(pl))) == s.maxElem {
+			recompute = true
+		}
+		s.aplv.dec(int(pl))
+		s.norm--
+	}
+	if recompute {
+		s.maxElem = s.aplv.maxVal()
+	}
+}
+
+// resizeSpareLocked sets a link's spare bandwidth to the mode's requirement:
 // max_j APLV[j] activations under multiplexing, or one unit per backup
 // under dedicated reservation; capped at what fits beside the primaries.
-func (db *DB) resizeSpareLocked(l graph.LinkID) {
-	s := &db.links[l]
+// The caller must hold the link's shard lock.
+func (db *DB) resizeSpareLocked(s *linkState) {
 	required := s.maxElem * db.unitBW
 	if db.mode == Dedicated {
 		required = len(s.backups) * db.unitBW
@@ -336,63 +480,79 @@ func (db *DB) Mode() Mode { return db.mode }
 
 // BackupOps returns the cumulative number of backup register/release
 // per-link updates processed by this database.
-func (db *DB) BackupOps() int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.backupOps
-}
+func (db *DB) BackupOps() int64 { return db.backupOps.Load() }
 
 // APLVAt returns APLV_l[j].
 func (db *DB) APLVAt(l, j graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return int(db.links[l].aplv[j])
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return int(db.lsLocked(l).aplv.at(int(j)))
 }
 
 // APLV returns a copy of link l's APLV.
 func (db *DB) APLV(l graph.LinkID) []int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	src := db.links[l].aplv
-	out := make([]int, len(src))
-	for i, v := range src {
-		out[i] = int(v)
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]int, db.n)
+	a := &db.lsLocked(l).aplv
+	if a.dense != nil {
+		for i, v := range a.dense {
+			out[i] = int(v)
+		}
+		return out
+	}
+	for k, j := range a.idx {
+		out[j] = int(a.val[k])
 	}
 	return out
 }
 
 // APLVNorm returns ‖APLV_l‖₁, the scalar advertised by P-LSR.
 func (db *DB) APLVNorm(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.links[l].norm
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return db.lsLocked(l).norm
 }
 
 // APLVMax returns max_j APLV_l[j], which sizes the spare resources.
 func (db *DB) APLVMax(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.links[l].maxElem
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return db.lsLocked(l).maxElem
 }
 
 // CVBit returns the Conflict Vector bit c_{l,j}: true iff at least one
 // primary channel through link j has its backup on link l.
 func (db *DB) CVBit(l, j graph.LinkID) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.links[l].aplv[j] > 0
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return db.lsLocked(l).aplv.at(int(j)) > 0
 }
 
 // CV materializes link l's Conflict Vector, the bit-vector D-LSR
-// advertises in place of the full APLV.
+// advertises in place of the full APLV. On large networks the returned
+// vector picks bitvec's sparse representation automatically.
 func (db *DB) CV(l graph.LinkID) *bitvec.Vector {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	v := bitvec.New(len(db.links))
-	for j, a := range db.links[l].aplv {
-		if a > 0 {
-			v.Set(j)
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v := bitvec.New(db.n)
+	a := &db.lsLocked(l).aplv
+	if a.dense != nil {
+		for j, c := range a.dense {
+			if c > 0 {
+				v.Set(j)
+			}
 		}
+		return v
+	}
+	for _, j := range a.idx {
+		v.Set(int(j))
 	}
 	return v
 }
@@ -400,28 +560,31 @@ func (db *DB) CV(l graph.LinkID) *bitvec.Vector {
 // SC returns the number of backups on link l that can be activated
 // simultaneously from the reserved spare resources (paper's SC_i).
 func (db *DB) SC(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return db.scLocked(l)
 }
 
-// scLocked is SC without locking; callers must hold db.mu.
-func (db *DB) scLocked(l graph.LinkID) int { return db.links[l].spare / db.unitBW }
+// scLocked is SC without locking; callers must hold l's shard lock.
+func (db *DB) scLocked(l graph.LinkID) int { return db.lsLocked(l).spare / db.unitBW }
 
 // HasDeficit reports whether link l multiplexes conflicting backups beyond
 // its spare resources, i.e. some single link failure could require more
 // activations than SC_l allows.
 func (db *DB) HasDeficit(l graph.LinkID) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.links[l].maxElem > db.scLocked(l)
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return db.lsLocked(l).maxElem > db.scLocked(l)
 }
 
 // BackupsOn returns the connection IDs with backups registered on link l.
 func (db *DB) BackupsOn(l graph.LinkID) []ConnID {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := &db.links[l]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := db.lsLocked(l)
 	out := make([]ConnID, 0, len(s.backups))
 	for id := range s.backups {
 		out = append(out, id)
@@ -432,42 +595,49 @@ func (db *DB) BackupsOn(l graph.LinkID) []ConnID {
 
 // NumBackupsOn returns the number of backups registered on link l.
 func (db *DB) NumBackupsOn(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.links[l].backups)
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(db.lsLocked(l).backups)
 }
 
 // PrimariesOn returns the number of primary channels on link l.
 func (db *DB) PrimariesOn(l graph.LinkID) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.links[l].primaries)
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(db.lsLocked(l).primaries)
 }
 
 // HasPrimary reports whether connection id's primary traverses link l.
 func (db *DB) HasPrimary(id ConnID, l graph.LinkID) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	_, ok := db.links[l].primaries[id]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := db.lsLocked(l).primaries[id]
 	return ok
 }
 
 // HasBackup reports whether connection id's backup traverses link l.
 func (db *DB) HasBackup(id ConnID, l graph.LinkID) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	_, ok := db.links[l].backups[id]
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := db.lsLocked(l).backups[id]
 	return ok
 }
 
 // TotalPrimeBW returns the sum of primary bandwidth over all links, a
 // measure of carried load.
 func (db *DB) TotalPrimeBW() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	total := 0
-	for i := range db.links {
-		total += db.links[i].prime
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.Lock()
+		for i := range sh.links {
+			total += sh.links[i].prime
+		}
+		sh.mu.Unlock()
 	}
 	return total
 }
@@ -475,22 +645,52 @@ func (db *DB) TotalPrimeBW() int {
 // TotalSpareBW returns the sum of spare bandwidth over all links, the
 // paper's fault-tolerance resource overhead.
 func (db *DB) TotalSpareBW() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	total := 0
-	for i := range db.links {
-		total += db.links[i].spare
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.Lock()
+		for i := range sh.links {
+			total += sh.links[i].spare
+		}
+		sh.mu.Unlock()
 	}
 	return total
 }
 
 // TotalCapacity returns the sum of capacity over all links.
 func (db *DB) TotalCapacity() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	total := 0
-	for i := range db.links {
-		total += db.links[i].capacity
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.Lock()
+		for i := range sh.links {
+			total += sh.links[i].capacity
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// APLVBytes returns the bytes of APLV counter storage currently held
+// across all links: 4 bytes per dense slot, 8 per sparse nonzero entry.
+// This is the quantity the sparse representation exists to shrink — the
+// DenseState baseline pins it at links² × 4 bytes regardless of load,
+// while the sparse forms grow with the conflicts that actually exist —
+// and the scale experiment reports it per accepted connection.
+func (db *DB) APLVBytes() int64 {
+	var total int64
+	for si := range db.shards {
+		sh := &db.shards[si]
+		sh.mu.Lock()
+		for i := range sh.links {
+			a := &sh.links[i].aplv
+			if a.dense != nil {
+				total += 4 * int64(len(a.dense))
+			} else {
+				total += 8 * int64(len(a.idx))
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return total
 }

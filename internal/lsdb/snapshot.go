@@ -10,9 +10,15 @@ import (
 // routing and failure-evaluation hot paths used to call one locked
 // accessor per link from inside Dijkstra cost callbacks — at ~30 µs per
 // backup route that mutex traffic dominated the CPU profile. Each batch
-// call below takes the lock once, fills (or applies) per-link arrays the
-// caller retains across calls, and leaves the per-call accessors intact
-// for the cold paths.
+// call below takes each shard lock once, fills (or applies) per-link
+// arrays the caller retains across calls, and leaves the per-call
+// accessors intact for the cold paths.
+//
+// The whole-path operations stay atomic across shards: they collect the
+// set of shards their links touch into a bit mask, acquire those locks in
+// ascending shard order (keeping the lock graph acyclic), perform every
+// per-link step under the full lock set — including first-failure
+// rollback — and release in reverse order.
 
 // Snapshot is a point-in-time copy of the per-link scalars the routing
 // hot paths read: the backup-availability and free-bandwidth tests and
@@ -29,26 +35,31 @@ type Snapshot struct {
 	Norm []int
 }
 
-// SnapshotInto fills s with the current per-link state under a single
-// lock acquisition and returns it. The database is unlocked when this
-// returns, so the snapshot is only coherent while the caller performs no
-// interleaved reservations — exactly the single-threaded route-then-
-// reserve discipline of the Manager and the simulator.
+// SnapshotInto fills s with the current per-link state, locking each
+// shard once, and returns it. The database is unlocked when this
+// returns — and shards are visited sequentially — so the snapshot is
+// only coherent while the caller performs no interleaved reservations:
+// exactly the single-threaded route-then-reserve discipline of the
+// Manager and the simulator.
 //
 //drtplint:hotpath
 func (db *DB) SnapshotInto(s *Snapshot) *Snapshot {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	n := len(db.links)
+	n := db.n
 	s.AvailBackup = growInts(s.AvailBackup, n)
 	s.Free = growInts(s.Free, n)
 	s.Norm = growInts(s.Norm, n)
-	for i := range db.links {
-		ls := &db.links[i]
-		avail := ls.capacity - ls.prime
-		s.AvailBackup[i] = avail
-		s.Free[i] = avail - ls.spare
-		s.Norm[i] = ls.norm
+	for si := range db.shards {
+		sh := &db.shards[si]
+		base := si << db.shardShift
+		sh.mu.Lock()
+		for i := range sh.links {
+			ls := &sh.links[i]
+			avail := ls.capacity - ls.prime
+			s.AvailBackup[base+i] = avail
+			s.Free[base+i] = avail - ls.spare
+			s.Norm[base+i] = ls.norm
+		}
+		sh.mu.Unlock()
 	}
 	return s
 }
@@ -56,27 +67,37 @@ func (db *DB) SnapshotInto(s *Snapshot) *Snapshot {
 // ConflictCountsInto writes, for every link l, the number of links in
 // lset whose existing backups traverse l — Σ_{L_j ∈ LSET} c_{l,j}, the
 // per-request conflict metric D-LSR derives from the Conflict Vectors —
-// into dst and returns it (resized as needed). One lock acquisition
-// replaces a CVBit call per (link, LSET entry) pair.
+// into dst and returns it (resized as needed). One lock acquisition per
+// shard replaces a CVBit call per (link, LSET entry) pair, and links
+// with empty APLVs — the overwhelming majority at web scale — are
+// skipped without touching lset at all.
 //
 //drtplint:hotpath
 func (db *DB) ConflictCountsInto(lset []graph.LinkID, dst []float64) []float64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	n := len(db.links)
+	n := db.n
 	if cap(dst) < n {
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
-	for i := range db.links {
-		aplv := db.links[i].aplv
-		c := 0
-		for _, j := range lset {
-			if aplv[j] > 0 {
-				c++
+	for si := range db.shards {
+		sh := &db.shards[si]
+		base := si << db.shardShift
+		sh.mu.Lock()
+		for i := range sh.links {
+			a := &sh.links[i].aplv
+			if a.empty() {
+				dst[base+i] = 0
+				continue
 			}
+			c := 0
+			for _, j := range lset {
+				if a.at(int(j)) > 0 {
+					c++
+				}
+			}
+			dst[base+i] = float64(c)
 		}
-		dst[i] = float64(c)
+		sh.mu.Unlock()
 	}
 	return dst
 }
@@ -88,12 +109,15 @@ func (db *DB) ConflictCountsInto(lset []graph.LinkID, dst []float64) []float64 {
 //
 //drtplint:hotpath
 func (db *DB) SCInto(dst []int) []int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	n := len(db.links)
-	dst = growInts(dst, n)
-	for i := range db.links {
-		dst[i] = db.links[i].spare / db.unitBW
+	dst = growInts(dst, db.n)
+	for si := range db.shards {
+		sh := &db.shards[si]
+		base := si << db.shardShift
+		sh.mu.Lock()
+		for i := range sh.links {
+			dst[base+i] = sh.links[i].spare / db.unitBW
+		}
+		sh.mu.Unlock()
 	}
 	return dst
 }
@@ -104,32 +128,70 @@ func (db *DB) SCInto(dst []int) []int {
 //
 //drtplint:hotpath
 func (db *DB) AppendCV(l graph.LinkID, dst []byte) []byte {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	sh := db.shardFor(l)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	start := len(dst)
-	size := (len(db.links) + 7) / 8
+	size := (db.n + 7) / 8
 	for i := 0; i < size; i++ {
 		dst = append(dst, 0)
 	}
 	out := dst[start:]
-	for j, a := range db.links[l].aplv {
-		if a > 0 {
-			out[j/8] |= 1 << uint(j%8)
+	a := &db.lsLocked(l).aplv
+	if a.dense != nil {
+		for j, c := range a.dense {
+			if c > 0 {
+				out[j/8] |= 1 << uint(j%8)
+			}
 		}
+		return dst
+	}
+	for _, j := range a.idx {
+		out[j/8] |= 1 << uint(j%8)
 	}
 	return dst
 }
 
+// shardMaskOf returns the bit mask of shards owning the given links
+// (shard counts are capped at maxShards, so one word always suffices).
+func (db *DB) shardMaskOf(links []graph.LinkID) uint64 {
+	var mask uint64
+	for _, l := range links {
+		mask |= 1 << uint(int(l)>>db.shardShift)
+	}
+	return mask
+}
+
+// lockShardMask acquires every shard in mask in ascending shard order.
+func (db *DB) lockShardMask(mask uint64) {
+	for si := range db.shards {
+		if mask&(1<<uint(si)) != 0 {
+			db.shards[si].mu.Lock()
+		}
+	}
+}
+
+// unlockShardMask releases every shard in mask in descending shard order.
+func (db *DB) unlockShardMask(mask uint64) {
+	for si := len(db.shards) - 1; si >= 0; si-- {
+		if mask&(1<<uint(si)) != 0 {
+			db.shards[si].mu.Unlock()
+		}
+	}
+}
+
 // ReservePrimaryPath reserves unit bandwidth for connection id's primary
-// channel on every link of the path, in order, under one lock
-// acquisition. On the first link that cannot admit the reservation the
-// earlier links are rolled back and that link's error is returned —
-// byte-for-byte the error a per-link ReservePrimary loop would surface.
+// channel on every link of the path, in order, holding every involved
+// shard lock for the duration. On the first link that cannot admit the
+// reservation the earlier links are rolled back and that link's error is
+// returned — byte-for-byte the error a per-link ReservePrimary loop
+// would surface.
 func (db *DB) ReservePrimaryPath(id ConnID, links []graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	mask := db.shardMaskOf(links)
+	db.lockShardMask(mask)
+	defer db.unlockShardMask(mask)
 	for i, l := range links {
-		s := &db.links[l]
+		s := db.lsLocked(l)
 		if free := s.capacity - s.prime - s.spare; free < db.unitBW {
 			db.releasePrimaryPrefixLocked(id, links[:i])
 			return &ErrInsufficientBandwidth{Link: l, Need: db.unitBW, Have: free}
@@ -145,14 +207,16 @@ func (db *DB) ReservePrimaryPath(id ConnID, links []graph.LinkID) error {
 }
 
 // ReleasePrimaryPath releases connection id's primary reservation on
-// every link of the path under one lock acquisition. It fails on the
-// first link without a matching reservation (bookkeeping corruption;
-// preceding links stay released, as a per-link loop would leave them).
+// every link of the path under one multi-shard lock acquisition. It
+// fails on the first link without a matching reservation (bookkeeping
+// corruption; preceding links stay released, as a per-link loop would
+// leave them).
 func (db *DB) ReleasePrimaryPath(id ConnID, links []graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	mask := db.shardMaskOf(links)
+	db.lockShardMask(mask)
+	defer db.unlockShardMask(mask)
 	for _, l := range links {
-		s := &db.links[l]
+		s := db.lsLocked(l)
 		if _, ok := s.primaries[id]; !ok {
 			return fmt.Errorf("lsdb: connection %d has no primary on link %d", id, l)
 		}
@@ -163,10 +227,11 @@ func (db *DB) ReleasePrimaryPath(id ConnID, links []graph.LinkID) error {
 }
 
 // releasePrimaryPrefixLocked rolls back reservations made earlier in the
-// same ReservePrimaryPath call; callers must hold db.mu.
+// same ReservePrimaryPath call; the caller must hold the shard locks
+// covering links.
 func (db *DB) releasePrimaryPrefixLocked(id ConnID, links []graph.LinkID) {
 	for _, l := range links {
-		s := &db.links[l]
+		s := db.lsLocked(l)
 		delete(s.primaries, id)
 		s.prime -= db.unitBW
 	}
@@ -180,11 +245,12 @@ func (db *DB) releasePrimaryPrefixLocked(id ConnID, links []graph.LinkID) {
 // per-link register — and each rollback release — counts one backup op,
 // matching the signalling volume of the per-link loop.
 func (db *DB) RegisterBackupPath(id ConnID, links, primaryLSET []graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	mask := db.shardMaskOf(links)
+	db.lockShardMask(mask)
+	defer db.unlockShardMask(mask)
 	var lset []graph.LinkID
 	for i, l := range links {
-		s := &db.links[l]
+		s := db.lsLocked(l)
 		if avail := s.capacity - s.prime; avail < db.unitBW {
 			db.releaseBackupPrefixLocked(id, links[:i])
 			return &ErrInsufficientBandwidth{Link: l, Need: db.unitBW, Have: avail}
@@ -204,67 +270,48 @@ func (db *DB) RegisterBackupPath(id ConnID, links, primaryLSET []graph.LinkID) e
 			lset = make([]graph.LinkID, len(primaryLSET))
 			copy(lset, primaryLSET)
 		}
-		db.backupOps++
+		db.backupOps.Add(1)
 		s.backups[id] = lset
-		for _, pl := range lset {
-			s.aplv[pl]++
-			s.norm++
-			if int(s.aplv[pl]) > s.maxElem {
-				s.maxElem = int(s.aplv[pl])
-			}
-		}
-		db.resizeSpareLocked(l)
+		db.applyLSETLocked(s, lset)
+		db.resizeSpareLocked(s)
 	}
 	return nil
 }
 
 // ReleaseBackupPath releases connection id's backup registration on
-// every link of the path under one lock acquisition, with per-link
-// ReleaseBackup semantics (including the backup-op count).
+// every link of the path under one multi-shard lock acquisition, with
+// per-link ReleaseBackup semantics (including the backup-op count).
 func (db *DB) ReleaseBackupPath(id ConnID, links []graph.LinkID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	mask := db.shardMaskOf(links)
+	db.lockShardMask(mask)
+	defer db.unlockShardMask(mask)
 	for _, l := range links {
-		if _, ok := db.links[l].backups[id]; !ok {
+		s := db.lsLocked(l)
+		if _, ok := s.backups[id]; !ok {
 			return fmt.Errorf("lsdb: connection %d has no backup on link %d", id, l)
 		}
-		db.releaseBackupLocked(id, l)
+		db.releaseBackupLocked(id, s)
 	}
 	return nil
 }
 
 // releaseBackupPrefixLocked rolls back registrations made earlier in the
-// same RegisterBackupPath call; callers must hold db.mu.
+// same RegisterBackupPath call; the caller must hold the shard locks
+// covering links.
 func (db *DB) releaseBackupPrefixLocked(id ConnID, links []graph.LinkID) {
 	for _, l := range links {
-		db.releaseBackupLocked(id, l)
+		db.releaseBackupLocked(id, db.lsLocked(l))
 	}
 }
 
 // releaseBackupLocked is ReleaseBackup's body for a known-present
-// registration; callers must hold db.mu.
-func (db *DB) releaseBackupLocked(id ConnID, l graph.LinkID) {
-	s := &db.links[l]
+// registration; the caller must hold the link's shard lock.
+func (db *DB) releaseBackupLocked(id ConnID, s *linkState) {
 	lset := s.backups[id]
-	db.backupOps++
+	db.backupOps.Add(1)
 	delete(s.backups, id)
-	recompute := false
-	for _, pl := range lset {
-		if int(s.aplv[pl]) == s.maxElem {
-			recompute = true
-		}
-		s.aplv[pl]--
-		s.norm--
-	}
-	if recompute {
-		s.maxElem = 0
-		for _, v := range s.aplv {
-			if int(v) > s.maxElem {
-				s.maxElem = int(v)
-			}
-		}
-	}
-	db.resizeSpareLocked(l)
+	db.removeLSETLocked(s, lset)
+	db.resizeSpareLocked(s)
 }
 
 // growInts returns s resized to n entries, reallocating only when the

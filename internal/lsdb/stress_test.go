@@ -1,0 +1,412 @@
+package lsdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/rtcl/drtp/internal/graph"
+	"github.com/rtcl/drtp/internal/topology"
+)
+
+// This file is the sharded-LSDB verification tier: a differential test
+// holding the sharded/sparse database to a single-shard dense baseline
+// op for op (errors included), a deterministic first-failure rollback
+// check, and a randomized concurrent stress test whose final state is
+// validated against per-link invariants recomputed from the workers' own
+// logs. The concurrent test is the one the CI -race run exists for.
+
+// observableState captures everything the public API exposes for one
+// link.
+type observableState struct {
+	capacity, prime, spare   int
+	norm, maxElem, sc        int
+	numBackups, numPrimaries int
+	deficit                  bool
+	aplv                     []int
+	cv                       []byte
+}
+
+func captureLink(db *DB, l graph.LinkID) observableState {
+	return observableState{
+		capacity:     db.Capacity(l),
+		prime:        db.PrimeBW(l),
+		spare:        db.SpareBW(l),
+		norm:         db.APLVNorm(l),
+		maxElem:      db.APLVMax(l),
+		sc:           db.SC(l),
+		numBackups:   db.NumBackupsOn(l),
+		numPrimaries: db.PrimariesOn(l),
+		deficit:      db.HasDeficit(l),
+		aplv:         db.APLV(l),
+		cv:           db.CV(l).Bytes(),
+	}
+}
+
+func diffState(a, b observableState) string {
+	if a.capacity != b.capacity || a.prime != b.prime || a.spare != b.spare ||
+		a.norm != b.norm || a.maxElem != b.maxElem || a.sc != b.sc ||
+		a.numBackups != b.numBackups || a.numPrimaries != b.numPrimaries ||
+		a.deficit != b.deficit {
+		return fmt.Sprintf("scalars %+v vs %+v", a, b)
+	}
+	for j := range a.aplv {
+		if a.aplv[j] != b.aplv[j] {
+			return fmt.Sprintf("aplv[%d] %d vs %d", j, a.aplv[j], b.aplv[j])
+		}
+	}
+	if !bytes.Equal(a.cv, b.cv) {
+		return "cv wire bytes differ"
+	}
+	return ""
+}
+
+// randomWalk returns a short loop-free random walk as link IDs.
+func randomWalk(r *rand.Rand, g *graph.Graph, maxHops int) []graph.LinkID {
+	node := graph.NodeID(r.Intn(g.NumNodes()))
+	var path []graph.LinkID
+	for hop := 0; hop < 1+r.Intn(maxHops); hop++ {
+		out := g.Out(node)
+		if len(out) == 0 {
+			break
+		}
+		l := out[r.Intn(len(out))]
+		dup := false
+		for _, p := range path {
+			if p == l {
+				dup = true
+			}
+		}
+		if dup {
+			break
+		}
+		path = append(path, l)
+		node = g.Link(l).To
+	}
+	return path
+}
+
+// errString renders an error for differential comparison.
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// TestShardedEquivalenceDifferential drives the same randomized op
+// sequence — including operations destined to fail and roll back —
+// through a many-shard sparse-APLV database and a single-shard dense
+// baseline, asserting identical errors and identical observable state
+// throughout. This is the equivalence face of the shard/sparse swap: any
+// divergence in bookkeeping, rollback, spare sizing or CV derivation
+// fails here before it can skew a simulation.
+func TestShardedEquivalenceDifferential(t *testing.T) {
+	g, err := topology.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := New(g, 3, 1, WithShardCount(8), WithState(SparseState))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := New(g, 3, 1, WithShardCount(1), WithState(DenseState))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.NumShards() < 2 {
+		t.Fatalf("sharded DB has %d shards; the test needs shard crossings", sharded.NumShards())
+	}
+	r := rand.New(rand.NewSource(42))
+	conns := []ConnID{1, 2, 3, 4, 5}
+	for step := 0; step < 2000; step++ {
+		id := conns[r.Intn(len(conns))]
+		path := randomWalk(r, g, 4)
+		if len(path) == 0 {
+			continue
+		}
+		var errS, errB error
+		switch r.Intn(6) {
+		case 0:
+			errS = sharded.ReservePrimaryPath(id, path)
+			errB = baseline.ReservePrimaryPath(id, path)
+		case 1:
+			errS = sharded.ReleasePrimaryPath(id, path)
+			errB = baseline.ReleasePrimaryPath(id, path)
+		case 2:
+			lset := randomWalk(r, g, 4)
+			errS = sharded.RegisterBackupPath(id, path, lset)
+			errB = baseline.RegisterBackupPath(id, path, lset)
+		case 3:
+			errS = sharded.ReleaseBackupPath(id, path)
+			errB = baseline.ReleaseBackupPath(id, path)
+		case 4:
+			errS = sharded.PromoteBackup(id, path[0])
+			errB = baseline.PromoteBackup(id, path[0])
+		default:
+			lset := randomWalk(r, g, 3)
+			errS = sharded.RegisterBackup(id, path[0], lset)
+			errB = baseline.RegisterBackup(id, path[0], lset)
+		}
+		if errString(errS) != errString(errB) {
+			t.Fatalf("step %d: errors diverge: sharded %q, baseline %q", step, errString(errS), errString(errB))
+		}
+		// Full-state comparison every few steps keeps runtime small while
+		// still localizing a divergence near the op that caused it.
+		if step%25 != 0 {
+			continue
+		}
+		for l := 0; l < g.NumLinks(); l++ {
+			if d := diffState(captureLink(sharded, graph.LinkID(l)), captureLink(baseline, graph.LinkID(l))); d != "" {
+				t.Fatalf("step %d link %d: %s", step, l, d)
+			}
+		}
+	}
+	if sharded.BackupOps() != baseline.BackupOps() {
+		t.Fatalf("backup op counts diverge: %d vs %d", sharded.BackupOps(), baseline.BackupOps())
+	}
+}
+
+// TestWholePathRollbackLeavesNoTrace pins the first-failure semantics of
+// the batch surface across a shard boundary: a path whose second link
+// cannot admit the reservation must roll back the first link completely
+// and surface the per-link loop's exact error.
+func TestWholePathRollbackLeavesNoTrace(t *testing.T) {
+	g, err := topology.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New(g, 2, 1, WithShardCount(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := randomWalk(rand.New(rand.NewSource(7)), g, 1)
+	full := path[0]
+	// Saturate one link with primaries of other connections.
+	if err := db.ReservePrimaryPath(90, []graph.LinkID{full}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReservePrimaryPath(91, []graph.LinkID{full}); err != nil {
+		t.Fatal(err)
+	}
+	other := graph.LinkID(0)
+	if other == full {
+		other = 1
+	}
+	before := make([]observableState, g.NumLinks())
+	for l := range before {
+		before[l] = captureLink(db, graph.LinkID(l))
+	}
+	// Primary reservation: second link is full.
+	err = db.ReservePrimaryPath(1, []graph.LinkID{other, full})
+	want := fmt.Sprintf("lsdb: link %d has 0 bandwidth, need 1", full)
+	if err == nil || err.Error() != want {
+		t.Fatalf("error = %v, want %q", err, want)
+	}
+	// Backup registration: same failure link (capacity - prime = 0).
+	err = db.RegisterBackupPath(1, []graph.LinkID{other, full}, []graph.LinkID{other})
+	if err == nil || err.Error() != want {
+		t.Fatalf("register error = %v, want %q", err, want)
+	}
+	// Duplicate-link path: the dup check fires on the repeated link and
+	// rolls the first reservation back.
+	err = db.ReservePrimaryPath(1, []graph.LinkID{other, other})
+	wantDup := fmt.Sprintf("lsdb: connection 1 already has a primary on link %d", other)
+	if err == nil || err.Error() != wantDup {
+		t.Fatalf("dup error = %v, want %q", err, wantDup)
+	}
+	for l := range before {
+		if d := diffState(before[l], captureLink(db, graph.LinkID(l))); d != "" {
+			t.Fatalf("rollback left a trace on link %d: %s", l, d)
+		}
+	}
+}
+
+// connTrack is one worker's record of a connection it currently holds.
+type connTrack struct {
+	primary []graph.LinkID
+	backup  []graph.LinkID
+	lset    []graph.LinkID // LSET as carried at registration time
+}
+
+// TestShardedConcurrentStress hammers the whole-path batch surface —
+// reserve, register, promote (the recovery first-failure path), release —
+// from many goroutines over disjoint connection ID ranges, then verifies
+// the database's final per-link state against invariants recomputed from
+// the workers' own logs: bandwidth conservation, registry counts, APLV
+// contents, the derived CV bits and the spare-sizing rule. Run under
+// -race in CI, it is the lock-correctness proof of the shard split; a
+// lost update, broken rollback, or torn multi-shard batch surfaces as an
+// invariant mismatch even when the race detector stays quiet.
+func TestShardedConcurrentStress(t *testing.T) {
+	g, err := topology.Grid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		capacity = 4
+		unit     = 1
+		workers  = 8
+		ops      = 400
+	)
+	db, err := New(g, capacity, unit, WithShardCount(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumShards() < 4 {
+		t.Fatalf("only %d shards; stress needs real shard crossings", db.NumShards())
+	}
+	final := make([]map[ConnID]*connTrack, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(1000 + w)))
+			conns := make(map[ConnID]*connTrack)
+			final[w] = conns
+			// ids mirrors the map's keys so random selection never
+			// depends on map iteration order.
+			var ids []ConnID
+			nextID := ConnID(w * 1_000_000)
+			for i := 0; i < ops; i++ {
+				switch r.Intn(4) {
+				case 0, 1: // establish
+					id := nextID
+					nextID++
+					prim := randomWalk(r, g, 4)
+					if len(prim) == 0 {
+						continue
+					}
+					if db.ReservePrimaryPath(id, prim) != nil {
+						continue // rolled back; nothing held
+					}
+					back := randomWalk(r, g, 4)
+					if len(back) == 0 || db.RegisterBackupPath(id, back, prim) != nil {
+						if err := db.ReleasePrimaryPath(id, prim); err != nil {
+							t.Errorf("release after failed register: %v", err)
+						}
+						continue
+					}
+					lset := append([]graph.LinkID(nil), prim...)
+					conns[id] = &connTrack{primary: prim, backup: back, lset: lset}
+					ids = append(ids, id)
+				case 2: // promote one backup link (the recovery path)
+					if len(ids) == 0 {
+						continue
+					}
+					id := ids[r.Intn(len(ids))]
+					c := conns[id]
+					if len(c.backup) == 0 {
+						continue
+					}
+					l := c.backup[r.Intn(len(c.backup))]
+					if db.PromoteBackup(id, l) == nil {
+						for k, bl := range c.backup {
+							if bl == l {
+								c.backup = append(c.backup[:k], c.backup[k+1:]...)
+								break
+							}
+						}
+						c.primary = append(c.primary, l)
+					}
+				default: // teardown
+					if len(ids) == 0 {
+						continue
+					}
+					k := r.Intn(len(ids))
+					id := ids[k]
+					c := conns[id]
+					if len(c.primary) > 0 {
+						if err := db.ReleasePrimaryPath(id, c.primary); err != nil {
+							t.Errorf("teardown primary: %v", err)
+						}
+					}
+					if len(c.backup) > 0 {
+						if err := db.ReleaseBackupPath(id, c.backup); err != nil {
+							t.Errorf("teardown backup: %v", err)
+						}
+					}
+					delete(conns, id)
+					ids[k] = ids[len(ids)-1]
+					ids = ids[:len(ids)-1]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Recompute the expected per-link state from the union of the
+	// workers' surviving connections (ID ranges are disjoint, so the
+	// union is exact).
+	n := g.NumLinks()
+	expPrim := make([]int, n)
+	expBack := make([]int, n)
+	expAPLV := make([][]int, n)
+	for l := range expAPLV {
+		expAPLV[l] = make([]int, n)
+	}
+	for _, conns := range final {
+		for _, c := range conns {
+			for _, l := range c.primary {
+				expPrim[l]++
+			}
+			for _, l := range c.backup {
+				expBack[l]++
+				for _, pl := range c.lset {
+					expAPLV[l][pl]++
+				}
+			}
+		}
+	}
+	for l := 0; l < n; l++ {
+		lid := graph.LinkID(l)
+		if got, want := db.PrimariesOn(lid), expPrim[l]; got != want {
+			t.Errorf("link %d: PrimariesOn = %d, want %d", l, got, want)
+		}
+		if got, want := db.PrimeBW(lid), expPrim[l]*unit; got != want {
+			t.Errorf("link %d: PrimeBW = %d, want %d", l, got, want)
+		}
+		if got, want := db.NumBackupsOn(lid), expBack[l]; got != want {
+			t.Errorf("link %d: NumBackupsOn = %d, want %d", l, got, want)
+		}
+		norm, maxElem := 0, 0
+		for j, v := range expAPLV[l] {
+			norm += v
+			if v > maxElem {
+				maxElem = v
+			}
+			if got := db.APLVAt(lid, graph.LinkID(j)); got != v {
+				t.Errorf("link %d: APLV[%d] = %d, want %d", l, j, got, v)
+			}
+			if got := db.CVBit(lid, graph.LinkID(j)); got != (v > 0) {
+				t.Errorf("link %d: CVBit[%d] = %v, want %v", l, j, got, v > 0)
+			}
+		}
+		if got := db.APLVNorm(lid); got != norm {
+			t.Errorf("link %d: APLVNorm = %d, want %d", l, got, norm)
+		}
+		if got := db.APLVMax(lid); got != maxElem {
+			t.Errorf("link %d: APLVMax = %d, want %d", l, got, maxElem)
+		}
+		// Spare is resized only by backup ops on the link, so after a
+		// later primary release it may sit below the instantaneous
+		// min(maxElem·unit, room) — the exact sizing rule is pinned by
+		// the serial differential test. The invariants that must hold
+		// globally: spare never exceeds the multiplexing requirement,
+		// never overlaps primary bandwidth, and vanishes with the
+		// backups.
+		spare := db.SpareBW(lid)
+		if spare > maxElem*unit {
+			t.Errorf("link %d: SpareBW = %d exceeds maxElem requirement %d", l, spare, maxElem*unit)
+		}
+		if spare+expPrim[l]*unit > capacity {
+			t.Errorf("link %d: spare %d + prime %d exceeds capacity", l, spare, expPrim[l]*unit)
+		}
+		if maxElem == 0 && spare != 0 {
+			t.Errorf("link %d: spare %d without any backup conflict", l, spare)
+		}
+	}
+}

@@ -73,6 +73,10 @@ type Config struct {
 	// tracer's clock is bound to simulated time (minutes) for the duration
 	// of the run, so event timestamps line up with the scenario timeline.
 	Telemetry *telemetry.Tracer
+	// CollectRecovery records a per-connection recovery-latency sample for
+	// every destructive failure (drtp.WithRecoveryLatency); the samples
+	// land in Result.Recovery. Off by default — sampling allocates.
+	CollectRecovery bool
 }
 
 // Result aggregates one run's measurements.
@@ -117,6 +121,10 @@ type Result struct {
 	// Availability is 1 - Dropped/Accepted over the whole run (1 when
 	// nothing was accepted or no failures were scheduled).
 	Availability float64
+	// Recovery holds the per-connection recovery-latency samples of the
+	// run's destructive failures (Config.CollectRecovery), in failure
+	// order. Empty when collection is off.
+	Recovery []drtp.RecoveryLatency
 	// AvgActive is the time-averaged number of active connections after
 	// warmup.
 	AvgActive float64
@@ -169,6 +177,9 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 	if chaos != nil && chaos.Signal != nil {
 		opts = append(append([]drtp.ManagerOption(nil), opts...),
 			drtp.WithSignalFaults(chaos.Signal.Drop, chaos.Signal.Retries, chaos.Seed))
+	}
+	if cfg.CollectRecovery {
+		opts = append(append([]drtp.ManagerOption(nil), opts...), drtp.WithRecoveryLatency())
 	}
 	if cfg.Telemetry != nil {
 		opts = append(append([]drtp.ManagerOption(nil), opts...), drtp.WithTelemetry(cfg.Telemetry))
@@ -381,6 +392,9 @@ func Run(net *drtp.Network, schm drtp.Scheme, sc *scenario.Scenario, cfg Config)
 
 	res.Stats = mgr.Stats()
 	res.EndTime = end
+	if cfg.CollectRecovery {
+		res.Recovery = mgr.TakeRecoveryLatencies()
+	}
 	if window := end - integStart; window > 0 {
 		res.AvgActive = integActive / window
 		if totalCap > 0 {

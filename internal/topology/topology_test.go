@@ -139,6 +139,39 @@ func TestWaxmanDeterministic(t *testing.T) {
 	}
 }
 
+// TestWaxmanLargeRejectionSampler exercises the web-scale phase-3 path
+// (nodes > waxmanEnumerationMax): same structural guarantees as the
+// enumerating sampler — exact edge count, connectivity, min degree — and
+// seed-determinism, without materializing the O(n²) candidate list.
+func TestWaxmanLargeRejectionSampler(t *testing.T) {
+	cfg := WaxmanConfig{Nodes: waxmanEnumerationMax + 200, AvgDegree: 6, MinDegree: 2, Seed: 7}
+	g, err := Waxman(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := int(math.Round(float64(cfg.Nodes) * cfg.AvgDegree / 2))
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if !g.Connected() {
+		t.Fatal("not connected")
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if d := g.Degree(graph.NodeID(i)); d < cfg.MinDegree {
+			t.Fatalf("node %d degree %d < %d", i, d, cfg.MinDegree)
+		}
+	}
+	b, err := Waxman(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		if g.Link(graph.LinkID(l)) != b.Link(graph.LinkID(l)) {
+			t.Fatalf("link %d differs between identical seeds", l)
+		}
+	}
+}
+
 func TestWaxmanSeedsDiffer(t *testing.T) {
 	a, err := Waxman(WaxmanConfig{Nodes: 40, AvgDegree: 3, Seed: 1})
 	if err != nil {

@@ -138,7 +138,43 @@ func Waxman(cfg WaxmanConfig) (*graph.Graph, error) {
 		}
 	}
 
-	// Phase 3: weighted sampling without replacement for the rest.
+	// Phase 3: sample the remaining edges with probability proportional to
+	// the Waxman preference. Small graphs enumerate every candidate pair
+	// and draw without replacement (the historical sampler, kept bit-exact
+	// so seeded fixtures and experiment goldens are stable); past
+	// waxmanEnumerationMax nodes that enumeration is O(n²) memory and
+	// O(edges·n²) time — prohibitive at web scale — so large graphs switch
+	// to rejection sampling, which needs no candidate materialization and
+	// draws from the same target distribution.
+	if n <= waxmanEnumerationMax {
+		if err := sampleEdgesEnumerated(g, edgeRNG, n, maxEdges, targetEdges, weight, added, addEdge); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := sampleEdgesRejection(g, edgeRNG, cfg.Alpha, n, targetEdges, weight, added, addEdge); err != nil {
+			return nil, err
+		}
+	}
+
+	if g.NumEdges() != targetEdges {
+		return nil, fmt.Errorf("topology: generated %d edges, wanted %d", g.NumEdges(), targetEdges)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("topology: generated graph is not connected")
+	}
+	return g, nil
+}
+
+// waxmanEnumerationMax is the largest node count that still uses the
+// enumerating phase-3 sampler. Above it, the candidate list alone would
+// cost ~n²/2 · 24 B (over 1 GB at 10k nodes) and each weighted pick a
+// linear scan of it, so large graphs use rejection sampling instead.
+const waxmanEnumerationMax = 1000
+
+// sampleEdgesEnumerated draws the remaining edges without replacement from
+// the fully enumerated candidate list, weighted by the Waxman preference.
+func sampleEdgesEnumerated(g *graph.Graph, edgeRNG *rng.Source, n, maxEdges, targetEdges int,
+	weight func(i, j int) float64, added map[[2]int]bool, addEdge func(i, j int) error) error {
 	type cand struct {
 		i, j int
 		w    float64
@@ -167,20 +203,47 @@ func Waxman(cfg WaxmanConfig) (*graph.Graph, error) {
 		}
 		c := cands[idx]
 		if err := addEdge(c.i, c.j); err != nil {
-			return nil, err
+			return err
 		}
 		totalW -= c.w
 		cands[idx] = cands[len(cands)-1]
 		cands = cands[:len(cands)-1]
 	}
+	return nil
+}
 
-	if g.NumEdges() != targetEdges {
-		return nil, fmt.Errorf("topology: generated %d edges, wanted %d", g.NumEdges(), targetEdges)
+// sampleEdgesRejection draws the remaining edges by rejection: propose a
+// uniform node pair, accept with probability weight/Alpha (the Waxman
+// preference normalized by its maximum). Memory is O(edges), independent
+// of n². Sparse targets (avg degree ≪ n) keep the duplicate-rejection
+// rate negligible; the attempt cap only trips if a caller asks for a
+// near-complete graph at web scale, which the paper's workloads never do.
+func sampleEdgesRejection(g *graph.Graph, edgeRNG *rng.Source, alpha float64, n, targetEdges int,
+	weight func(i, j int) float64, added map[[2]int]bool, addEdge func(i, j int) error) error {
+	maxAttempts := 1000 * (targetEdges + 1)
+	for attempts := 0; g.NumEdges() < targetEdges; attempts++ {
+		if attempts > maxAttempts {
+			return fmt.Errorf("topology: rejection sampling stalled at %d/%d edges on %d nodes",
+				g.NumEdges(), targetEdges, n)
+		}
+		i, j := edgeRNG.Intn(n), edgeRNG.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if added[[2]int{i, j}] {
+			continue
+		}
+		if edgeRNG.Float64()*alpha > weight(i, j) {
+			continue
+		}
+		if err := addEdge(i, j); err != nil {
+			return err
+		}
 	}
-	if !g.Connected() {
-		return nil, fmt.Errorf("topology: generated graph is not connected")
-	}
-	return g, nil
+	return nil
 }
 
 func dist(xs, ys []float64, i, j int) float64 {

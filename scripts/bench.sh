@@ -7,6 +7,7 @@
 #   OUT=foo.json scripts/bench.sh   # custom output path
 #   PATTERN=Fig4 scripts/bench.sh   # subset by benchmark name
 #   SLO=0 scripts/bench.sh          # skip the establishment-SLO section
+#   SCALE=0 scripts/bench.sh        # skip the web-scale throughput pass
 #
 # Each iteration of an experiment benchmark regenerates a full table or
 # figure, so -benchtime 1x is one reproduction; -count 3 gives three
@@ -27,6 +28,7 @@ BENCHTIME=${BENCHTIME:-1x}
 PATTERN=${PATTERN:-.}
 OUT=${OUT:-BENCH_$(date +%Y%m%d).json}
 SLO=${SLO:-1}
+SCALE=${SCALE:-1}
 
 raw=$(mktemp)
 rawwall=$(mktemp)
@@ -61,6 +63,17 @@ if [ "$SLO" = "1" ] && [ "$PATTERN" = "." ]; then
 	"$GO" run ./cmd/drtptrace slo -unit minutes -format json "$tracefile" >"$slofile"
 fi
 
+# Web-scale pass: a quick -exp scale run contributes establishment
+# throughput and steady-state APLV bytes per connection to summary.*,
+# so every BENCH snapshot tracks the web-scale figures per commit.
+scale_eps=""
+scale_bpc=""
+if [ "$SCALE" = "1" ] && [ "$PATTERN" = "." ]; then
+	scalejson=$("$GO" run ./cmd/drtpsim -exp scale -quick | sed -n 's/^SCALE_JSON //p')
+	scale_eps=$(printf '%s' "$scalejson" | sed -n 's/.*"establishments_per_sec":\([0-9.e+-]*\).*/\1/p')
+	scale_bpc=$(printf '%s' "$scalejson" | sed -n 's/.*"bytes_per_conn":\([0-9.e+-]*\).*/\1/p')
+fi
+
 # Merge: wall-time entries are read first and supersede 1x entries of
 # the same benchmark in the same package; everything is buffered and
 # printed in END so the output is one valid JSON document.
@@ -68,7 +81,8 @@ awk -v go_version="$("$GO" env GOVERSION)" \
 	-v goos="$("$GO" env GOOS)" -v goarch="$("$GO" env GOARCH)" \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	-v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-	-v wallfile="$rawwall" -v slofile="$slofile" '
+	-v wallfile="$rawwall" -v slofile="$slofile" \
+	-v scale_eps="$scale_eps" -v scale_bpc="$scale_bpc" '
 function entry(name, pkg, pass,    json, i) {
 	json = sprintf("{\"name\": \"%s\", \"pkg\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", \
 		name, pkg, $2, $3)
@@ -108,13 +122,21 @@ END {
 	for (i = 0; i < nm; i++) { if (n++) printf ",\n"; printf "    %s", main[i] }
 	for (i = 0; i < nw; i++) { if (n++) printf ",\n"; printf "    %s", wall[i] }
 	printf "\n  ]"
-	# Parallel-engine summary: wall-clock speedup of the sweep at
-	# workers=8 over workers=1 (1.0 on a single-CPU host, where both
-	# degrade to the serial path) and its workers=1 allocs/op. Omitted
-	# when a PATTERN subset excluded BenchmarkSweepParallel.
+	# Summary: wall-clock speedup of the sweep at workers=8 over
+	# workers=1 (1.0 on a single-CPU host, where both degrade to the
+	# serial path) and its workers=1 allocs/op — omitted when a PATTERN
+	# subset excluded BenchmarkSweepParallel — plus the web-scale
+	# figures from the -exp scale pass when it ran.
+	nsum = 0
 	if (w1n > 0 && w8n > 0) {
-		printf ",\n  \"summary\": {\"speedup_w8_over_w1\": %.3f", (w1ns / w1n) / (w8ns / w8n)
-		if (w1an > 0) printf ", \"allocs_per_op\": %.0f", w1allocs / w1an
+		sum[nsum++] = sprintf("\"speedup_w8_over_w1\": %.3f", (w1ns / w1n) / (w8ns / w8n))
+		if (w1an > 0) sum[nsum++] = sprintf("\"allocs_per_op\": %.0f", w1allocs / w1an)
+	}
+	if (scale_eps != "") sum[nsum++] = sprintf("\"establishments_per_sec\": %s", scale_eps)
+	if (scale_bpc != "") sum[nsum++] = sprintf("\"bytes_per_conn\": %s", scale_bpc)
+	if (nsum > 0) {
+		printf ",\n  \"summary\": {"
+		for (i = 0; i < nsum; i++) printf "%s%s", (i ? ", " : ""), sum[i]
 		printf "}"
 	}
 	first = 1

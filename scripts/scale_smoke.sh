@@ -1,0 +1,88 @@
+#!/bin/sh
+# scale_smoke.sh — trimmed web-scale smoke for the -exp scale experiment.
+# Runs the same workload twice, once with the sparse (auto) APLV/CV
+# layout and once with the dense baseline pinned on, then asserts:
+#
+#   1. both runs complete with accepted connections and a positive
+#      establishment rate,
+#   2. the layouts agree on every admission and recovery statistic
+#      (only storage metrics may differ — they compute identical state),
+#   3. the sparse run's heap high-water mark sits at least MIN_RATIO×
+#      below the dense baseline's.
+#
+# The default operating point (2000 nodes, lambda 0.08, 6000 arrivals per
+# cell) is the smallest where the dense layout's O(links²) counters
+# dominate the layout-independent heap (graph, scenario, per-connection
+# bookkeeping), giving the ratio assertion margin; at ~1k nodes the
+# shared state still hides most of the difference. GOGC=50 and a single
+# worker keep the peak-heap samples comparable run to run.
+#
+# Usage:
+#   scripts/scale_smoke.sh
+#   SCALE_NODES=3000 scripts/scale_smoke.sh    # larger operating point
+#   SCALE_MIN_RATIO=3 scripts/scale_smoke.sh   # relax the memory bar
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+NODES=${SCALE_NODES:-2000}
+CONNS=${SCALE_CONNS:-6000}
+FAILS=${SCALE_FAILURES:-8}
+LAMBDA=${SCALE_LAMBDA:-0.08}
+MIN_RATIO=${SCALE_MIN_RATIO:-5}
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+	echo "FAIL: $1" >&2
+	exit 1
+}
+
+echo "==> building drtpsim"
+"$GO" build -o "$DIR/drtpsim" ./cmd/drtpsim
+
+# run <state>: one scale pass; leaves the SCALE_JSON body in $DIR/<state>.json
+run() {
+	echo "==> -exp scale: $NODES nodes, $CONNS conns/cell, aplv $1"
+	GOGC=50 "$DIR/drtpsim" -exp scale -state "$1" -workers 1 \
+		-scale-nodes "$NODES" -scale-conns "$CONNS" \
+		-scale-failures "$FAILS" -lambda "$LAMBDA" >"$DIR/$1.out"
+	sed -n 's/^SCALE_JSON //p' "$DIR/$1.out" >"$DIR/$1.json"
+	[ -s "$DIR/$1.json" ] || fail "no SCALE_JSON line in the $1 run"
+}
+
+# field <state> <key>: numeric field from a run's SCALE_JSON
+field() {
+	sed -n 's/.*"'"$2"'":\([0-9.e+-]*\).*/\1/p' "$DIR/$1.json"
+}
+
+run auto
+run dense
+
+for st in auto dense; do
+	accepted=$(field "$st" accepted)
+	eps=$(field "$st" establishments_per_sec)
+	peak=$(field "$st" peak_heap_bytes)
+	echo "    $st: accepted=$accepted estab/s=$eps peak_heap_bytes=$peak"
+	[ -n "$accepted" ] && [ "$accepted" -gt 0 ] || fail "$st run accepted no connections"
+	[ -n "$eps" ] || fail "$st run reported no establishment rate"
+done
+
+echo "==> asserting layout equivalence (admissions and recovery stats)"
+for key in arrivals accepted recovery_total_p50_hops recovery_total_p99_hops; do
+	a=$(field auto "$key")
+	d=$(field dense "$key")
+	[ "$a" = "$d" ] || fail "$key differs between layouts: auto=$a dense=$d"
+done
+
+echo "==> asserting sparse heap high-water >= ${MIN_RATIO}x below dense"
+auto_peak=$(field auto peak_heap_bytes)
+dense_peak=$(field dense peak_heap_bytes)
+ratio=$(awk "BEGIN { printf \"%.2f\", $dense_peak / $auto_peak }")
+echo "    dense/sparse peak-heap ratio: $ratio"
+[ "$dense_peak" -ge $((auto_peak * MIN_RATIO)) ] ||
+	fail "sparse peak $auto_peak B is less than ${MIN_RATIO}x below dense peak $dense_peak B"
+
+echo "PASS: scale smoke (ratio ${ratio}x at $NODES nodes)"

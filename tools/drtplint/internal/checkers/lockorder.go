@@ -618,7 +618,11 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 
 // mutexFieldKeys lists the lock keys of every sync.Mutex/RWMutex field
 // on the callee's receiver struct (empty for free functions and mutexless
-// receivers).
+// receivers). A field that is a same-package struct — or a slice, array
+// or pointer of one — carrying its own mutex fields contributes those
+// keys too: that is the sharded-container shape (one guard per shard
+// held behind an aggregate handle), and the method may take any shard's
+// lock.
 func mutexFieldKeys(callee *types.Func) []string {
 	sig, ok := callee.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
@@ -632,15 +636,46 @@ func mutexFieldKeys(callee *types.Func) []string {
 	if !ok {
 		return nil
 	}
-	var keys []string
+	pkg := owner.Obj().Pkg()
+	seen := map[string]bool{}
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
 		if isNamed(f.Type(), "sync", "Mutex") || isNamed(f.Type(), "sync", "RWMutex") {
-			keys = append(keys, owner.Obj().Pkg().Name()+"."+owner.Obj().Name()+"."+f.Name())
+			seen[pkg.Name()+"."+owner.Obj().Name()+"."+f.Name()] = true
+			continue
+		}
+		inner := namedType(elemStructType(f.Type()))
+		if inner == nil || inner.Obj() == nil || inner.Obj().Pkg() != pkg {
+			continue
+		}
+		ist, ok := inner.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for j := 0; j < ist.NumFields(); j++ {
+			nf := ist.Field(j)
+			if isNamed(nf.Type(), "sync", "Mutex") || isNamed(nf.Type(), "sync", "RWMutex") {
+				seen[pkg.Name()+"."+inner.Obj().Name()+"."+nf.Name()] = true
+			}
 		}
 	}
-	sort.Strings(keys)
+	keys := sortedKeys(seen)
 	return keys
+}
+
+// elemStructType unwraps slices, arrays and pointers (one container
+// level, as in "shards []dbShard") down to a candidate element type.
+func elemStructType(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		t = u.Elem()
+	case *types.Array:
+		t = u.Elem()
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t
 }
 
 // blockingCallDesc classifies calls that can block indefinitely: Wait on
